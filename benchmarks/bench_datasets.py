@@ -1,0 +1,24 @@
+"""Table I — dataset summary, plus generator throughput."""
+
+from repro.data import gas_rate, load_paper_datasets
+from repro.experiments import table_i
+
+
+def test_table_i(benchmark, emit):
+    """Regenerate Table I and check it against the paper's exact values."""
+    table = benchmark.pedantic(table_i, rounds=1, iterations=1)
+    emit("table_i", table.format())
+    assert table.cell("gas_rate", "Length") == 296
+    assert table.cell("electricity", "Length") == 242
+    assert table.cell("weather", "Length") == 217
+
+
+def test_dataset_generation_throughput(benchmark):
+    """Generator speed — the substrate cost every experiment pays."""
+    datasets = benchmark(load_paper_datasets)
+    assert len(datasets) == 3
+
+
+def test_gas_rate_generator(benchmark):
+    dataset = benchmark(gas_rate)
+    assert dataset.values.shape == (296, 2)

@@ -1,0 +1,40 @@
+"""Beyond-paper benches: extended method roster and paper-vs-measured reports."""
+
+from repro.experiments import (
+    PAPER_TABLE_IV,
+    comparison_report,
+    extended_accuracy_table,
+    table_iv,
+)
+from repro.data import gas_rate
+
+
+def test_extended_roster_gas_rate(benchmark, emit):
+    """The full method roster (paper six + extensions) on Gas Rate."""
+    from repro.experiments import EXTENDED_METHODS
+
+    table = benchmark.pedantic(
+        lambda: extended_accuracy_table(gas_rate()), rounds=1, iterations=1
+    )
+    emit("extended_gas_rate", table.format())
+    assert len(table.rows) == len(EXTENDED_METHODS)
+    errors = {row[0]: row[1] for row in table.rows}
+    # The naive references anchor the table: every real method beats at
+    # least one of them on the GasRate dimension.
+    worst_reference = max(errors["naive"], errors["drift"])
+    for method, error in errors.items():
+        if method in ("naive", "drift"):
+            continue
+        assert error < worst_reference * 1.5, method
+
+
+def test_paper_vs_measured_report(benchmark, emit):
+    """Side-by-side table IV comparison from the structured paper values."""
+
+    def run():
+        measured = table_iv()
+        return comparison_report(measured, PAPER_TABLE_IV, ["GasRate", "CO2"])
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("paper_vs_measured_table_iv", report)
+    assert "paper" in report and "measured" in report

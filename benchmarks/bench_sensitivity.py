@@ -1,0 +1,35 @@
+"""Beyond-paper bench: seed sensitivity of the reproduced numbers.
+
+The paper reports single-run RMSEs; our fully-seeded substrate can quantify
+how much those cells move.  Two sources of variance are separated: the
+sampling seed (re-running the same experiment) and the dataset realisation
+(a different synthetic stand-in).  The stds contextualise every
+paper-vs-measured comparison in EXPERIMENTS.md.
+"""
+
+from repro.experiments.sensitivity import seed_sensitivity_table
+
+
+def test_generation_seed_sensitivity(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: seed_sensitivity_table("multicast-di", num_seeds=5, vary="generation"),
+        rounds=1,
+        iterations=1,
+    )
+    emit("sensitivity_generation", table.format())
+    # Re-running with a new sampling seed moves the cells by far less than
+    # their magnitude — the reproduction is stable, not a lucky draw.
+    for dim in ("GasRate", "CO2"):
+        assert table.cell("std", dim) < 0.5 * table.cell("mean", dim)
+
+
+def test_dataset_seed_sensitivity(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: seed_sensitivity_table("multicast-di", num_seeds=5, vary="dataset"),
+        rounds=1,
+        iterations=1,
+    )
+    emit("sensitivity_dataset", table.format())
+    for dim in ("GasRate", "CO2"):
+        assert table.cell("min", dim) > 0.0
+        assert table.cell("max", dim) < 5.0 * table.cell("mean", dim)

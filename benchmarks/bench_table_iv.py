@@ -1,0 +1,36 @@
+"""Table IV — forecasting RMSE on Gas Rate (6 methods x 2 dimensions).
+
+Paper values:
+
+    MultiCast (DI)  0.781  4.639      LLMTIME  0.703  2.75
+    MultiCast (VI)  1.154  2.71       ARIMA    0.92   2.63
+    MultiCast (VC)  0.965  3.626      LSTM     1.122  3.89
+
+Shapes asserted: every method lands in a plausible error band for its
+dimension (the paper's winners vary by dimension — no ordering is pinned),
+and the LLM-based methods are competitive with the classical ones on the
+GasRate dimension, as the paper highlights.
+"""
+
+import numpy as np
+
+from repro.experiments import table_iv
+
+
+def test_table_iv(benchmark, emit):
+    table = benchmark.pedantic(table_iv, rounds=1, iterations=1)
+    emit("table_iv", table.format())
+    assert len(table.rows) == 6
+    gas_errors = {row[0]: row[1] for row in table.rows}
+    co2_errors = {row[0]: row[2] for row in table.rows}
+    assert all(np.isfinite(list(gas_errors.values())))
+    # Paper band (0.70-1.15) with margin for the synthetic substrate.
+    for method, error in gas_errors.items():
+        assert 0.1 < error < 3.0, (method, error)
+    for method, error in co2_errors.items():
+        assert 0.3 < error < 9.0, (method, error)
+    # The LLM methods are competitive on GasRate: best LLM within 2x of
+    # the best classical method (paper: LLMTIME actually wins there).
+    llm = min(gas_errors[m] for m in gas_errors if m != "ARIMA" and m != "LSTM")
+    classical = min(gas_errors["ARIMA"], gas_errors["LSTM"])
+    assert llm < 2.0 * classical

@@ -1,0 +1,31 @@
+"""Table IX — increasing SAX alphabet size (Gas Rate, CO2 dimension).
+
+Paper values (RMSE / seconds):
+
+    MultiCast SAX (alphabetical)  0.983/77s  1.198/81s  1.273/83s
+    MultiCast SAX (digital)       0.99/71s   1.21/75s   N/A
+    MultiCast (raw)               0.781/1168s
+
+Shapes asserted: execution time is essentially flat in the alphabet size
+(the token count does not depend on it), RMSE does not improve with larger
+alphabets (the paper sees it degrade), and digital SAX is N/A at size 20.
+"""
+
+from repro.experiments import table_ix
+
+
+def test_table_ix(benchmark, emit):
+    table = benchmark.pedantic(table_ix, rounds=1, iterations=1)
+    emit("table_ix", table.format())
+    seconds = [
+        table.cell("MultiCast SAX (alphabetical) [sec]", a) for a in ("5", "10", "20")
+    ]
+    assert max(seconds) - min(seconds) <= 0.1 * max(seconds) + 1  # ~flat
+    errors = [
+        table.cell("MultiCast SAX (alphabetical)", a) for a in ("5", "10", "20")
+    ]
+    assert errors[0] <= max(errors[1], errors[2]) + 1e-9  # no gain from size
+    assert table.cell("MultiCast SAX (digital)", "20") == "N/A"
+    assert table.cell("MultiCast SAX (digital) [sec]", "20") == "N/A"
+    raw_seconds = table.cell("MultiCast [sec]", "5")
+    assert min(seconds) * 5 < raw_seconds

@@ -1,0 +1,26 @@
+"""Table V — forecasting RMSE on Electricity (6 methods x 3 dimensions).
+
+Paper values:
+
+    MultiCast (DI)  5.914  1.444   9.198     LLMTIME  4.299  1.432  7.543
+    MultiCast (VI)  8.63   1.882  13.752     ARIMA    7.063  1.572  4.181
+    MultiCast (VC)  2.424  1.913  10.230     LSTM     4.892  1.43   8.740
+
+Shapes asserted: the scale separation between dimensions survives (HUFL
+errors exceed HULL errors for every method — the series is an order of
+magnitude larger), and all errors stay within plausible bands.
+"""
+
+from repro.experiments import table_v
+
+
+def test_table_v(benchmark, emit):
+    table = benchmark.pedantic(table_v, rounds=1, iterations=1)
+    emit("table_v", table.format())
+    assert len(table.rows) == 6
+    for row in table.rows:
+        method, hufl, hull, ot = row
+        assert hufl > hull, f"{method}: HUFL (big scale) must out-err HULL"
+        assert 0.2 < hufl < 15.0, (method, hufl)
+        assert 0.05 < hull < 5.0, (method, hull)
+        assert 0.5 < ot < 25.0, (method, ot)

@@ -1,0 +1,44 @@
+"""Table VI — forecasting RMSE on Weather (6 methods x 4 dimensions).
+
+Paper values:
+
+    MultiCast (DI)  3.711  2.43   3.025   6.888   LLMTIME  3.14   1.746  4.044  6.981
+    MultiCast (VI)  3.26   2.122  2.387  11.352   ARIMA    3.324  2.686  4.331  6.067
+    MultiCast (VC)  4.983  3.819  5.776   5.993   LSTM     3.524  1.796  2.708  5.559
+
+Shapes asserted: the paper's takeaway that "the optimal multiplexing method
+differs from dimension to dimension" holds among the LLM-based rows, and
+MultiCast does not degrade with dimensionality (it stays within a bounded
+factor of the per-dimension best everywhere).  Known deviation, recorded in
+EXPERIMENTS.md: on this strongly *seasonal* dataset the LSTM wins every
+dimension outright in our runs — seasonal extrapolation is exactly where
+exact-suffix in-context induction (the PPM substrate) trails a real LLM's
+soft pattern matching, so the absolute LLM-vs-classical gap is wider here
+than in the paper.
+"""
+
+from repro.experiments import table_vi
+
+LLM_ROWS = ("MultiCast (DI)", "MultiCast (VI)", "MultiCast (VC)", "LLMTIME")
+
+
+def test_table_vi(benchmark, emit):
+    table = benchmark.pedantic(table_vi, rounds=1, iterations=1)
+    emit("table_vi", table.format())
+    assert len(table.rows) == 6
+    for row in table.rows:
+        method = row[0]
+        for dim_name, error in zip(("Tlog", "H2OC", "VPmax", "Tpot"), row[1:]):
+            assert 0.2 < error < 20.0, (method, dim_name, error)
+    # Among the LLM-based methods the per-dimension winner varies, the
+    # paper's "optimal multiplexing method differs per dimension" takeaway.
+    llm_rows = [row for row in table.rows if row[0] in LLM_ROWS]
+    winners = {min(llm_rows, key=lambda r: r[column])[0] for column in range(1, 5)}
+    assert len(winners) >= 2, f"expected varied LLM winners, got only {winners}"
+    # No dimensionality collapse: best MultiCast stays within a bounded
+    # factor of the overall best in every dimension.
+    multicast_rows = [row for row in table.rows if row[0].startswith("MultiCast")]
+    for column in range(1, 5):
+        best_overall = min(row[column] for row in table.rows)
+        best_multicast = min(row[column] for row in multicast_rows)
+        assert best_multicast < 4.0 * best_overall, column

@@ -1,0 +1,38 @@
+"""Table VII — accuracy and execution time vs number of samples.
+
+Paper values (Gas Rate, GasRate dimension; time under each RMSE):
+
+    MultiCast (DI)  0.781/1036s   0.762/2050s   0.592/4159s
+    MultiCast (VI)  0.965/1041s   1.302/2068s   0.877/4131s
+    MultiCast (VC)  1.154/1168s   0.704/2468s   0.63/4981s
+    LLMTIME         0.703/1023s   0.606/1939s   0.842/3684s
+
+Shapes asserted: the time column doubles when the sample count doubles
+(token arithmetic), and VC is the slowest MultiCast variant.  Known
+deviation (EXPERIMENTS.md): exact token accounting puts DI/VI slightly
+*below* LLMTime instead of ~1 % above.
+"""
+
+import pytest
+
+from repro.experiments import table_vii
+
+
+def test_table_vii(benchmark, emit):
+    table = benchmark.pedantic(table_vii, rounds=1, iterations=1)
+    emit("table_vii", table.format())
+    for method in ("MultiCast (DI)", "MultiCast (VI)", "MultiCast (VC)", "LLMTIME"):
+        t5 = table.cell(f"{method} [sec]", "5")
+        t10 = table.cell(f"{method} [sec]", "10")
+        t20 = table.cell(f"{method} [sec]", "20")
+        assert t10 == pytest.approx(2 * t5, rel=0.05), method
+        assert t20 == pytest.approx(4 * t5, rel=0.05), method
+        # Magnitudes land in the paper's regime (~1000 s at 5 samples).
+        assert 500 < t5 < 2500, (method, t5)
+    assert table.cell("MultiCast (VC) [sec]", "5") > table.cell(
+        "MultiCast (DI) [sec]", "5"
+    )
+    # All RMSE cells stay in the paper's neighbourhood.
+    for method in ("MultiCast (DI)", "MultiCast (VI)", "MultiCast (VC)", "LLMTIME"):
+        for count in ("5", "10", "20"):
+            assert 0.2 < table.cell(method, count) < 3.0, (method, count)

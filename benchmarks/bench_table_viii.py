@@ -1,0 +1,32 @@
+"""Table VIII — increasing SAX segment length (Gas Rate, CO2 dimension).
+
+Paper values (RMSE / seconds):
+
+    MultiCast SAX (alphabetical)  1.089/148s  0.983/77s  0.888/54s
+    MultiCast SAX (digital)       0.992/156s  0.99/71s   0.912/52s
+    MultiCast (raw)               0.781/1168s
+
+Shapes asserted: SAX is several-to-tens of times faster than raw MultiCast
+(paper ratios 7.9x at w=3 to 22x at w=9), time falls as segments grow, and
+quantization costs accuracy (SAX RMSE >= raw RMSE within tolerance).
+"""
+
+from repro.experiments import table_viii
+
+
+def test_table_viii(benchmark, emit):
+    table = benchmark.pedantic(table_viii, rounds=1, iterations=1)
+    emit("table_viii", table.format())
+    raw_seconds = table.cell("MultiCast [sec]", "3")
+    raw_rmse = table.cell("MultiCast", "3")
+    for kind in ("alphabetical", "digital"):
+        seconds = [
+            table.cell(f"MultiCast SAX ({kind}) [sec]", w) for w in ("3", "6", "9")
+        ]
+        assert seconds[0] > seconds[1] > seconds[2], kind
+        assert seconds[0] * 5 < raw_seconds, kind      # >=5x at w=3 (paper 7.9x)
+        assert seconds[2] * 10 < raw_seconds, kind     # >=10x at w=9 (paper 22x)
+        for w in ("3", "6", "9"):
+            error = table.cell(f"MultiCast SAX ({kind})", w)
+            assert error > 0.8 * raw_rmse, (kind, w)   # quantization not free
+            assert error < 5.0 * raw_rmse, (kind, w)   # but still usable

@@ -1,0 +1,22 @@
+"""Beyond-paper bench: tokenizer adaptation (the paper's Section III-A note).
+
+Reproduces, in simulation, the LLMTime finding the paper cites: BPE-style
+partial digit merging (value-dependent splits) degrades numeric in-context
+learning relative to digit-level tokenization — the reason both LLMTime
+and MultiCast adapt the tokenizer per backend model.
+"""
+
+from repro.experiments import tokenizer_comparison_table
+
+
+def test_tokenizer_adaptation(benchmark, emit):
+    table = benchmark.pedantic(
+        tokenizer_comparison_table, rounds=1, iterations=1
+    )
+    emit("tokenizer_study", table.format())
+    for dim in ("GasRate", "CO2"):
+        digit = table.cell("digit", dim)
+        paired = table.cell("paired", dim)
+        assert paired > digit, (
+            f"BPE-style merging should degrade accuracy on {dim}"
+        )

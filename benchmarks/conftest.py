@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark suite.
+
+Every bench regenerates one of the paper's tables or figures with the
+paper's default parameters (Table II bold values), prints it, and writes it
+under ``results/`` so the paper-vs-measured comparison in EXPERIMENTS.md can
+be refreshed from a single run:
+
+    pytest benchmarks/ --benchmark-only
+
+Expensive tables run exactly once inside ``benchmark.pedantic`` (the timing
+then reports the full-table wall time); cheap kernels use the default
+statistical benchmarking.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def emit(results_dir):
+    """Print a rendered table/figure and persist it under results/."""
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Beyond forecasting: zero-shot imputation, anomaly and change-point detection.
+
+The paper's conclusion names these as the next zero-shot applications of the
+same serialisation + in-context machinery; this repo implements all three
+(see ``repro.tasks``).  The demo corrupts a clean periodic signal and shows
+each task recovering structure with no training whatsoever.
+
+Run:  python examples/anomaly_and_imputation.py
+"""
+
+import numpy as np
+
+from repro.core import MultiCastConfig
+from repro.evaluation import ascii_plot
+from repro.tasks import detect_anomalies, detect_changepoints, impute
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    t = np.arange(220)
+    clean = np.sin(2 * np.pi * t / 20.0)
+    config = MultiCastConfig(num_samples=5, seed=0)
+
+    # --- imputation ---------------------------------------------------------
+    mask = np.zeros(220, bool)
+    mask[100:112] = True
+    corrupted = clean.copy()
+    corrupted[mask] = 0.0
+    filled = impute(corrupted, mask, config)
+    gap_error = float(np.sqrt(np.mean((filled[mask] - clean[mask]) ** 2)))
+    print(f"imputation: 12-step gap filled with RMSE {gap_error:.3f} "
+          f"(signal std {clean.std():.3f})")
+    print(ascii_plot(
+        {"actual": clean[90:125], "imputed": filled[90:125]},
+        title="Zero-shot imputation around the gap (t=100..111)", height=10,
+    ))
+
+    # --- anomaly detection --------------------------------------------------
+    spiked = clean + 0.03 * rng.normal(size=220)
+    spiked[160] += 3.0
+    hits = detect_anomalies(spiked, config, threshold_quantile=0.99)
+    print(f"\nanomaly detection: injected spike at t=160, flagged: {hits.tolist()}")
+
+    # --- change-point detection ----------------------------------------------
+    regime_a = np.sin(2 * np.pi * np.arange(110) / 20.0)
+    regime_b = 2.0 + np.sin(2 * np.pi * np.arange(90) / 7.0)
+    series = np.concatenate([regime_a, regime_b]) + 0.05 * rng.normal(size=200)
+    changepoints = detect_changepoints(series, window=20, config=config)
+    print(f"change-point detection: true break at t=110, "
+          f"detected: {changepoints.tolist()}")
+
+
+if __name__ == "__main__":
+    main()

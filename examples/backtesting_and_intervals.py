@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Production workflow: plan the cost, backtest, forecast with bands.
+
+Everything an adopting user does before trusting a forecaster in
+production, on the Gas Rate dataset:
+
+1. **Plan** — predict the exact token/time/dollar footprint of the
+   configuration before spending anything (`plan_forecast`);
+2. **Backtest** — rolling-origin evaluation over several windows instead
+   of a single lucky split (`rolling_origin_evaluation`);
+3. **Intervals** — conformally calibrated prediction bands with a
+   distribution-free coverage target (`ConformalForecaster`), compared
+   against the raw sample-ensemble band.
+
+Run:  python examples/backtesting_and_intervals.py
+"""
+
+import numpy as np
+
+from repro.core import MultiCastConfig, MultiCastForecaster, plan_forecast
+from repro.data import Dataset, gas_rate
+from repro.evaluation import (
+    ConformalForecaster,
+    format_table,
+    rolling_origin_evaluation,
+)
+from repro.metrics import interval_coverage
+
+
+def main() -> None:
+    dataset = gas_rate()
+    horizon = 20
+    config = MultiCastConfig(scheme="di", num_samples=5, seed=0)
+
+    # 1 -- plan the cost before running anything
+    plan = plan_forecast(config, dataset.num_timestamps, dataset.num_dims, horizon)
+    print("cost plan for one forecast call:")
+    print(f"  prompt tokens            {plan.prompt_tokens}")
+    print(f"  generated tokens total   {plan.generated_tokens}")
+    print(f"  simulated inference time {plan.simulated_seconds:.0f}s "
+          "(CPU-scale per the paper)")
+    print(f"  hosted-API cost          ${plan.usd:.4f}\n")
+
+    # 2 -- rolling-origin backtest across 3 windows
+    rows = []
+    for method in ("multicast-di", "theta", "naive"):
+        options = {"num_samples": 5} if method.startswith("multicast") else {}
+        backtest = rolling_origin_evaluation(
+            method, dataset, horizon=horizon, num_windows=3, **options
+        )
+        mean = backtest.mean_rmse()
+        std = backtest.std_rmse()
+        rows.append([
+            method,
+            *(f"{mean[n]:.3f} ± {std[n]:.3f}" for n in dataset.dim_names),
+        ])
+        print(f"  backtested {method} over origins {backtest.origins}")
+    print()
+    print(format_table(
+        ["method", *dataset.dim_names],
+        rows,
+        title=f"Rolling-origin RMSE (3 windows of {horizon})",
+    ))
+
+    # 3 -- calibrated intervals on a true holdout
+    train = Dataset("train", dataset.values[:-horizon], dataset.dim_names)
+    actual = np.asarray(dataset.values[-horizon:])
+
+    conformal = ConformalForecaster(
+        "multicast-di", level=0.8, calibration_windows=3, num_samples=5
+    ).forecast(train, horizon)
+    ensemble = MultiCastForecaster(config).forecast(
+        np.asarray(train.values), horizon
+    )
+    raw_lower, raw_upper = ensemble.interval(0.8)
+
+    print("\n80% interval coverage on the held-out tail:")
+    print(f"  conformal band: {interval_coverage(actual, conformal.lower, conformal.upper):.2f} "
+          f"(mean width {conformal.width().mean():.2f})")
+    print(f"  raw ensemble band: {interval_coverage(actual, raw_lower, raw_upper):.2f} "
+          f"(mean width {(raw_upper - raw_lower).mean():.2f})")
+    print("\nThe ensemble band reflects the model's own (often over-confident)"
+          "\nspread; the conformal band is calibrated on actual residuals.")
+
+
+if __name__ == "__main__":
+    main()

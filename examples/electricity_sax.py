@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""SAX quantization on the electricity dataset: the cost/accuracy dial.
+
+The paper's Section III-B argument in one script: raw digit serialisation
+spends ``d * b + 1`` tokens per timestamp, while SAX spends one symbol per
+segment per dimension — an order of magnitude fewer tokens, hence an order
+of magnitude less (simulated) inference time and hosted-API cost, for a
+moderate accuracy loss.  This sweep prints the whole trade-off curve.
+
+Run:  python examples/electricity_sax.py
+"""
+
+from repro.core import MultiCastConfig, MultiCastForecaster, SaxConfig
+from repro.data import electricity
+from repro.evaluation import format_table
+from repro.llm import TokenCostModel
+from repro.metrics import rmse
+
+
+def main() -> None:
+    dataset = electricity()
+    history, future = dataset.train_test_split(test_fraction=0.2)
+    horizon = len(future)
+    pricing = TokenCostModel(usd_per_1k_tokens=0.002)
+
+    configurations: list[tuple[str, SaxConfig | None]] = [("raw digits", None)]
+    configurations += [
+        (f"SAX w={w} a=5", SaxConfig(segment_length=w, alphabet_size=5))
+        for w in (3, 6, 9)
+    ]
+
+    rows = []
+    for label, sax in configurations:
+        config = MultiCastConfig(scheme="di", num_samples=5, sax=sax, seed=0)
+        output = MultiCastForecaster(config).forecast(history, horizon)
+        mean_rmse = sum(
+            rmse(future[:, k], output.values[:, k]) for k in range(dataset.num_dims)
+        ) / dataset.num_dims
+        rows.append([
+            label,
+            output.total_tokens,
+            f"{output.simulated_seconds:.0f}s",
+            f"${1000 * pricing.dollars(output.prompt_tokens, output.generated_tokens):.2f}",
+            mean_rmse,
+        ])
+        print(f"  ran {label}")
+    print()
+    print(format_table(
+        ["configuration", "tokens", "sim time", "cost/1k runs", "mean RMSE"],
+        rows,
+        title=f"Electricity ({dataset.num_dims} dims, horizon {horizon}): "
+              "SAX compression trade-off",
+    ))
+    print("\nTakeaway (paper Tables VIII-IX): longer SAX segments cut tokens,"
+          "\ntime, and cost near-linearly.  Accuracy moves non-monotonically:"
+          "\nmild compression can even help (quantization denoises the stream),"
+          "\nwhile aggressive segments blur the signal and the error climbs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Backend model comparison: which (simulated) LLM should power MultiCast?
+
+Reproduces the paper's Section IV-B decision in miniature: run the same
+MultiCast pipeline over every registered backend preset and compare accuracy
+and simulated inference time, then draw the two main contenders against the
+actual series (the paper's Figure 2).
+
+Run:  python examples/model_comparison.py
+"""
+
+from repro.core import MultiCastConfig, MultiCastForecaster
+from repro.data import gas_rate
+from repro.evaluation import ascii_plot, format_table
+from repro.llm import available_models
+from repro.metrics import rmse
+
+
+def main() -> None:
+    dataset = gas_rate()
+    history, future = dataset.train_test_split(test_fraction=0.2)
+    horizon = len(future)
+
+    rows = []
+    overlays = {"actual": future[:, 0]}
+    for model_name in available_models():
+        config = MultiCastConfig(
+            scheme="vi", num_samples=5, model=model_name, seed=0
+        )
+        output = MultiCastForecaster(config).forecast(history, horizon)
+        rows.append([
+            model_name,
+            rmse(future[:, 0], output.values[:, 0]),
+            rmse(future[:, 1], output.values[:, 1]),
+            f"{output.simulated_seconds:.0f}s",
+        ])
+        if model_name in ("llama2-7b-sim", "phi2-2.7b-sim"):
+            overlays[model_name] = output.values[:, 0]
+        print(f"  ran {model_name}")
+    print()
+    print(format_table(
+        ["backend", "GasRate RMSE", "CO2 RMSE", "sim time"],
+        rows,
+        title="Gas Rate, MultiCast (VI): backend model comparison (Table III)",
+    ))
+    print()
+    print(ascii_plot(overlays, title="Figure 2: the two contenders vs actual"))
+    print("\nThe phi2 stand-in tracks the trend but sits offset above the"
+          "\nseries - the failure mode the paper reports for Phi-2 (Fig. 2b).")
+
+
+if __name__ == "__main__":
+    main()

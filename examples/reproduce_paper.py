@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""One-command reproduction: every table and figure of the paper.
+
+Runs Tables I, III-IX and Figures 2-8 with the paper's default parameters,
+prints each in the paper's layout, writes everything under ``results/``,
+and finishes with the side-by-side paper-vs-measured report for Table IV.
+
+This is the script form of ``pytest benchmarks/ --benchmark-only`` without
+the benchmarking machinery — useful for a quick end-to-end look.
+
+Run:  python examples/reproduce_paper.py          (~2 minutes)
+      python examples/reproduce_paper.py --fast   (2 samples, ~40 seconds)
+"""
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro import experiments
+from repro.experiments import PAPER_TABLE_IV, comparison_report
+
+RESULTS = Path(__file__).resolve().parent.parent / "results"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true",
+                        help="2 samples per forecast instead of the paper's 5")
+    args = parser.parse_args(argv)
+    num_samples = 2 if args.fast else 5
+    RESULTS.mkdir(exist_ok=True)
+
+    tables = [
+        ("table_i", lambda: experiments.table_i()),
+        ("table_iii", lambda: experiments.table_iii(num_samples=num_samples)),
+        ("table_iv", lambda: experiments.table_iv(num_samples=num_samples)),
+        ("table_v", lambda: experiments.table_v(num_samples=num_samples)),
+        ("table_vi", lambda: experiments.table_vi(num_samples=num_samples)),
+        ("table_vii", lambda: experiments.table_vii()),
+        ("table_viii", lambda: experiments.table_viii(num_samples=num_samples)),
+        ("table_ix", lambda: experiments.table_ix(num_samples=num_samples)),
+    ]
+    figures = [
+        ("figure_2", experiments.figure_2),
+        ("figure_3", experiments.figure_3),
+        ("figure_4", experiments.figure_4),
+        ("figure_5", experiments.figure_5),
+        ("figure_6", experiments.figure_6),
+        ("figure_7", experiments.figure_7),
+        ("figure_8", experiments.figure_8),
+    ]
+
+    measured_table_iv = None
+    for name, build in tables:
+        started = time.perf_counter()
+        table = build()
+        if name == "table_iv":
+            measured_table_iv = table
+        text = table.format()
+        print(f"\n{text}\n  [{time.perf_counter() - started:.1f}s]")
+        (RESULTS / f"{name}.txt").write_text(text + "\n")
+        table.save_json(RESULTS / f"{name}.json")
+
+    for name, build in figures:
+        started = time.perf_counter()
+        figure = build(num_samples=num_samples)
+        chart = figure.render()
+        print(f"\n{chart}\n  [{time.perf_counter() - started:.1f}s]")
+        (RESULTS / f"{name}.txt").write_text(chart + "\n")
+        figure.save_csv(RESULTS / f"{name}.csv")
+
+    if measured_table_iv is not None:
+        report = comparison_report(
+            measured_table_iv, PAPER_TABLE_IV, ["GasRate", "CO2"]
+        )
+        print(f"\n{report}")
+        (RESULTS / "paper_vs_measured_table_iv.txt").write_text(report + "\n")
+
+    print(f"\nall artefacts written under {RESULTS}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

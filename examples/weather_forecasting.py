@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Multivariate weather forecasting: all multiplexing schemes vs baselines.
+
+The weather dataset's four dimensions (air temperature, water-vapour
+concentration, saturation vapour pressure, potential temperature) are
+physically coupled — the setting the paper argues multivariate multiplexing
+exists for.  This example runs every MultiCast scheme plus the classical
+baselines and prints a Table-VI-style comparison.
+
+Run:  python examples/weather_forecasting.py
+"""
+
+import numpy as np
+
+from repro.data import weather
+from repro.evaluation import evaluate_method, format_table
+
+
+def main() -> None:
+    dataset = weather()
+    print(f"{dataset.name}: {dataset.num_timestamps} timestamps x "
+          f"{dataset.num_dims} dims {dataset.dim_names}")
+    correlations = np.corrcoef(dataset.values.T)
+    print("inter-dimensional correlations with Tlog:",
+          {name: round(float(correlations[0, k]), 2)
+           for k, name in enumerate(dataset.dim_names)})
+    print()
+
+    methods = [
+        ("multicast-di", {"num_samples": 5}),
+        ("multicast-vi", {"num_samples": 5}),
+        ("multicast-vc", {"num_samples": 5}),
+        ("multicast-bi", {"num_samples": 5}),  # rotation extension
+        ("llmtime", {"num_samples": 5}),
+        ("arima", {}),
+        ("lstm", {}),
+        ("naive", {}),
+    ]
+    rows = []
+    for method, options in methods:
+        result = evaluate_method(method, dataset, seed=0, **options)
+        rows.append([
+            method,
+            *(result.rmse_per_dim[name] for name in dataset.dim_names),
+            f"{result.reported_seconds:.0f}s",
+        ])
+        print(f"  ran {method}")
+    print()
+    print(format_table(
+        ["method", *dataset.dim_names, "time"],
+        rows,
+        title="Weather: per-dimension forecast RMSE (last 20% held out)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

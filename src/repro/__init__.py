@@ -1,0 +1,39 @@
+"""repro: a full reproduction of MultiCast (ICDE 2024).
+
+Zero-shot multivariate time series forecasting with (simulated) LLMs:
+dimensional multiplexing (DI / VI / VC), SAX quantization, an in-context
+language-model substrate, and the paper's baselines (LLMTime, ARIMA, LSTM).
+
+Quickstart::
+
+    from repro import MultiCastConfig, MultiCastForecaster
+    from repro.data import gas_rate
+
+    history, future = gas_rate().train_test_split()
+    forecaster = MultiCastForecaster(MultiCastConfig(scheme="vi"))
+    output = forecaster.forecast(history, horizon=len(future))
+
+The headline API is re-exported here; the subpackages hold the full
+surface (see docs/API.md for the map).
+"""
+
+from repro.core import (
+    ForecastOutput,
+    MultiCastConfig,
+    MultiCastForecaster,
+    SaxConfig,
+    plan_forecast,
+)
+from repro.exceptions import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MultiCastConfig",
+    "MultiCastForecaster",
+    "SaxConfig",
+    "ForecastOutput",
+    "plan_forecast",
+    "ReproError",
+    "__version__",
+]

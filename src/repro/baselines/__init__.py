@@ -1,0 +1,50 @@
+"""The paper's competitor methods (Section IV-A3).
+
+* :class:`~repro.baselines.arima.ARIMA` — Box-Jenkins ARIMA implemented from
+  scratch (differencing, Hannan-Rissanen initialisation, conditional
+  sum-of-squares refinement) with AIC-based order selection;
+* :class:`~repro.baselines.lstm.LSTMForecaster` — a from-scratch numpy LSTM
+  (full BPTT) using the paper's grid-searched configuration: one hidden layer
+  of 128 units, dropout 0.2, 30 epochs, Adam, MSE loss;
+* :class:`~repro.baselines.llmtime.LLMTime` — the zero-shot univariate LLM
+  forecaster (Gruver et al., NeurIPS 2023) applied per dimension, sharing the
+  exact scaling/tokenization/generation machinery with MultiCast;
+* :mod:`~repro.baselines.naive` — naive, seasonal-naive, and drift reference
+  forecasters used by tests and sanity benches.
+"""
+
+from repro.baselines.arima import ARIMA, auto_arima, kpss_statistic
+from repro.baselines.exponential import (
+    HoltLinear,
+    HoltWinters,
+    SimpleExponentialSmoothing,
+    Theta,
+    estimate_period,
+)
+from repro.baselines.llmtime import LLMTime, LLMTimeConfig
+from repro.baselines.lstm import LSTMForecaster, LSTMNetwork
+from repro.baselines.gru import GRUForecaster, GRUNetwork
+from repro.baselines.var import VAR, auto_var
+from repro.baselines.naive import drift_forecast, naive_forecast, seasonal_naive_forecast
+
+__all__ = [
+    "ARIMA",
+    "auto_arima",
+    "kpss_statistic",
+    "LLMTime",
+    "LLMTimeConfig",
+    "LSTMForecaster",
+    "LSTMNetwork",
+    "GRUForecaster",
+    "GRUNetwork",
+    "SimpleExponentialSmoothing",
+    "HoltLinear",
+    "HoltWinters",
+    "Theta",
+    "estimate_period",
+    "VAR",
+    "auto_var",
+    "naive_forecast",
+    "seasonal_naive_forecast",
+    "drift_forecast",
+]

@@ -1,0 +1,59 @@
+"""Reference forecasters: naive, seasonal naive, and drift.
+
+These are not in the paper's competitor list but serve as sanity anchors for
+the test-suite and the ablation benches — any method that loses to the naive
+forecast on a strongly-patterned series has a bug.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+__all__ = ["naive_forecast", "seasonal_naive_forecast", "drift_forecast"]
+
+
+def _validated_history(history: np.ndarray) -> np.ndarray:
+    arr = np.asarray(history, dtype=float)
+    if arr.ndim == 1:
+        arr = arr[:, None]
+    if arr.ndim != 2 or arr.shape[0] < 1:
+        raise DataError(f"expected a non-empty (n, d) history, got {arr.shape}")
+    return arr
+
+
+def naive_forecast(history: np.ndarray, horizon: int) -> np.ndarray:
+    """Repeat the last observed value vector for ``horizon`` steps."""
+    arr = _validated_history(history)
+    if horizon < 1:
+        raise DataError(f"horizon must be >= 1, got {horizon}")
+    return np.tile(arr[-1], (horizon, 1))
+
+
+def seasonal_naive_forecast(
+    history: np.ndarray, horizon: int, period: int
+) -> np.ndarray:
+    """Repeat the last full season of each dimension."""
+    arr = _validated_history(history)
+    if horizon < 1:
+        raise DataError(f"horizon must be >= 1, got {horizon}")
+    if not 1 <= period <= arr.shape[0]:
+        raise DataError(
+            f"period must be in [1, {arr.shape[0]}], got {period}"
+        )
+    season = arr[-period:]
+    repeats = -(-horizon // period)
+    return np.tile(season, (repeats, 1))[:horizon]
+
+
+def drift_forecast(history: np.ndarray, horizon: int) -> np.ndarray:
+    """Extrapolate the straight line from the first to the last observation."""
+    arr = _validated_history(history)
+    if horizon < 1:
+        raise DataError(f"horizon must be >= 1, got {horizon}")
+    if arr.shape[0] < 2:
+        raise DataError("drift needs at least two observations")
+    slope = (arr[-1] - arr[0]) / (arr.shape[0] - 1)
+    steps = np.arange(1, horizon + 1)[:, None]
+    return arr[-1][None, :] + steps * slope[None, :]

@@ -1,0 +1,310 @@
+"""Command-line interface.
+
+Usage (installed as ``repro-multicast``, or ``python -m repro.cli``)::
+
+    repro-multicast forecast --dataset gas_rate --scheme di --samples 5
+    repro-multicast forecast --csv mydata.csv --horizon 24 --output fcst.csv
+    repro-multicast evaluate --dataset weather --methods multicast-di arima
+    repro-multicast table iv
+    repro-multicast figure 2
+    repro-multicast list
+
+Every subcommand prints plain text; ``forecast --output`` also writes the
+forecast as CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core import MultiCastConfig, MultiCastForecaster, SaxConfig
+from repro.data import (
+    Dataset,
+    electricity,
+    gas_rate,
+    load_csv,
+    save_csv,
+    weather,
+)
+from repro.evaluation import ascii_plot, evaluate_method, format_table
+from repro.evaluation.protocol import available_methods
+from repro.exceptions import ReproError
+from repro.llm import available_models
+
+__all__ = ["main", "build_parser"]
+
+_DATASETS = {"gas_rate": gas_rate, "electricity": electricity, "weather": weather}
+
+_TABLES = {}  # populated lazily to keep import time low
+
+
+def _table_functions():
+    from repro import experiments
+
+    return {
+        "i": experiments.table_i,
+        "iii": experiments.table_iii,
+        "iv": experiments.table_iv,
+        "v": experiments.table_v,
+        "vi": experiments.table_vi,
+        "vii": experiments.table_vii,
+        "viii": experiments.table_viii,
+        "ix": experiments.table_ix,
+    }
+
+
+def _figure_functions():
+    from repro import experiments
+
+    return {
+        "2": experiments.figure_2,
+        "3": experiments.figure_3,
+        "4": experiments.figure_4,
+        "5": experiments.figure_5,
+        "6": experiments.figure_6,
+        "7": experiments.figure_7,
+        "8": experiments.figure_8,
+    }
+
+
+def _load_dataset(args) -> Dataset:
+    if args.csv:
+        return load_csv(args.csv)
+    return _DATASETS[args.dataset or "gas_rate"]()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-multicast",
+        description="MultiCast: zero-shot multivariate forecasting (reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    forecast = sub.add_parser("forecast", help="forecast a dataset or CSV file")
+    source = forecast.add_mutually_exclusive_group()
+    # No argparse default here: a defaulted flag is never counted as "seen"
+    # by the exclusivity check, so --dataset gas_rate --csv x would slip by.
+    source.add_argument("--dataset", choices=sorted(_DATASETS), default=None)
+    source.add_argument("--csv", help="path to a headed CSV file")
+    forecast.add_argument("--scheme", choices=("di", "vi", "vc", "bi"), default="di")
+    forecast.add_argument("--samples", type=int, default=5)
+    forecast.add_argument("--digits", type=int, default=3)
+    forecast.add_argument("--model", default="llama2-7b-sim")
+    forecast.add_argument("--seed", type=int, default=0)
+    forecast.add_argument(
+        "--horizon", type=int, default=None,
+        help="steps past the end (default: hold out and score the last 20%%)",
+    )
+    forecast.add_argument("--sax-segment", type=int, default=None,
+                          help="enable SAX with this segment length")
+    forecast.add_argument("--sax-alphabet", type=int, default=5)
+    forecast.add_argument("--sax-kind", choices=("alphabetical", "digital"),
+                          default="alphabetical")
+    forecast.add_argument("--output", help="write the forecast to this CSV path")
+    forecast.add_argument("--plot", action="store_true",
+                          help="draw an ASCII overlay of dimension 0")
+
+    evaluate = sub.add_parser("evaluate", help="score methods on a dataset")
+    evaluate.add_argument("--dataset", choices=sorted(_DATASETS), default="gas_rate")
+    evaluate.add_argument("--methods", nargs="+",
+                          default=["multicast-di", "llmtime", "arima"])
+    evaluate.add_argument("--samples", type=int, default=5)
+    evaluate.add_argument("--seed", type=int, default=0)
+
+    table = sub.add_parser("table", help="regenerate a paper table")
+    table.add_argument("which", choices=sorted(_table_functions()) + ["all"])
+    table.add_argument("--samples", type=int, default=5)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("which", choices=sorted(_figure_functions()))
+    figure.add_argument("--samples", type=int, default=5)
+    figure.add_argument("--csv-out", help="also write the series to this path")
+
+    plan = sub.add_parser("plan", help="predict token/time/cost before running")
+    plan.add_argument("--dataset", choices=sorted(_DATASETS), default="gas_rate")
+    plan.add_argument("--scheme", choices=("di", "vi", "vc", "bi"), default="di")
+    plan.add_argument("--samples", type=int, default=5)
+    plan.add_argument("--model", default="llama2-7b-sim")
+    plan.add_argument("--horizon", type=int, default=None,
+                      help="default: 20%% of the dataset length")
+    plan.add_argument("--sax-segment", type=int, default=None)
+
+    backtest = sub.add_parser("backtest", help="rolling-origin evaluation")
+    backtest.add_argument("--dataset", choices=sorted(_DATASETS), default="gas_rate")
+    backtest.add_argument("--method", default="multicast-di")
+    backtest.add_argument("--horizon", type=int, default=20)
+    backtest.add_argument("--windows", type=int, default=3)
+    backtest.add_argument("--samples", type=int, default=5)
+    backtest.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("list", help="list datasets, methods, and backend models")
+    return parser
+
+
+def _command_forecast(args) -> int:
+    dataset = _load_dataset(args)
+    sax = None
+    if args.sax_segment is not None:
+        sax = SaxConfig(
+            segment_length=args.sax_segment,
+            alphabet_size=args.sax_alphabet,
+            alphabet_kind=args.sax_kind,
+        )
+    config = MultiCastConfig(
+        scheme=args.scheme,
+        num_digits=args.digits,
+        num_samples=args.samples,
+        model=args.model,
+        sax=sax,
+        seed=args.seed,
+    )
+    if args.horizon is None:
+        history, actual = dataset.train_test_split(0.2)
+        horizon = actual.shape[0]
+    else:
+        history, actual = np.asarray(dataset.values), None
+        horizon = args.horizon
+    output = MultiCastForecaster(config).forecast(history, horizon)
+
+    print(f"{dataset.name}: {dataset.num_dims} dims, history {len(history)}, "
+          f"horizon {horizon}, scheme {args.scheme}, model {args.model}")
+    print(f"tokens: prompt={output.prompt_tokens} generated={output.generated_tokens}"
+          f"  simulated={output.simulated_seconds:.0f}s wall={output.wall_seconds:.2f}s")
+    if actual is not None:
+        from repro.metrics import rmse
+
+        for k, name in enumerate(dataset.dim_names):
+            print(f"  RMSE[{name}] = {rmse(actual[:, k], output.values[:, k]):.4f}")
+    if args.plot:
+        series = {"forecast": output.values[:, 0]}
+        if actual is not None:
+            series = {"actual": actual[:, 0], **series}
+        print(ascii_plot(series, title=f"{dataset.dim_names[0]}"))
+    if args.output:
+        save_csv(
+            Dataset(f"{dataset.name}_forecast", output.values, dataset.dim_names),
+            args.output,
+        )
+        print(f"forecast written to {args.output}")
+    return 0
+
+
+def _command_evaluate(args) -> int:
+    dataset = _DATASETS[args.dataset]()
+    rows = []
+    for method in args.methods:
+        options = {}
+        if method.startswith("multicast") or method == "llmtime":
+            options["num_samples"] = args.samples
+        result = evaluate_method(method, dataset, seed=args.seed, **options)
+        rows.append([
+            method,
+            *(result.rmse_per_dim[name] for name in dataset.dim_names),
+            f"{result.reported_seconds:.0f}s",
+        ])
+    print(format_table(
+        ["method", *dataset.dim_names, "time"],
+        rows,
+        title=f"{dataset.name}: per-dimension RMSE (last 20% held out)",
+    ))
+    return 0
+
+
+def _command_table(args) -> int:
+    functions = _table_functions()
+    names = sorted(functions) if args.which == "all" else [args.which]
+    for name in names:
+        function = functions[name]
+        if name == "i":
+            print(function().format())
+        else:
+            print(function(num_samples=args.samples).format())
+        print()
+    return 0
+
+
+def _command_figure(args) -> int:
+    figure = _figure_functions()[args.which](num_samples=args.samples)
+    print(figure.render())
+    if args.csv_out:
+        figure.save_csv(args.csv_out)
+        print(f"series written to {args.csv_out}")
+    return 0
+
+
+def _command_list(args) -> int:
+    del args
+    print("datasets:       " + "  ".join(sorted(_DATASETS)))
+    print("methods:        " + "  ".join(available_methods()))
+    print("backend models: " + "  ".join(available_models()))
+    return 0
+
+
+def _command_plan(args) -> int:
+    from repro.core import plan_forecast
+
+    dataset = _DATASETS[args.dataset]()
+    horizon = args.horizon or max(1, dataset.num_timestamps // 5)
+    sax = None
+    if args.sax_segment is not None:
+        sax = SaxConfig(segment_length=args.sax_segment)
+    config = MultiCastConfig(
+        scheme=args.scheme, num_samples=args.samples, model=args.model, sax=sax
+    )
+    plan = plan_forecast(config, dataset.num_timestamps, dataset.num_dims, horizon)
+    print(f"{dataset.name}: scheme={args.scheme} samples={args.samples} "
+          f"horizon={horizon} sax={'on' if sax else 'off'}")
+    print(f"  prompt tokens          {plan.prompt_tokens}")
+    print(f"  generated tokens       {plan.generated_tokens}")
+    print(f"  billing total          {plan.total_tokens} tokens")
+    print(f"  simulated inference    {plan.simulated_seconds:.0f}s")
+    print(f"  estimated cost         ${plan.usd:.4f}")
+    return 0
+
+
+def _command_backtest(args) -> int:
+    from repro.evaluation import rolling_origin_evaluation
+
+    dataset = _DATASETS[args.dataset]()
+    options = {}
+    if args.method.startswith("multicast") or args.method == "llmtime":
+        options["num_samples"] = args.samples
+    result = rolling_origin_evaluation(
+        args.method, dataset, horizon=args.horizon,
+        num_windows=args.windows, seed=args.seed, **options,
+    )
+    mean, std = result.mean_rmse(), result.std_rmse()
+    print(f"{args.method} on {dataset.name}: {result.num_windows} windows "
+          f"of {args.horizon} (origins {result.origins})")
+    for name in dataset.dim_names:
+        print(f"  RMSE[{name}] = {mean[name]:.4f} ± {std[name]:.4f}")
+    return 0
+
+
+_COMMANDS = {
+    "forecast": _command_forecast,
+    "evaluate": _command_evaluate,
+    "table": _command_table,
+    "figure": _command_figure,
+    "plan": _command_plan,
+    "backtest": _command_backtest,
+    "list": _command_list,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

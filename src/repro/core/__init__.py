@@ -1,0 +1,36 @@
+"""MultiCast core: multiplexers, configuration, and the forecaster."""
+
+from repro.core.aggregation import AGGREGATION_METHODS, aggregate_samples
+from repro.core.config import MultiCastConfig, SaxConfig
+from repro.core.forecaster import MultiCastForecaster
+from repro.core.multiplex import (
+    MULTIPLEX_SCHEMES,
+    BlockInterleaver,
+    DigitInterleaver,
+    Multiplexer,
+    SaxSymbolCodec,
+    ValueConcatenator,
+    ValueInterleaver,
+    get_multiplexer,
+)
+from repro.core.output import ForecastOutput
+from repro.core.planning import ForecastPlan, plan_forecast
+
+__all__ = [
+    "MultiCastConfig",
+    "SaxConfig",
+    "MultiCastForecaster",
+    "ForecastOutput",
+    "ForecastPlan",
+    "plan_forecast",
+    "Multiplexer",
+    "DigitInterleaver",
+    "ValueInterleaver",
+    "ValueConcatenator",
+    "BlockInterleaver",
+    "SaxSymbolCodec",
+    "get_multiplexer",
+    "MULTIPLEX_SCHEMES",
+    "aggregate_samples",
+    "AGGREGATION_METHODS",
+]

@@ -1,0 +1,45 @@
+"""Combining multiple sampled forecasts into one point forecast.
+
+The paper (after LLMTime) draws a predefined number of samples per forecast
+"and the final forecast is built using the median of all samples after
+descaling the outputted values".  Median is therefore the default; mean and
+trimmed mean are ablation alternatives (see ``benchmarks/bench_ablations.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigError, DataError
+
+__all__ = ["aggregate_samples", "AGGREGATION_METHODS"]
+
+AGGREGATION_METHODS = ("median", "mean", "trimmed_mean")
+
+
+def aggregate_samples(samples: np.ndarray, method: str = "median") -> np.ndarray:
+    """Reduce ``(num_samples, horizon, d)`` samples to a ``(horizon, d)`` forecast.
+
+    ``trimmed_mean`` discards the top and bottom 25 % of samples per cell
+    before averaging (an outlier-robust middle ground between mean and
+    median); with fewer than four samples it falls back to the median.
+    """
+    arr = np.asarray(samples, dtype=float)
+    if arr.ndim != 3:
+        raise DataError(f"expected (num_samples, horizon, d), got {arr.shape}")
+    if arr.shape[0] < 1:
+        raise DataError("need at least one sample to aggregate")
+    if method == "median":
+        return np.median(arr, axis=0)
+    if method == "mean":
+        return np.mean(arr, axis=0)
+    if method == "trimmed_mean":
+        num_samples = arr.shape[0]
+        trim = num_samples // 4
+        if trim == 0:
+            return np.median(arr, axis=0)
+        ordered = np.sort(arr, axis=0)
+        return np.mean(ordered[trim : num_samples - trim], axis=0)
+    raise ConfigError(
+        f"unknown aggregation {method!r}; choose from {AGGREGATION_METHODS}"
+    )

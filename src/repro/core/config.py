@@ -1,0 +1,135 @@
+"""Configuration objects for the MultiCast pipeline.
+
+Defaults follow the paper's Table II (bold values): 5 samples, SAX segment
+length 6 and alphabet size 5 when quantization is enabled, and the
+LLaMA2-backed model preset selected in Section IV-B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.aggregation import AGGREGATION_METHODS
+from repro.core.multiplex import MULTIPLEX_SCHEMES
+from repro.exceptions import ConfigError
+from repro.sax.encoder import SaxAlphabet
+
+__all__ = ["MultiCastConfig", "SaxConfig"]
+
+
+@dataclass(frozen=True)
+class SaxConfig:
+    """SAX quantization settings (paper Section III-B / Tables VIII-IX).
+
+    ``segment_length`` is the x-axis quantization level (PAA window);
+    ``alphabet_size`` the y-axis level; ``alphabet_kind`` selects
+    alphabetical or digital symbols (digital caps at 10 — Table IX's N/A).
+    """
+
+    segment_length: int = 6
+    alphabet_size: int = 5
+    alphabet_kind: str = "alphabetical"
+    reconstruction: str = "midpoint"
+
+    def __post_init__(self) -> None:
+        if self.segment_length < 1:
+            raise ConfigError(
+                f"segment_length must be >= 1, got {self.segment_length}"
+            )
+        # Delegate alphabet validation (size bounds per kind) to the factory.
+        SaxAlphabet.of_kind(self.alphabet_kind, self.alphabet_size)
+        if self.reconstruction not in ("midpoint", "expected"):
+            raise ConfigError(
+                f"reconstruction must be 'midpoint' or 'expected', "
+                f"got {self.reconstruction!r}"
+            )
+
+    def alphabet(self) -> SaxAlphabet:
+        """The configured symbol set."""
+        return SaxAlphabet.of_kind(self.alphabet_kind, self.alphabet_size)
+
+
+@dataclass(frozen=True)
+class MultiCastConfig:
+    """End-to-end MultiCast settings.
+
+    Attributes
+    ----------
+    scheme:
+        Multiplexing technique: ``"di"``, ``"vi"``, ``"vc"`` (paper) or
+        ``"bi"`` (extension).
+    num_digits:
+        Digit budget per value after rescaling (ignored on the SAX path,
+        where every value is a single symbol token).
+    num_samples:
+        Continuations drawn per forecast; the point forecast aggregates them.
+    model:
+        Backend preset name from :func:`repro.llm.available_models`.
+    aggregation:
+        ``"median"`` (paper), ``"mean"``, or ``"trimmed_mean"``.
+    sax:
+        Optional :class:`SaxConfig`; ``None`` runs the raw digit pipeline.
+    structured_constraint:
+        When True (default) generation follows the scheme's exact grammar;
+        when False only the vocabulary-level ``[0-9,]`` mask applies and the
+        lenient parser repairs the stream (the constrained-generation
+        ablation).
+    deseasonalize:
+        Extension beyond the paper: strip each dimension's additive
+        seasonal component (classical decomposition) before serialisation
+        and add its periodic extrapolation back onto the forecast.  Pass a
+        period (int >= 2), ``"auto"`` to detect it per dimension from the
+        autocorrelation peak, or ``None`` (default, the paper's pipeline).
+    temperature:
+        Optional override of the backend preset's sampling temperature
+        (e.g. 0 for greedy decoding).  ``None`` uses the preset's own value.
+    max_context_tokens:
+        Prompt budget; histories that serialise longer are truncated to the
+        most recent timestamps that fit.
+    seed:
+        Base RNG seed for reproducible sampling.
+    """
+
+    scheme: str = "vi"
+    num_digits: int = 3
+    num_samples: int = 5
+    model: str = "llama2-7b-sim"
+    aggregation: str = "median"
+    sax: SaxConfig | None = None
+    structured_constraint: bool = True
+    deseasonalize: int | str | None = None
+    temperature: float | None = None
+    max_context_tokens: int = 4096
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.temperature is not None and self.temperature < 0.0:
+            raise ConfigError(
+                f"temperature must be >= 0, got {self.temperature}"
+            )
+        if self.deseasonalize is not None:
+            if isinstance(self.deseasonalize, str):
+                if self.deseasonalize != "auto":
+                    raise ConfigError(
+                        "deseasonalize must be an int >= 2, 'auto', or None; "
+                        f"got {self.deseasonalize!r}"
+                    )
+            elif not isinstance(self.deseasonalize, int) or self.deseasonalize < 2:
+                raise ConfigError(
+                    f"deseasonalize period must be >= 2, got {self.deseasonalize}"
+                )
+        if self.scheme.lower() not in MULTIPLEX_SCHEMES:
+            raise ConfigError(
+                f"scheme must be one of {MULTIPLEX_SCHEMES}, got {self.scheme!r}"
+            )
+        if self.num_digits < 1:
+            raise ConfigError(f"num_digits must be >= 1, got {self.num_digits}")
+        if self.num_samples < 1:
+            raise ConfigError(f"num_samples must be >= 1, got {self.num_samples}")
+        if self.aggregation not in AGGREGATION_METHODS:
+            raise ConfigError(
+                f"aggregation must be one of {AGGREGATION_METHODS}, "
+                f"got {self.aggregation!r}"
+            )
+        if self.max_context_tokens < 8:
+            raise ConfigError("max_context_tokens must be >= 8")

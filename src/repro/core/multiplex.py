@@ -1,0 +1,282 @@
+"""Dimensional multiplexing: the paper's central contribution (Section III-A).
+
+A multiplexer flattens a ``(n, d)`` integer-coded multivariate series into a
+single token stream an LLM can consume, and demultiplexes the model's output
+stream back into ``d`` dimensions.  Three schemes from the paper, plus one
+extension:
+
+* **DI — digit interleaving** (Eq. 1): per timestamp, the digits of all
+  dimensions are interleaved *digit-position first*: with ``d1=[17, 26]``
+  and ``d2=[23, 31]`` the stream is ``1273,2361``.  All most-significant
+  digits come first, which helps the model pin the scale early.
+* **VI — value interleaving** (Eq. 2): per timestamp, whole values follow
+  each other inside one composite group: ``1723,2631``.
+* **VC — value concatenation** (Eq. 3): every value is its own
+  comma-separated group: ``17,23,26,31`` — the easiest stream to
+  internally demultiplex, at the cost of more separator tokens.
+* **BI — block interleaving** (extension, not in the paper): like VI but the
+  dimension order rotates by one position each timestamp, an ablation probe
+  for how sensitive the model is to a fixed dimension order.
+
+Every multiplexer is an exact inverse pair: ``demux(mux(x)) == x`` for
+well-formed streams (a hypothesis property in the test-suite), and demux is
+lenient to truncated/malformed model output (partial trailing groups are
+completed conservatively, incomplete trailing timestamps dropped).
+
+Multiplexers are codec-generic: a cell codec renders one value as a fixed
+number of tokens (``DigitCodec`` for raw digits; ``SaxSymbolCodec`` with
+width 1 after quantization), so the same three schemes drive both the raw
+and the SAX pipelines.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.encoding.tokenizer import SEPARATOR
+from repro.exceptions import ConfigError, EncodingError
+from repro.sax.encoder import SaxAlphabet
+
+__all__ = [
+    "Multiplexer",
+    "DigitInterleaver",
+    "ValueInterleaver",
+    "ValueConcatenator",
+    "BlockInterleaver",
+    "SaxSymbolCodec",
+    "get_multiplexer",
+    "MULTIPLEX_SCHEMES",
+]
+
+
+class SaxSymbolCodec:
+    """A width-1 cell codec over a SAX alphabet (mirrors DigitCodec's API)."""
+
+    def __init__(self, alphabet: SaxAlphabet) -> None:
+        self.alphabet = alphabet
+        self.num_digits = 1
+
+    @property
+    def max_value(self) -> int:
+        return len(self.alphabet) - 1
+
+    @property
+    def pad_token(self) -> str:
+        """Middle symbol — the conservative completion for a cut-off cell."""
+        return self.alphabet.symbols[len(self.alphabet) // 2]
+
+    def digits_of(self, value: int) -> list[str]:
+        """Render a symbol index as its single surface token."""
+        value = int(value)
+        if not 0 <= value <= self.max_value:
+            raise EncodingError(f"symbol index {value} outside the alphabet")
+        return [self.alphabet.symbols[value]]
+
+    def value_of_partial(self, tokens: Sequence[str]) -> int:
+        """Parse one symbol token back to its alphabet index."""
+        if len(tokens) != 1:
+            raise EncodingError(f"expected one symbol token, got {list(tokens)!r}")
+        return self.alphabet.index_of(tokens[0])
+
+
+class Multiplexer(ABC):
+    """Reduce a ``(n, d)`` code matrix to one token stream, and back."""
+
+    name: str = ""
+
+    @abstractmethod
+    def mux(self, codes: np.ndarray, codec) -> list[str]:
+        """Serialise the code matrix as a flat token stream (no trailing
+        separator — the caller appends one before generation starts)."""
+
+    @abstractmethod
+    def demux(
+        self, tokens: Sequence[str], num_dims: int, codec, row_offset: int = 0
+    ) -> np.ndarray:
+        """Parse a token stream back into an ``(m, num_dims)`` code matrix,
+        dropping any incomplete trailing timestamp.
+
+        ``row_offset`` is the absolute timestamp index of the stream's first
+        row — needed by layouts that vary per timestamp (block interleaving
+        continues the history's rotation when parsing generated output)."""
+
+    @abstractmethod
+    def tokens_per_timestamp(self, num_dims: int, width: int) -> int:
+        """Stream tokens consumed by one timestamp (digits + separators)."""
+
+    @abstractmethod
+    def constraint_pattern(
+        self, num_dims: int, width: int, value_ids: frozenset[int], separator_id: int
+    ) -> list[frozenset[int]]:
+        """One period of the structured-generation grammar for this scheme."""
+
+    @staticmethod
+    def _validate(codes: np.ndarray) -> np.ndarray:
+        arr = np.asarray(codes)
+        if arr.ndim != 2 or arr.shape[0] < 1 or arr.shape[1] < 1:
+            raise EncodingError(f"expected a non-empty (n, d) matrix, got {arr.shape}")
+        if not np.issubdtype(arr.dtype, np.integer):
+            raise EncodingError("multiplexers operate on integer code matrices")
+        return arr
+
+    @staticmethod
+    def _groups(tokens: Sequence[str]) -> list[list[str]]:
+        """Split a stream on separators into non-empty token groups."""
+        groups: list[list[str]] = []
+        current: list[str] = []
+        for token in tokens:
+            if token == SEPARATOR:
+                if current:
+                    groups.append(current)
+                    current = []
+            else:
+                current.append(token)
+        if current:
+            groups.append(current)
+        return groups
+
+    @staticmethod
+    def _pad_group(group: list[str], length: int, pad_token: str) -> list[str]:
+        """Right-pad a truncated group (missing least-significant tokens)."""
+        if len(group) >= length:
+            return group[:length]
+        return group + [pad_token] * (length - len(group))
+
+
+class _GroupedMultiplexer(Multiplexer):
+    """Shared machinery for DI/VI/BI: one composite group per timestamp."""
+
+    def _cell_order(self, num_dims: int, width: int, row: int) -> list[tuple[int, int]]:
+        """Within-group token layout: list of (dim, digit_position) pairs."""
+        raise NotImplementedError
+
+    def mux(self, codes: np.ndarray, codec) -> list[str]:
+        arr = self._validate(codes)
+        n, d = arr.shape
+        width = codec.num_digits
+        stream: list[str] = []
+        for t in range(n):
+            if t:
+                stream.append(SEPARATOR)
+            cells = [codec.digits_of(arr[t, k]) for k in range(d)]
+            for dim, pos in self._cell_order(d, width, t):
+                stream.append(cells[dim][pos])
+        return stream
+
+    def demux(
+        self, tokens: Sequence[str], num_dims: int, codec, row_offset: int = 0
+    ) -> np.ndarray:
+        width = codec.num_digits
+        group_length = num_dims * width
+        rows: list[list[int]] = []
+        for row_index, group in enumerate(self._groups(tokens)):
+            group = self._pad_group(group, group_length, codec.pad_token)
+            cells = [["" for _ in range(width)] for _ in range(num_dims)]
+            for token, (dim, pos) in zip(
+                group, self._cell_order(num_dims, width, row_offset + row_index)
+            ):
+                cells[dim][pos] = token
+            rows.append([codec.value_of_partial(cell) for cell in cells])
+        if not rows:
+            return np.empty((0, num_dims), dtype=np.int64)
+        return np.asarray(rows, dtype=np.int64)
+
+    def tokens_per_timestamp(self, num_dims: int, width: int) -> int:
+        return num_dims * width + 1
+
+    def constraint_pattern(
+        self, num_dims: int, width: int, value_ids: frozenset[int], separator_id: int
+    ) -> list[frozenset[int]]:
+        return [value_ids] * (num_dims * width) + [frozenset([separator_id])]
+
+
+class DigitInterleaver(_GroupedMultiplexer):
+    """DI: digit-position-major interleaving (paper Eq. 1)."""
+
+    name = "di"
+
+    def _cell_order(self, num_dims: int, width: int, row: int) -> list[tuple[int, int]]:
+        return [(k, j) for j in range(width) for k in range(num_dims)]
+
+
+class ValueInterleaver(_GroupedMultiplexer):
+    """VI: dimension-major concatenation inside one group (paper Eq. 2)."""
+
+    name = "vi"
+
+    def _cell_order(self, num_dims: int, width: int, row: int) -> list[tuple[int, int]]:
+        return [(k, j) for k in range(num_dims) for j in range(width)]
+
+
+class BlockInterleaver(_GroupedMultiplexer):
+    """BI (extension): VI with the dimension order rotated each timestamp."""
+
+    name = "bi"
+
+    def _cell_order(self, num_dims: int, width: int, row: int) -> list[tuple[int, int]]:
+        rotation = row % num_dims
+        dims = [(k + rotation) % num_dims for k in range(num_dims)]
+        return [(k, j) for k in dims for j in range(width)]
+
+
+class ValueConcatenator(Multiplexer):
+    """VC: every dimension's value is its own comma-separated group (Eq. 3)."""
+
+    name = "vc"
+
+    def mux(self, codes: np.ndarray, codec) -> list[str]:
+        arr = self._validate(codes)
+        n, d = arr.shape
+        stream: list[str] = []
+        for t in range(n):
+            for k in range(d):
+                if t or k:
+                    stream.append(SEPARATOR)
+                stream.extend(codec.digits_of(arr[t, k]))
+        return stream
+
+    def demux(
+        self, tokens: Sequence[str], num_dims: int, codec, row_offset: int = 0
+    ) -> np.ndarray:
+        width = codec.num_digits
+        values = [
+            codec.value_of_partial(self._pad_group(g, width, codec.pad_token))
+            for g in self._groups(tokens)
+        ]
+        complete = len(values) // num_dims
+        if complete == 0:
+            return np.empty((0, num_dims), dtype=np.int64)
+        trimmed = np.asarray(values[: complete * num_dims], dtype=np.int64)
+        return trimmed.reshape(complete, num_dims)
+
+    def tokens_per_timestamp(self, num_dims: int, width: int) -> int:
+        return num_dims * (width + 1)
+
+    def constraint_pattern(
+        self, num_dims: int, width: int, value_ids: frozenset[int], separator_id: int
+    ) -> list[frozenset[int]]:
+        return [value_ids] * width + [frozenset([separator_id])]
+
+
+_SCHEMES = {
+    "di": DigitInterleaver,
+    "vi": ValueInterleaver,
+    "vc": ValueConcatenator,
+    "bi": BlockInterleaver,
+}
+
+MULTIPLEX_SCHEMES = tuple(sorted(_SCHEMES))
+
+
+def get_multiplexer(scheme: str) -> Multiplexer:
+    """Instantiate a multiplexer by scheme name (``di``/``vi``/``vc``/``bi``)."""
+    try:
+        return _SCHEMES[scheme.lower()]()
+    except KeyError:
+        raise ConfigError(
+            f"unknown multiplexing scheme {scheme!r}; "
+            f"choose from {MULTIPLEX_SCHEMES}"
+        ) from None

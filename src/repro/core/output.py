@@ -1,0 +1,103 @@
+"""The forecast result type shared by all LLM-based forecasters.
+
+Besides the point forecast, a :class:`ForecastOutput` carries the individual
+samples (the paper draws several and takes the per-timestamp median) and the
+token/time accounting that drives the paper's execution-time tables: the
+substrate is far faster than a 7B model on CPU, so ``simulated_seconds``
+(token count × calibrated per-token latency) is what reproduces the paper's
+timing *shape*, while ``wall_seconds`` reports what actually elapsed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+__all__ = ["ForecastOutput"]
+
+
+@dataclass
+class ForecastOutput:
+    """Result of one multivariate (or univariate) LLM forecast.
+
+    Attributes
+    ----------
+    values:
+        Point forecast, shape ``(horizon, d)``.
+    samples:
+        The raw per-sample forecasts, shape ``(num_samples, horizon, d)``.
+    prompt_tokens:
+        Prompt length in tokens (per sample; samples share the prompt).
+    generated_tokens:
+        Total tokens generated across all samples.
+    simulated_seconds:
+        Token-count-based inference time under the backend's cost model.
+    wall_seconds:
+        Real elapsed time in this process.
+    model_name:
+        The backend preset that produced the forecast.
+    """
+
+    values: np.ndarray
+    samples: np.ndarray
+    prompt_tokens: int = 0
+    generated_tokens: int = 0
+    simulated_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    model_name: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=float)
+        self.samples = np.asarray(self.samples, dtype=float)
+        if self.values.ndim != 2:
+            raise DataError(f"values must be (horizon, d), got {self.values.shape}")
+        if self.samples.ndim != 3 or self.samples.shape[1:] != self.values.shape:
+            raise DataError(
+                f"samples must be (num_samples, {self.values.shape[0]}, "
+                f"{self.values.shape[1]}), got {self.samples.shape}"
+            )
+
+    @property
+    def horizon(self) -> int:
+        return int(self.values.shape[0])
+
+    @property
+    def num_dims(self) -> int:
+        return int(self.values.shape[1])
+
+    @property
+    def num_samples(self) -> int:
+        return int(self.samples.shape[0])
+
+    @property
+    def total_tokens(self) -> int:
+        """Prompt plus generated tokens — the hosted-API billing quantity."""
+        return self.prompt_tokens + self.generated_tokens
+
+    def dimension(self, index: int) -> np.ndarray:
+        """Point forecast of one dimension as a 1-D array."""
+        if not 0 <= index < self.num_dims:
+            raise DataError(f"dimension index {index} out of range")
+        return np.asarray(self.values[:, index])
+
+    def quantile(self, q: float) -> np.ndarray:
+        """Empirical predictive quantile across samples, shape ``(h, d)``.
+
+        The sampled continuations define an ensemble forecast; e.g.
+        ``output.quantile(0.1), output.quantile(0.9)`` bound a central 80 %
+        prediction interval (scored by :mod:`repro.metrics.intervals`).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise DataError(f"quantile must be in [0, 1], got {q}")
+        return np.quantile(self.samples, q, axis=0)
+
+    def interval(self, level: float = 0.8) -> tuple[np.ndarray, np.ndarray]:
+        """Central prediction interval ``(lower, upper)`` at ``level``."""
+        if not 0.0 < level < 1.0:
+            raise DataError(f"level must be in (0, 1), got {level}")
+        alpha = (1.0 - level) / 2.0
+        return self.quantile(alpha), self.quantile(1.0 - alpha)

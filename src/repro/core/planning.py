@@ -1,0 +1,96 @@
+"""Token-budget planning: predict cost before running a forecast.
+
+Hosted LLM APIs charge by token (the paper's motivation for SAX); a user
+deciding between configurations wants the bill *before* the call.  All the
+arithmetic already lives in the multiplexers and the cost model — this
+module just composes it: given a config and problem size, report prompt
+tokens, generated tokens, simulated seconds, and dollars.  The estimates
+are exact (the property test pins them against real runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import MultiCastConfig
+from repro.core.multiplex import get_multiplexer
+from repro.exceptions import ConfigError
+from repro.llm.simulated import _REGISTRY
+from repro.sax.paa import num_segments
+
+__all__ = ["ForecastPlan", "plan_forecast"]
+
+
+@dataclass(frozen=True)
+class ForecastPlan:
+    """Predicted token/cost footprint of one forecast call."""
+
+    prompt_tokens: int
+    generated_tokens_per_sample: int
+    num_samples: int
+    simulated_seconds: float
+    usd: float
+
+    @property
+    def generated_tokens(self) -> int:
+        return self.generated_tokens_per_sample * self.num_samples
+
+    @property
+    def total_tokens(self) -> int:
+        """Billing total: the prompt is re-sent for every sample."""
+        return self.prompt_tokens * self.num_samples + self.generated_tokens
+
+
+def plan_forecast(
+    config: MultiCastConfig,
+    history_length: int,
+    num_dims: int,
+    horizon: int,
+) -> ForecastPlan:
+    """Predict the exact token footprint of ``MultiCastForecaster.forecast``.
+
+    Matches the pipeline's accounting: history rows are truncated to the
+    prompt budget, one trailing separator is appended, and each sample
+    generates ``horizon`` timestamps (``ceil(horizon / w)`` SAX segments on
+    the quantized path).
+    """
+    if history_length < 4:
+        raise ConfigError(f"history_length must be >= 4, got {history_length}")
+    if num_dims < 1:
+        raise ConfigError(f"num_dims must be >= 1, got {num_dims}")
+    if horizon < 1:
+        raise ConfigError(f"horizon must be >= 1, got {horizon}")
+    try:
+        spec = _REGISTRY[config.model]
+    except KeyError:
+        raise ConfigError(f"unknown model {config.model!r}") from None
+
+    multiplexer = get_multiplexer(config.scheme)
+    if config.sax is None:
+        width = config.num_digits
+        rows = history_length
+        steps = horizon
+    else:
+        width = 1
+        rows = num_segments(history_length, config.sax.segment_length)
+        steps = num_segments(horizon, config.sax.segment_length)
+
+    per_row = multiplexer.tokens_per_timestamp(num_dims, width)
+    max_rows = max(2, config.max_context_tokens // per_row)
+    rows = min(rows, max_rows)
+    prompt_tokens = rows * per_row  # rows * per_row - 1 stream + 1 trailing sep
+    generated_per_sample = steps * per_row
+
+    simulated = config.num_samples * spec.cost.seconds(
+        prompt_tokens, generated_per_sample
+    )
+    usd = config.num_samples * spec.cost.dollars(
+        prompt_tokens, generated_per_sample
+    )
+    return ForecastPlan(
+        prompt_tokens=prompt_tokens,
+        generated_tokens_per_sample=generated_per_sample,
+        num_samples=config.num_samples,
+        simulated_seconds=simulated,
+        usd=usd,
+    )

@@ -1,0 +1,122 @@
+"""The multivariate time-series container used throughout the library.
+
+Values are stored as a float array shaped ``(n_timestamps, n_dims)`` —
+column ``i`` is dimension ``i``.  A :class:`Dataset` is immutable by
+convention; transformations return new instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+__all__ = ["Dataset"]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A named multivariate time series.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (e.g. ``"gas_rate"``).
+    values:
+        Float array shaped ``(n_timestamps, n_dims)``.
+    dim_names:
+        One name per dimension, e.g. ``("GasRate", "CO2")``.
+    description:
+        Free-text provenance, including any simulation substitutions.
+    """
+
+    name: str
+    values: np.ndarray
+    dim_names: tuple[str, ...]
+    description: str = ""
+    _frozen: bool = field(default=True, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=float)
+        if values.ndim == 1:
+            values = values[:, None]
+        if values.ndim != 2:
+            raise DataError(f"values must be (n, d), got shape {values.shape}")
+        if values.shape[0] < 2:
+            raise DataError("a dataset needs at least two timestamps")
+        if not np.isfinite(values).all():
+            raise DataError(f"dataset {self.name!r} contains NaN or inf")
+        if len(self.dim_names) != values.shape[1]:
+            raise DataError(
+                f"{len(self.dim_names)} dimension names for "
+                f"{values.shape[1]} dimensions"
+            )
+        values.setflags(write=False)
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "dim_names", tuple(self.dim_names))
+
+    @property
+    def num_timestamps(self) -> int:
+        return int(self.values.shape[0])
+
+    @property
+    def num_dims(self) -> int:
+        return int(self.values.shape[1])
+
+    def __len__(self) -> int:
+        return self.num_timestamps
+
+    def dimension(self, key: int | str) -> np.ndarray:
+        """One dimension as a 1-D array, by index or by name."""
+        if isinstance(key, str):
+            try:
+                key = self.dim_names.index(key)
+            except ValueError:
+                raise DataError(
+                    f"dimension {key!r} not in {self.dim_names}"
+                ) from None
+        if not 0 <= key < self.num_dims:
+            raise DataError(f"dimension index {key} out of range")
+        return np.asarray(self.values[:, key])
+
+    def select_dims(self, keys: list[int | str]) -> "Dataset":
+        """A new dataset restricted to the given dimensions, in order."""
+        columns = [self.dimension(k) for k in keys]
+        names = []
+        for k in keys:
+            names.append(k if isinstance(k, str) else self.dim_names[k])
+        return Dataset(
+            name=self.name,
+            values=np.stack(columns, axis=1),
+            dim_names=tuple(names),
+            description=self.description,
+        )
+
+    def head(self, n: int) -> "Dataset":
+        """The first ``n`` timestamps as a new dataset."""
+        if not 2 <= n <= self.num_timestamps:
+            raise DataError(f"head length {n} outside [2, {self.num_timestamps}]")
+        return Dataset(self.name, self.values[:n], self.dim_names, self.description)
+
+    def train_test_split(self, test_fraction: float = 0.2) -> tuple[np.ndarray, np.ndarray]:
+        """Hold out the trailing fraction: ``(history, future)`` arrays.
+
+        This is the standard forecasting protocol the paper follows — models
+        see the history and are scored on the held-out tail.
+        """
+        if not 0.0 < test_fraction < 1.0:
+            raise DataError(f"test_fraction must be in (0, 1), got {test_fraction}")
+        split = self.num_timestamps - max(1, int(round(self.num_timestamps * test_fraction)))
+        if split < 2:
+            raise DataError("dataset too short for the requested split")
+        return np.asarray(self.values[:split]), np.asarray(self.values[split:])
+
+    def summary_row(self) -> dict[str, object]:
+        """The dataset's row of the paper's Table I."""
+        return {
+            "dataset": self.name,
+            "dimensions": self.num_dims,
+            "length": self.num_timestamps,
+        }

@@ -1,0 +1,63 @@
+"""CSV persistence so users can bring their own data.
+
+The format is deliberately plain: a header row with dimension names followed
+by one comma-separated row per timestamp.  :func:`load_csv` is the path for
+running MultiCast on the *real* Gas Rate / ETDataset / Jena files when they
+are available.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import DataError
+
+__all__ = ["save_csv", "load_csv"]
+
+
+def save_csv(dataset: Dataset, path: str | Path) -> None:
+    """Write a dataset as a headed CSV file."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(dataset.dim_names)
+        for row in dataset.values:
+            writer.writerow([f"{v:.10g}" for v in row])
+
+
+def load_csv(path: str | Path, name: str | None = None) -> Dataset:
+    """Read a headed CSV file into a :class:`Dataset`."""
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"no such file: {path}")
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DataError(f"{path} is empty") from None
+        rows: list[list[float]] = []
+        for line_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != len(header):
+                raise DataError(
+                    f"{path}:{line_number}: expected {len(header)} columns, "
+                    f"got {len(row)}"
+                )
+            try:
+                rows.append([float(cell) for cell in row])
+            except ValueError as exc:
+                raise DataError(f"{path}:{line_number}: {exc}") from None
+    if not rows:
+        raise DataError(f"{path} has a header but no data rows")
+    return Dataset(
+        name=name or path.stem,
+        values=np.asarray(rows, dtype=float),
+        dim_names=tuple(header),
+        description=f"Loaded from {path}",
+    )

@@ -1,0 +1,23 @@
+"""Classical seasonal decomposition substrate.
+
+Supports the ``deseasonalize`` option of :class:`~repro.core.MultiCastConfig`:
+exact-suffix in-context induction extrapolates seasonal cycles poorly when
+noise breaks token matches (see EXPERIMENTS.md, Table VI deviation), but a
+classical additive decomposition can strip the deterministic seasonal
+component before serialisation and add its extrapolation back afterwards —
+the LLM then only has to model the far-easier adjusted series.
+"""
+
+from repro.decomposition.period import estimate_period
+from repro.decomposition.classical import (
+    ClassicalDecomposition,
+    SeasonalAdjuster,
+    centered_moving_average,
+)
+
+__all__ = [
+    "estimate_period",
+    "ClassicalDecomposition",
+    "SeasonalAdjuster",
+    "centered_moving_average",
+]

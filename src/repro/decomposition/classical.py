@@ -1,0 +1,141 @@
+"""Classical additive decomposition: trend + seasonal + residual.
+
+The textbook procedure (Hyndman & Athanasopoulos, FPP):
+
+1. trend = centered moving average of window ``period`` (period-odd/even
+   handled with the usual half-weights);
+2. seasonal = per-phase means of the detrended series, normalised to sum
+   to zero over one period;
+3. residual = series − trend − seasonal.
+
+:class:`SeasonalAdjuster` wraps the part forecasting needs: subtract the
+seasonal profile from a series, and add the (periodic) profile back over
+any future index range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+__all__ = ["centered_moving_average", "ClassicalDecomposition", "SeasonalAdjuster"]
+
+
+def centered_moving_average(x: np.ndarray, window: int) -> np.ndarray:
+    """Centered MA with edge extension; even windows use half-end-weights.
+
+    Returns an array of the same length as ``x``: interior points carry the
+    classical ``2 x window`` MA (for even windows) or plain centered MA (for
+    odd windows); edges reuse the nearest interior estimate, which keeps the
+    decomposition defined everywhere without NaN bookkeeping.
+    """
+    series = np.asarray(x, dtype=float)
+    if series.ndim != 1:
+        raise DataError(f"expected a 1-D series, got shape {series.shape}")
+    if window < 2 or window > series.size:
+        raise DataError(
+            f"window must be in [2, {series.size}], got {window}"
+        )
+    if window % 2 == 1:
+        weights = np.full(window, 1.0 / window)
+    else:
+        # 2xMA: half weight on the two extreme lags.
+        weights = np.full(window + 1, 1.0 / window)
+        weights[0] = weights[-1] = 0.5 / window
+    valid = np.convolve(series, weights, mode="valid")
+    pad_left = (series.size - valid.size) // 2
+    pad_right = series.size - valid.size - pad_left
+    return np.concatenate([
+        np.full(pad_left, valid[0]),
+        valid,
+        np.full(pad_right, valid[-1]),
+    ])
+
+
+@dataclass
+class ClassicalDecomposition:
+    """Additive decomposition of one series into trend/seasonal/residual."""
+
+    period: int
+    trend: np.ndarray
+    seasonal_profile: np.ndarray  # one period, sums to ~0
+    residual: np.ndarray
+
+    @classmethod
+    def fit(cls, x: np.ndarray, period: int) -> "ClassicalDecomposition":
+        series = np.asarray(x, dtype=float)
+        if series.ndim != 1:
+            raise DataError(f"expected a 1-D series, got shape {series.shape}")
+        if period < 2:
+            raise DataError(f"period must be >= 2, got {period}")
+        if series.size < 2 * period:
+            raise DataError(
+                f"series of {series.size} points too short for period {period}"
+            )
+        trend = centered_moving_average(series, period)
+        detrended = series - trend
+        profile = np.empty(period)
+        for phase in range(period):
+            profile[phase] = detrended[phase::period].mean()
+        profile -= profile.mean()  # additive seasonality sums to zero
+        seasonal = profile[np.arange(series.size) % period]
+        residual = series - trend - seasonal
+        return cls(
+            period=period,
+            trend=trend,
+            seasonal_profile=profile,
+            residual=residual,
+        )
+
+    def seasonal_at(self, indices: np.ndarray) -> np.ndarray:
+        """Seasonal component at absolute timestamp indices (periodic)."""
+        return self.seasonal_profile[np.asarray(indices, dtype=int) % self.period]
+
+
+class SeasonalAdjuster:
+    """Remove a fitted seasonal profile and restore it over future indices."""
+
+    def __init__(self, period: int) -> None:
+        if period < 2:
+            raise DataError(f"period must be >= 2, got {period}")
+        self.period = period
+        self._decomposition: ClassicalDecomposition | None = None
+        self._n = 0
+
+    def fit(self, x: np.ndarray) -> "SeasonalAdjuster":
+        """Estimate the seasonal profile from the training series."""
+        series = np.asarray(x, dtype=float)
+        self._decomposition = ClassicalDecomposition.fit(series, self.period)
+        self._n = series.size
+        return self
+
+    def _require_fitted(self) -> ClassicalDecomposition:
+        if self._decomposition is None:
+            raise DataError("SeasonalAdjuster used before fit()")
+        return self._decomposition
+
+    def adjust(self, x: np.ndarray) -> np.ndarray:
+        """The seasonally-adjusted training series (length must match fit)."""
+        decomposition = self._require_fitted()
+        series = np.asarray(x, dtype=float)
+        if series.size != self._n:
+            raise DataError("adjust() expects the series the adjuster was fit on")
+        return series - decomposition.seasonal_at(np.arange(series.size))
+
+    def restore(self, values: np.ndarray, start_index: int | None = None) -> np.ndarray:
+        """Add the periodic seasonal component back onto ``values``.
+
+        ``start_index`` is the absolute timestamp of ``values[0]``; the
+        default continues right after the training series (forecasting).
+        """
+        decomposition = self._require_fitted()
+        arr = np.asarray(values, dtype=float)
+        start = self._n if start_index is None else start_index
+        indices = start + np.arange(arr.shape[0])
+        seasonal = decomposition.seasonal_at(indices)
+        if arr.ndim == 1:
+            return arr + seasonal
+        return arr + seasonal[:, None]

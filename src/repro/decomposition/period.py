@@ -1,0 +1,41 @@
+"""Seasonality-period detection by autocorrelation peak."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import FittingError
+
+__all__ = ["estimate_period"]
+
+
+def estimate_period(x: np.ndarray, max_period: int | None = None) -> int:
+    """Dominant seasonality by autocorrelation peak.
+
+    Scans lags ``2 .. max_period`` (default ``n // 3``) of the detrended
+    series and returns the lag with the highest autocorrelation, requiring
+    it to be a genuine *local* peak; returns 1 (no seasonality) when the
+    best peak is weak (< 0.2).
+    """
+    series = np.asarray(x, dtype=float)
+    if series.ndim != 1 or series.size < 8:
+        raise FittingError("estimate_period needs a 1-D series of >= 8 points")
+    n = series.size
+    max_period = n // 3 if max_period is None else min(max_period, n - 2)
+    if max_period < 2:
+        return 1
+    detrended = series - np.polyval(np.polyfit(np.arange(n), series, 1), np.arange(n))
+    centred = detrended - detrended.mean()
+    denom = float(centred @ centred)
+    if denom == 0.0:
+        return 1
+    acf = np.array([
+        float(centred[lag:] @ centred[:-lag]) / denom
+        for lag in range(1, max_period + 1)
+    ])
+    best_lag, best_value = 1, 0.0
+    for lag in range(2, max_period):
+        value = acf[lag - 1]
+        if value > best_value and value >= acf[lag - 2] and value >= acf[lag]:
+            best_lag, best_value = lag, value
+    return best_lag if best_value >= 0.2 else 1

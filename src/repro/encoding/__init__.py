@@ -1,0 +1,30 @@
+"""Tokenization: turning integer-coded series into corpus-id streams.
+
+The paper treats *each digit as a separate token* and replaces tokens with
+"their corresponding corpus id before being passed onto the model" (Section
+III-A).  This package provides the vocabulary (digits + separator, or a SAX
+alphabet), the digit codec, and stream parsing with error recovery for
+model outputs that are not perfectly formed.
+"""
+
+from repro.encoding.vocabulary import (
+    Vocabulary,
+    digit_vocabulary,
+    sax_vocabulary,
+)
+from repro.encoding.tokenizer import (
+    DigitCodec,
+    SEPARATOR,
+    parse_token_stream,
+    render_token_stream,
+)
+
+__all__ = [
+    "Vocabulary",
+    "digit_vocabulary",
+    "sax_vocabulary",
+    "DigitCodec",
+    "SEPARATOR",
+    "parse_token_stream",
+    "render_token_stream",
+]

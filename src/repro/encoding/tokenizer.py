@@ -1,0 +1,132 @@
+"""Digit-level codec and token-stream parsing with error recovery.
+
+MultiCast serialises an integer-coded series as fixed-width digit groups
+separated by commas.  The model's continuation is parsed back with
+:func:`parse_token_stream`, which must survive imperfect output: truncated
+final groups, over-long groups, or a missing trailing separator.  (With the
+structured logit constraint the stream is always perfectly formed; the lenient
+parser is what makes the *unconstrained* ablation runnable.)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import EncodingError
+
+__all__ = ["SEPARATOR", "DigitCodec", "parse_token_stream", "render_token_stream"]
+
+SEPARATOR = ","
+
+
+class DigitCodec:
+    """Encode non-negative integers as fixed-width digit-token groups.
+
+    Parameters
+    ----------
+    num_digits:
+        Width ``b`` of every group; an integer must fit in ``b`` digits.
+    """
+
+    def __init__(self, num_digits: int) -> None:
+        if num_digits < 1:
+            raise EncodingError(f"num_digits must be >= 1, got {num_digits}")
+        self.num_digits = num_digits
+
+    @property
+    def max_value(self) -> int:
+        return 10**self.num_digits - 1
+
+    @property
+    def pad_token(self) -> str:
+        """Completion token for cut-off groups (missing low-order digits)."""
+        return "0"
+
+    def digits_of(self, value: int) -> list[str]:
+        """Zero-padded digit tokens of ``value``, most significant first."""
+        value = int(value)
+        if not 0 <= value <= self.max_value:
+            raise EncodingError(
+                f"value {value} does not fit in {self.num_digits} digits"
+            )
+        return list(str(value).zfill(self.num_digits))
+
+    def value_of(self, digits: Sequence[str]) -> int:
+        """Parse a full group of digit tokens back to an integer."""
+        if len(digits) != self.num_digits:
+            raise EncodingError(
+                f"expected {self.num_digits} digits, got {len(digits)}"
+            )
+        return self.value_of_partial(digits)
+
+    def value_of_partial(self, digits: Sequence[str]) -> int:
+        """Parse any non-empty digit prefix, treating it as left-aligned.
+
+        A truncated group like ``["4", "2"]`` under ``num_digits=3`` is read
+        as 420 — the natural completion when generation stopped mid-group.
+        """
+        if len(digits) == 0:
+            raise EncodingError("cannot parse an empty digit group")
+        text = "".join(digits)
+        if not text.isdigit():
+            raise EncodingError(f"non-digit tokens in group: {digits!r}")
+        return int(text.ljust(self.num_digits, "0")[: self.num_digits])
+
+
+def render_token_stream(values: Sequence[int], codec: DigitCodec) -> list[str]:
+    """Serialise integers as digit tokens with comma separators between them."""
+    tokens: list[str] = []
+    for i, value in enumerate(values):
+        if i:
+            tokens.append(SEPARATOR)
+        tokens.extend(codec.digits_of(value))
+    return tokens
+
+
+def parse_token_stream(
+    tokens: Sequence[str],
+    codec: DigitCodec,
+    strict: bool = False,
+) -> np.ndarray:
+    """Parse a digit/comma token stream back into integers.
+
+    In lenient mode (default) the parser:
+
+    * accepts a truncated final group (parsed via left-alignment),
+    * splits over-long digit runs every ``num_digits`` tokens,
+    * skips empty groups produced by doubled separators.
+
+    With ``strict=True`` any such malformation raises :class:`EncodingError`,
+    which is what the round-trip property tests assert against.
+    """
+    values: list[int] = []
+    group: list[str] = []
+
+    def flush(final: bool) -> None:
+        if not group:
+            if strict and not final:
+                raise EncodingError("empty group between separators")
+            return
+        if strict and len(group) != codec.num_digits:
+            raise EncodingError(
+                f"group {''.join(group)!r} has {len(group)} digits, "
+                f"expected {codec.num_digits}"
+            )
+        values.append(codec.value_of_partial(group))
+        group.clear()
+
+    for token in tokens:
+        if token == SEPARATOR:
+            flush(final=False)
+        elif len(token) == 1 and token.isdigit():
+            group.append(token)
+            if not strict and len(group) == codec.num_digits:
+                # Over-long runs (missing separator) split at the group width.
+                values.append(codec.value_of(group))
+                group.clear()
+        else:
+            raise EncodingError(f"unexpected token {token!r} in numeric stream")
+    flush(final=True)
+    return np.asarray(values, dtype=np.int64)

@@ -1,0 +1,96 @@
+"""Token vocabularies mapping surface tokens to integer corpus ids.
+
+A :class:`Vocabulary` is the single source of truth for the id space the
+language-model substrate operates in.  Two builders cover the paper's cases:
+
+* :func:`digit_vocabulary` — ``0``-``9`` plus the comma separator, the
+  constrained output alphabet of LLMTime and raw MultiCast;
+* :func:`sax_vocabulary` — a SAX alphabet (alphabetical or digital symbols)
+  plus the comma separator, used after quantization.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.exceptions import EncodingError
+
+__all__ = ["Vocabulary", "digit_vocabulary", "sax_vocabulary"]
+
+
+class Vocabulary:
+    """An ordered, immutable set of string tokens with dense integer ids."""
+
+    def __init__(self, tokens: Sequence[str]) -> None:
+        if len(tokens) == 0:
+            raise EncodingError("a vocabulary needs at least one token")
+        if len(set(tokens)) != len(tokens):
+            raise EncodingError("vocabulary tokens must be unique")
+        for token in tokens:
+            if not isinstance(token, str) or len(token) != 1:
+                raise EncodingError(
+                    f"tokens must be single characters, got {token!r}"
+                )
+        self._tokens = tuple(tokens)
+        self._ids = {token: i for i, token in enumerate(self._tokens)}
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._ids
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Vocabulary) and self._tokens == other._tokens
+
+    def __hash__(self) -> int:
+        return hash(self._tokens)
+
+    def __repr__(self) -> str:
+        return f"Vocabulary({''.join(self._tokens)!r})"
+
+    @property
+    def tokens(self) -> tuple[str, ...]:
+        return self._tokens
+
+    def id_of(self, token: str) -> int:
+        """Corpus id of ``token``; raises :class:`EncodingError` if unknown."""
+        try:
+            return self._ids[token]
+        except KeyError:
+            raise EncodingError(f"token {token!r} is not in the vocabulary") from None
+
+    def token_of(self, token_id: int) -> str:
+        """Surface token for ``token_id``."""
+        if not 0 <= token_id < len(self._tokens):
+            raise EncodingError(
+                f"id {token_id} outside vocabulary of size {len(self._tokens)}"
+            )
+        return self._tokens[token_id]
+
+    def encode(self, tokens: Iterable[str]) -> list[int]:
+        """Map surface tokens to corpus ids."""
+        return [self.id_of(t) for t in tokens]
+
+    def decode(self, ids: Iterable[int]) -> list[str]:
+        """Map corpus ids back to surface tokens."""
+        return [self.token_of(i) for i in ids]
+
+    def ids_of(self, tokens: Iterable[str]) -> frozenset[int]:
+        """Id set for a group of tokens (used to build logit constraints)."""
+        return frozenset(self.id_of(t) for t in tokens)
+
+
+def digit_vocabulary() -> Vocabulary:
+    """The numeric vocabulary the paper constrains generation to: [0-9,]."""
+    return Vocabulary([str(d) for d in range(10)] + [","])
+
+
+def sax_vocabulary(symbols: Sequence[str]) -> Vocabulary:
+    """A vocabulary for SAX symbols plus the comma separator.
+
+    ``symbols`` is the SAX alphabet in breakpoint order (e.g. ``"abcde"``).
+    """
+    if "," in symbols:
+        raise EncodingError("the separator ',' cannot be a SAX symbol")
+    return Vocabulary(list(symbols) + [","])

@@ -1,0 +1,36 @@
+"""Evaluation harness: protocol, method registry, result tables, plots.
+
+The protocol follows the paper: hold out the trailing 20 % of each dataset,
+forecast it with every method, and score per-dimension RMSE (Section IV-A5).
+LLM-based methods additionally report token counts and simulated inference
+seconds (see :mod:`repro.llm.cost`), which drive Tables VII-IX.
+"""
+
+from repro.evaluation.protocol import (
+    EvalResult,
+    available_methods,
+    evaluate_method,
+    run_method,
+)
+from repro.evaluation.backtest import BacktestResult, rolling_origin_evaluation
+from repro.evaluation.conformal import ConformalForecaster, ConformalResult
+from repro.evaluation.significance import DieboldMarianoResult, diebold_mariano
+from repro.evaluation.results import TableResult, format_table
+from repro.evaluation.plots import ascii_plot, overlay_series
+
+__all__ = [
+    "EvalResult",
+    "run_method",
+    "evaluate_method",
+    "available_methods",
+    "BacktestResult",
+    "rolling_origin_evaluation",
+    "ConformalForecaster",
+    "ConformalResult",
+    "diebold_mariano",
+    "DieboldMarianoResult",
+    "TableResult",
+    "format_table",
+    "ascii_plot",
+    "overlay_series",
+]

@@ -1,0 +1,109 @@
+"""Rolling-origin (backtesting) evaluation.
+
+The paper scores one hold-out split; a production user wants error
+estimates that don't hinge on a single test window.  Rolling-origin
+evaluation re-forecasts from successively later origins and aggregates the
+per-window errors — the standard backtest for small series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data import Dataset
+from repro.evaluation.protocol import run_method
+from repro.exceptions import ConfigError, DataError
+from repro.metrics import rmse
+
+__all__ = ["BacktestResult", "rolling_origin_evaluation"]
+
+
+@dataclass
+class BacktestResult:
+    """Aggregated rolling-origin errors for one method on one dataset."""
+
+    method: str
+    dataset: str
+    dim_names: tuple[str, ...]
+    origins: list[int]
+    window_rmse: list[dict[str, float]] = field(default_factory=list)
+
+    @property
+    def num_windows(self) -> int:
+        return len(self.origins)
+
+    def mean_rmse(self) -> dict[str, float]:
+        """Per-dimension RMSE averaged over windows."""
+        if not self.window_rmse:
+            raise DataError("backtest collected no windows")
+        return {
+            name: float(np.mean([w[name] for w in self.window_rmse]))
+            for name in self.dim_names
+        }
+
+    def std_rmse(self) -> dict[str, float]:
+        """Per-dimension RMSE standard deviation over windows."""
+        if not self.window_rmse:
+            raise DataError("backtest collected no windows")
+        return {
+            name: float(np.std([w[name] for w in self.window_rmse]))
+            for name in self.dim_names
+        }
+
+
+def rolling_origin_evaluation(
+    method: str,
+    dataset: Dataset,
+    horizon: int,
+    num_windows: int = 3,
+    stride: int | None = None,
+    min_history: int | None = None,
+    seed: int = 0,
+    **options,
+) -> BacktestResult:
+    """Evaluate ``method`` at ``num_windows`` successive forecast origins.
+
+    The last window's origin is ``n - horizon``; earlier windows step back
+    by ``stride`` (default: ``horizon``, non-overlapping test windows).
+    Every window must leave at least ``min_history`` (default: half the
+    series) points of history.
+    """
+    if horizon < 1:
+        raise ConfigError(f"horizon must be >= 1, got {horizon}")
+    if num_windows < 1:
+        raise ConfigError(f"num_windows must be >= 1, got {num_windows}")
+    stride = horizon if stride is None else stride
+    if stride < 1:
+        raise ConfigError(f"stride must be >= 1, got {stride}")
+    n = dataset.num_timestamps
+    min_history = n // 2 if min_history is None else min_history
+
+    origins = [n - horizon - k * stride for k in range(num_windows)][::-1]
+    if origins[0] < min_history:
+        raise ConfigError(
+            f"{num_windows} windows of horizon {horizon} (stride {stride}) "
+            f"leave only {origins[0]} history points (< {min_history})"
+        )
+
+    result = BacktestResult(
+        method=method,
+        dataset=dataset.name,
+        dim_names=dataset.dim_names,
+        origins=origins,
+    )
+    for window_index, origin in enumerate(origins):
+        history = np.asarray(dataset.values[:origin])
+        actual = np.asarray(dataset.values[origin : origin + horizon])
+        output = run_method(
+            method, history, horizon, seed=seed + window_index, **options
+        )
+        forecast = output if isinstance(output, np.ndarray) else output.values
+        result.window_rmse.append(
+            {
+                name: rmse(actual[:, k], forecast[:, k])
+                for k, name in enumerate(dataset.dim_names)
+            }
+        )
+    return result

@@ -1,0 +1,117 @@
+"""Text-mode plots for the paper's figures.
+
+Every figure in the paper is a forecast-overlay line chart (original series
+vs one or two forecasts).  Offline and headless, we render the same overlays
+as ASCII charts — enough to verify the *shape* claims ("follows the upward
+trend", "shifted 1-2 units") — and expose the raw series for CSV export so
+they can be re-plotted with any tool.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+__all__ = ["ascii_plot", "overlay_series"]
+
+_MARKERS = "*o+x#@"
+
+
+def ascii_plot(
+    series: dict[str, np.ndarray],
+    width: int = 72,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Render one or more aligned series as an ASCII line chart.
+
+    Each entry of ``series`` maps a label to a 1-D array; all series share
+    the x-axis (timestamp index) and the y-range.  The first series uses
+    marker ``*``, the second ``o``, and so on; later series overwrite
+    earlier ones where they collide.
+    """
+    if not series:
+        raise DataError("ascii_plot needs at least one series")
+    if width < 8 or height < 4:
+        raise DataError("plot must be at least 8x4 characters")
+    arrays = {}
+    for label, values in series.items():
+        arr = np.asarray(values, dtype=float).ravel()
+        if arr.size < 2:
+            raise DataError(f"series {label!r} needs at least two points")
+        if not np.isfinite(arr).all():
+            raise DataError(f"series {label!r} contains NaN or inf")
+        arrays[label] = arr
+
+    y_min = min(a.min() for a in arrays.values())
+    y_max = max(a.max() for a in arrays.values())
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_max = max(a.size for a in arrays.values())
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, arr) in enumerate(arrays.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for t, value in enumerate(arr):
+            col = int(round(t / max(x_max - 1, 1) * (width - 1)))
+            rel = (value - y_min) / (y_max - y_min)
+            row = (height - 1) - int(round(rel * (height - 1)))
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {label}" for i, label in enumerate(arrays)
+    )
+    lines.append(legend)
+    lines.append(f"{y_max:10.3f} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{y_min:10.3f} ┤" + "".join(grid[-1]))
+    lines.append(" " * 12 + "└" + "─" * width)
+    lines.append(" " * 12 + f"0{'t'.rjust(width - 1)}")
+    return "\n".join(lines)
+
+
+def overlay_series(
+    path: str | Path,
+    actual: np.ndarray,
+    forecasts: dict[str, np.ndarray],
+    history: np.ndarray | None = None,
+) -> None:
+    """Write a figure's underlying series to CSV for external re-plotting.
+
+    Columns: timestamp index, ``history`` (blank over the forecast window),
+    ``actual`` (blank over the history window), one column per forecast.
+    """
+    actual = np.asarray(actual, dtype=float).ravel()
+    history = (
+        np.asarray(history, dtype=float).ravel() if history is not None else np.empty(0)
+    )
+    for label, forecast in forecasts.items():
+        if np.asarray(forecast).ravel().size != actual.size:
+            raise DataError(
+                f"forecast {label!r} length differs from the actuals"
+            )
+    offset = history.size
+    total = offset + actual.size
+    with Path(path).open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["t", "history", "actual", *forecasts])
+        for t in range(total):
+            row: list[object] = [t]
+            row.append(f"{history[t]:.6g}" if t < offset else "")
+            if t >= offset:
+                row.append(f"{actual[t - offset]:.6g}")
+                row.extend(
+                    f"{np.asarray(f).ravel()[t - offset]:.6g}"
+                    for f in forecasts.values()
+                )
+            else:
+                row.extend([""] * (1 + len(forecasts)))
+            writer.writerow(row)

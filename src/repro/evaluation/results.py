@@ -1,0 +1,119 @@
+"""Result containers and plain-text table rendering.
+
+Benchmarks print each reproduced table in the paper's row/column layout so
+the output can be eyeballed against the PDF.  A :class:`TableResult` is a
+header row plus data rows; :func:`format_table` renders aligned ASCII, and
+``save_json``/``load_json`` round-trip tables for archival comparison runs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.exceptions import DataError
+
+__all__ = ["TableResult", "format_table"]
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(header: list[str], rows: list[list], title: str = "") -> str:
+    """Render rows as an aligned ASCII table (monospace, pipe-separated)."""
+    if not header:
+        raise DataError("a table needs a header row")
+    text_rows = [[_cell(v) for v in row] for row in rows]
+    for i, row in enumerate(text_rows):
+        if len(row) != len(header):
+            raise DataError(
+                f"row {i} has {len(row)} cells for {len(header)} columns"
+            )
+    widths = [
+        max(len(header[c]), *(len(r[c]) for r in text_rows)) if text_rows else len(header[c])
+        for c in range(len(header))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    divider = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append(divider)
+    for row in text_rows:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class TableResult:
+    """A reproduced paper table: identity, layout, and the measured cells."""
+
+    table_id: str
+    title: str
+    header: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        """Append one data row (cells in header order)."""
+        self.rows.append(list(cells))
+
+    def cell(self, row_label: str, column: str):
+        """Look up a cell by first-column label and column name."""
+        try:
+            column_index = self.header.index(column)
+        except ValueError:
+            raise DataError(f"no column {column!r} in {self.header}") from None
+        for row in self.rows:
+            if row[0] == row_label:
+                return row[column_index]
+        raise DataError(f"no row labelled {row_label!r}")
+
+    def format(self) -> str:
+        """Render the table (plus notes) as aligned ASCII text."""
+        text = format_table(self.header, self.rows, title=f"{self.table_id}: {self.title}")
+        if self.notes:
+            text += "\n" + "\n".join(f"  note: {n}" for n in self.notes)
+        return text
+
+    def __str__(self) -> str:
+        return self.format()
+
+    def to_dict(self) -> dict:
+        """Plain-JSON representation (floats stay floats, N/A stays a string)."""
+        return {
+            "table_id": self.table_id,
+            "title": self.title,
+            "header": list(self.header),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
+    def save_json(self, path: str | Path) -> None:
+        """Persist the table for archival/regression comparison."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+    @classmethod
+    def load_json(cls, path: str | Path) -> "TableResult":
+        """Load a table previously written by :meth:`save_json`."""
+        path = Path(path)
+        if not path.exists():
+            raise DataError(f"no such file: {path}")
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise DataError(f"{path} is not valid JSON: {exc}") from None
+        missing = {"table_id", "title", "header", "rows"} - set(payload)
+        if missing:
+            raise DataError(f"{path} lacks table fields: {sorted(missing)}")
+        return cls(
+            table_id=payload["table_id"],
+            title=payload["title"],
+            header=list(payload["header"]),
+            rows=[list(row) for row in payload["rows"]],
+            notes=list(payload.get("notes", [])),
+        )

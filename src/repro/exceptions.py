@@ -1,0 +1,37 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch a single base class at API boundaries while still being able to
+distinguish failure modes when they need to.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class ScalingError(ReproError):
+    """A scaler was misused (e.g. transform before fit) or cannot represent
+    its input (e.g. non-finite values)."""
+
+
+class EncodingError(ReproError):
+    """Tokenization, vocabulary lookup, or stream parsing failed."""
+
+
+class GenerationError(ReproError):
+    """The language model substrate could not produce a usable continuation."""
+
+
+class DataError(ReproError):
+    """A dataset is malformed (wrong shape, NaNs, too short for the task)."""
+
+
+class FittingError(ReproError):
+    """A statistical model (ARIMA, LSTM) failed to fit its training data."""

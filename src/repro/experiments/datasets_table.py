@@ -1,0 +1,24 @@
+"""Table I — the dataset summary."""
+
+from __future__ import annotations
+
+from repro.data import load_paper_datasets
+from repro.evaluation.results import TableResult
+
+__all__ = ["table_i"]
+
+
+def table_i() -> TableResult:
+    """Datasets: name, dimensionality, length (paper Table I)."""
+    table = TableResult(
+        table_id="Table I",
+        title="Datasets",
+        header=["Dataset", "Dimensions", "Length"],
+    )
+    for dataset in load_paper_datasets():
+        row = dataset.summary_row()
+        table.add_row(row["dataset"], row["dimensions"], row["length"])
+    table.notes.append(
+        "Synthetic stand-ins with the paper's shapes/correlations (DESIGN.md §2)."
+    )
+    return table

@@ -1,0 +1,203 @@
+"""Figures 2-8 — forecast overlay charts.
+
+Every figure in the paper's evaluation is an overlay of the original series
+and one or two forecasts on a single dimension.  Each ``figure_N`` function
+reruns the relevant methods and returns a :class:`FigureResult` holding the
+aligned series; ``render()`` draws the ASCII chart and ``save_csv()`` writes
+the underlying data for external plotting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.data import Dataset, electricity, gas_rate, weather
+from repro.evaluation import ascii_plot, evaluate_method, overlay_series
+
+__all__ = [
+    "FigureResult",
+    "figure_2",
+    "figure_3",
+    "figure_4",
+    "figure_5",
+    "figure_6",
+    "figure_7",
+    "figure_8",
+]
+
+
+@dataclass
+class FigureResult:
+    """One reproduced figure: the overlaid series plus provenance."""
+
+    figure_id: str
+    title: str
+    dimension: str
+    history: np.ndarray
+    actual: np.ndarray
+    forecasts: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def render(self, width: int = 72, height: int = 16) -> str:
+        """ASCII overlay of the actual tail and every forecast."""
+        series = {"actual": self.actual, **self.forecasts}
+        return ascii_plot(
+            series, width=width, height=height,
+            title=f"{self.figure_id}: {self.title} [{self.dimension}]",
+        )
+
+    def save_csv(self, path: str | Path) -> None:
+        """Write the aligned history/actual/forecast series as CSV."""
+        overlay_series(path, self.actual, self.forecasts, history=self.history)
+
+    def rmse_of(self, label: str) -> float:
+        """Convenience RMSE of one overlay against the actuals."""
+        from repro.metrics import rmse
+
+        return rmse(self.actual, self.forecasts[label])
+
+
+def _overlay(
+    figure_id: str,
+    title: str,
+    dataset: Dataset,
+    dimension: str,
+    method_specs: dict[str, tuple[str, dict]],
+    seed: int = 0,
+) -> FigureResult:
+    """Run each (method, options) spec and collect the named dimension."""
+    history, actual = dataset.train_test_split()
+    dim_index = dataset.dim_names.index(dimension)
+    forecasts = {}
+    for label, (method, options) in method_specs.items():
+        result = evaluate_method(method, dataset, seed=seed, **options)
+        forecasts[label] = result.forecast[:, dim_index]
+    return FigureResult(
+        figure_id=figure_id,
+        title=title,
+        dimension=dimension,
+        history=history[:, dim_index],
+        actual=actual[:, dim_index],
+        forecasts=forecasts,
+    )
+
+
+def figure_2(num_samples: int = 5, seed: int = 0) -> FigureResult:
+    """LLaMA2 vs Phi-2 backend forecasts on Gas Rate dim 0 (paper Fig. 2)."""
+    return _overlay(
+        "Figure 2",
+        "Backend model comparison (MultiCast VI)",
+        gas_rate(),
+        "GasRate",
+        {
+            "llama2-sim": ("multicast-vi", {"model": "llama2-7b-sim", "num_samples": num_samples}),
+            "phi2-sim": ("multicast-vi", {"model": "phi2-2.7b-sim", "num_samples": num_samples}),
+        },
+        seed=seed,
+    )
+
+
+def figure_3(num_samples: int = 5, seed: int = 0) -> FigureResult:
+    """MultiCast (DI) vs ARIMA on the GasRate dimension (paper Fig. 3)."""
+    return _overlay(
+        "Figure 3",
+        "MultiCast (DI) versus ARIMA",
+        gas_rate(),
+        "GasRate",
+        {
+            "multicast-di": ("multicast-di", {"num_samples": num_samples}),
+            "arima": ("arima", {}),
+        },
+        seed=seed,
+    )
+
+
+def figure_4(num_samples: int = 5, seed: int = 0) -> FigureResult:
+    """MultiCast (VC) vs LSTM on the HUFL dimension (paper Fig. 4)."""
+    return _overlay(
+        "Figure 4",
+        "MultiCast (VC) versus LSTM",
+        electricity(),
+        "HUFL",
+        {
+            "multicast-vc": ("multicast-vc", {"num_samples": num_samples}),
+            "lstm": ("lstm", {}),
+        },
+        seed=seed,
+    )
+
+
+def figure_5(num_samples: int = 5, seed: int = 0) -> FigureResult:
+    """MultiCast (VI) vs ARIMA on the Tlog dimension (paper Fig. 5)."""
+    return _overlay(
+        "Figure 5",
+        "MultiCast (VI) versus ARIMA",
+        weather(),
+        "Tlog",
+        {
+            "multicast-vi": ("multicast-vi", {"num_samples": num_samples}),
+            "arima": ("arima", {}),
+        },
+        seed=seed,
+    )
+
+
+def _sax_overlay(
+    figure_id: str,
+    title: str,
+    configurations: dict[str, dict],
+    num_samples: int,
+    seed: int,
+) -> FigureResult:
+    specs = {
+        label: ("multicast-di", {"num_samples": num_samples, "sax": sax})
+        for label, sax in configurations.items()
+    }
+    return _overlay(figure_id, title, gas_rate(), "CO2", specs, seed=seed)
+
+
+def figure_6(num_samples: int = 5, seed: int = 0) -> FigureResult:
+    """Forecasts for SAX segment lengths 3/6/9 on CO2 (paper Fig. 6)."""
+    return _sax_overlay(
+        "Figure 6",
+        "Forecasting for various SAX segment lengths",
+        {
+            f"sax-w{w}": {"segment_length": w, "alphabet_size": 5}
+            for w in (3, 6, 9)
+        },
+        num_samples,
+        seed,
+    )
+
+
+def figure_7(num_samples: int = 5, seed: int = 0) -> FigureResult:
+    """Forecasts for SAX alphabet sizes 5/10/20 on CO2 (paper Fig. 7)."""
+    return _sax_overlay(
+        "Figure 7",
+        "Forecasting for different SAX alphabet sizes",
+        {
+            f"sax-a{a}": {"segment_length": 6, "alphabet_size": a}
+            for a in (5, 10, 20)
+        },
+        num_samples,
+        seed,
+    )
+
+
+def figure_8(num_samples: int = 5, seed: int = 0) -> FigureResult:
+    """Digit-encoded SAX symbols on CO2 (paper Fig. 8)."""
+    return _sax_overlay(
+        "Figure 8",
+        "Forecasting using digits instead of letters as symbols",
+        {
+            "sax-digital": {
+                "segment_length": 6,
+                "alphabet_size": 5,
+                "alphabet_kind": "digital",
+            }
+        },
+        num_samples,
+        seed,
+    )

@@ -1,0 +1,62 @@
+"""The language-model substrate.
+
+The paper runs LLaMA2-7B and Phi-2 through the Hugging Face API; this
+offline reproduction replaces them with from-scratch *in-context* language
+models over the same constrained token vocabulary (see DESIGN.md, section 2):
+
+* :class:`~repro.llm.ppm.PPMLanguageModel` — variable-order prediction by
+  partial matching, the main stand-in for an LLM's in-context pattern
+  induction on numeric token streams;
+* :class:`~repro.llm.ngram.NgramBackoffLM` — fixed-order interpolated n-gram;
+* :class:`~repro.llm.simulated.SimulatedLLM` — a named wrapper adding the
+  sampling profile (temperature/top-p) and a per-token latency model, with
+  registry presets ``"llama2-7b-sim"`` and ``"phi2-2.7b-sim"``.
+
+Generation is token-by-token with a hard vocabulary constraint, exactly like
+LLMTime's logit mask restricting output to ``[0-9,]``.
+"""
+
+from repro.llm.interface import GenerationResult, LanguageModel
+from repro.llm.constraints import (
+    Constraint,
+    PeriodicPatternConstraint,
+    SetConstraint,
+)
+from repro.llm.sampling import sample_from_distribution
+from repro.llm.ctw import CTWLanguageModel
+from repro.llm.ppm import PPMLanguageModel
+from repro.llm.ngram import NgramBackoffLM, UniformLM
+from repro.llm.recency import RecencyPPMLanguageModel
+from repro.llm.wrappers import ShiftBiasedLM
+from repro.llm.cost import TokenCostModel
+from repro.llm.perplexity import bits_per_token, rank_models_by_perplexity
+from repro.llm.simulated import (
+    ModelSpec,
+    SimulatedLLM,
+    available_models,
+    get_model,
+    register_model,
+)
+
+__all__ = [
+    "LanguageModel",
+    "GenerationResult",
+    "Constraint",
+    "SetConstraint",
+    "PeriodicPatternConstraint",
+    "sample_from_distribution",
+    "PPMLanguageModel",
+    "CTWLanguageModel",
+    "NgramBackoffLM",
+    "UniformLM",
+    "RecencyPPMLanguageModel",
+    "ShiftBiasedLM",
+    "TokenCostModel",
+    "bits_per_token",
+    "rank_models_by_perplexity",
+    "SimulatedLLM",
+    "ModelSpec",
+    "get_model",
+    "register_model",
+    "available_models",
+]

@@ -1,0 +1,89 @@
+"""Logit constraints for structured numeric generation.
+
+LLMTime (and MultiCast after it) masks the model's logits so only digits and
+the comma separator can be produced.  Two constraint shapes are provided:
+
+* :class:`SetConstraint` — one fixed admissible set for every position
+  (the paper's ``[0-9,]`` mask);
+* :class:`PeriodicPatternConstraint` — a cyclic per-position grammar, e.g.
+  "b digits then a comma", which guarantees the output parses exactly and is
+  what the MultiCast pipeline uses by default.  Turning it off (falling back
+  to the plain set mask plus lenient parsing) is the ``bench_ablations``
+  ablation.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+from repro.exceptions import ConfigError
+
+__all__ = ["Constraint", "SetConstraint", "PeriodicPatternConstraint"]
+
+
+class Constraint(ABC):
+    """Maps a generated-token position to the set of admissible ids."""
+
+    @abstractmethod
+    def allowed_at(self, position: int) -> frozenset[int]:
+        """Admissible token ids at ``position`` (0 = first generated token)."""
+
+
+class SetConstraint(Constraint):
+    """The same admissible id set at every position."""
+
+    def __init__(self, allowed_ids: Sequence[int] | frozenset[int]) -> None:
+        ids = frozenset(int(i) for i in allowed_ids)
+        if not ids:
+            raise ConfigError("a constraint needs at least one admissible id")
+        self._ids = ids
+
+    def allowed_at(self, position: int) -> frozenset[int]:
+        return self._ids
+
+    def __repr__(self) -> str:
+        return f"SetConstraint({sorted(self._ids)})"
+
+
+class PeriodicPatternConstraint(Constraint):
+    """A cyclic position grammar.
+
+    ``pattern`` lists the admissible set for each position within one period;
+    position ``p`` of the generation is constrained by
+    ``pattern[(p + phase) % len(pattern)]``.  ``phase`` lets the caller align
+    the grammar when the prompt does not end exactly on a period boundary.
+
+    Example — value-concatenation with 3 digits: the pattern is
+    ``[digits, digits, digits, {comma}]`` so every fourth token is forced to
+    be the separator and each group has exactly three digits.
+    """
+
+    def __init__(
+        self,
+        pattern: Sequence[Sequence[int] | frozenset[int]],
+        phase: int = 0,
+    ) -> None:
+        if len(pattern) == 0:
+            raise ConfigError("pattern must contain at least one position")
+        self._pattern = [frozenset(int(i) for i in slot) for slot in pattern]
+        for i, slot in enumerate(self._pattern):
+            if not slot:
+                raise ConfigError(f"pattern slot {i} has no admissible ids")
+        if phase < 0:
+            raise ConfigError(f"phase must be >= 0, got {phase}")
+        self._phase = phase % len(self._pattern)
+
+    @property
+    def period(self) -> int:
+        return len(self._pattern)
+
+    def allowed_at(self, position: int) -> frozenset[int]:
+        if position < 0:
+            raise ConfigError(f"position must be >= 0, got {position}")
+        return self._pattern[(position + self._phase) % len(self._pattern)]
+
+    def __repr__(self) -> str:
+        return (
+            f"PeriodicPatternConstraint(period={self.period}, phase={self._phase})"
+        )

@@ -1,0 +1,175 @@
+"""Context Tree Weighting (CTW) — a third in-context model family.
+
+CTW (Willems, Shtarkov & Tjalkens, 1995) is the textbook *universal*
+sequence predictor: it Bayes-mixes **every** tree source up to depth ``D``
+with the Krichevsky-Trofimov estimator at each node, and its code length is
+within a vanishing redundancy of the best context tree in hindsight.  Where
+PPM heuristically escapes from long contexts to short ones, CTW performs
+the exact Bayesian model average — a stronger theoretical stand-in for an
+LLM's in-context learning, at somewhat higher constant cost.
+
+Implementation notes (the standard incremental formulation, generalised to
+an m-ary alphabet):
+
+* every node ``s`` on the current context path stores its symbol counts,
+  ``log_pe`` (the KT probability of the data seen at ``s``) and ``log_pw``
+  (the weighted probability), with
+  ``P_w(s) = 1/2 P_e(s) + 1/2 * prod_children P_w(child)``;
+* the m-ary KT estimator is ``P(a) = (c_a + 1/2) / (C + m/2)``;
+* after observing a symbol, ``log_pe``/``log_pw`` update bottom-up along
+  the context path only (each node keeps the running sum of its children's
+  ``log_pw`` so the product never needs revisiting);
+* the predictive distribution follows the same recursion top-down: at a
+  node with mixing weight ``w = exp(log(1/2) + log_pe - log_pw)`` the
+  prediction is ``w * KT(a) + (1 - w) * P_child(a)``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import GenerationError
+from repro.llm.interface import LanguageModel
+
+__all__ = ["CTWLanguageModel"]
+
+_LOG_HALF = math.log(0.5)
+
+
+def _log_add(a: float, b: float) -> float:
+    """log(exp(a) + exp(b)) without overflow."""
+    if a < b:
+        a, b = b, a
+    return a + math.log1p(math.exp(b - a))
+
+
+class _Node:
+    """One context-tree node: counts and sequence log-probabilities."""
+
+    __slots__ = ("counts", "total", "log_pe", "log_pw", "children_log_pw")
+
+    def __init__(self, vocab_size: int) -> None:
+        self.counts = np.zeros(vocab_size, dtype=np.float64)
+        self.total = 0.0
+        self.log_pe = 0.0
+        self.log_pw = 0.0
+        self.children_log_pw = 0.0
+
+    def kt_probability(self, symbol: int, vocab_size: int) -> float:
+        """The m-ary Krichevsky-Trofimov estimator."""
+        return (self.counts[symbol] + 0.5) / (self.total + vocab_size / 2.0)
+
+    def mixing_weight(self) -> float:
+        """Posterior weight of 'stop splitting here' vs 'defer to children'."""
+        return math.exp(min(0.0, _LOG_HALF + self.log_pe - self.log_pw))
+
+
+class CTWLanguageModel(LanguageModel):
+    """Context Tree Weighting over a dense corpus-id vocabulary.
+
+    Parameters
+    ----------
+    vocab_size:
+        Alphabet size (digits + separator, or a SAX alphabet).
+    depth:
+        Maximum context length ``D`` mixed over (every tree up to this
+        depth participates in the Bayesian average).
+    """
+
+    def __init__(self, vocab_size: int, depth: int = 8) -> None:
+        super().__init__(vocab_size)
+        if depth < 1:
+            raise GenerationError(f"depth must be >= 1, got {depth}")
+        self.depth = depth
+        self._root = _Node(vocab_size)
+        self._nodes: dict[tuple[int, ...], _Node] = {}
+        self._history: list[int] = []
+
+    # -- session protocol ---------------------------------------------------
+
+    def reset(self, context: Sequence[int]) -> None:
+        self._root = _Node(self.vocab_size)
+        self._nodes = {}
+        self._history = []
+        for token in context:
+            self.advance(int(token))
+
+    def _path_nodes(self) -> list[tuple[tuple[int, ...], _Node]]:
+        """Nodes on the current context path, root (depth 0) first.
+
+        Context keys grow toward the past: the depth-k node is keyed by the
+        last ``k`` symbols (most recent first).  History before the start
+        is padded with symbol 0 — the standard CTW boundary convention that
+        keeps every path at full depth, which in turn keeps the weighted
+        sequence probability exactly normalised from the first symbol on.
+        """
+        history = self._history
+        n = len(history)
+        path: list[tuple[tuple[int, ...], _Node]] = [((), self._root)]
+        key: tuple[int, ...] = ()
+        for k in range(1, self.depth + 1):
+            symbol = history[n - k] if n - k >= 0 else 0
+            key = key + (symbol,)
+            node = self._nodes.get(key)
+            if node is None:
+                node = _Node(self.vocab_size)
+                self._nodes[key] = node
+            path.append((key, node))
+        return path
+
+    def advance(self, token: int) -> None:
+        self._check_token(token)
+        path = self._path_nodes()
+        # Bottom-up: update KT estimates and re-mix the weighted probs.
+        child_delta = 0.0
+        for depth in range(len(path) - 1, -1, -1):
+            _, node = path[depth]
+            node.log_pe += math.log(node.kt_probability(token, self.vocab_size))
+            node.counts[token] += 1.0
+            node.total += 1.0
+            old_log_pw = node.log_pw
+            node.children_log_pw += child_delta
+            if depth == self.depth:
+                # True leaf of the mixed family: no deeper splits exist.
+                node.log_pw = node.log_pe
+            else:
+                # Internal (or frontier) node: children not on the path —
+                # including never-seen ones, whose probability is 1 — enter
+                # through the running children product.
+                node.log_pw = _log_add(
+                    _LOG_HALF + node.log_pe, _LOG_HALF + node.children_log_pw
+                )
+            child_delta = node.log_pw - old_log_pw
+        self._history.append(token)
+
+    def next_distribution(self) -> np.ndarray:
+        """Exact CTW predictive: ``P(a) = P_w(x a) / P_w(x)``.
+
+        Implemented as a dry run of :meth:`advance` per candidate symbol,
+        which guarantees chain-rule consistency with the weighted sequence
+        probability at the root (a property test pins this).
+        """
+        path = self._path_nodes()
+        base = self._root.log_pw
+        probs = np.empty(self.vocab_size, dtype=float)
+        for symbol in range(self.vocab_size):
+            child_delta = 0.0
+            new_log_pw = 0.0
+            for depth in range(len(path) - 1, -1, -1):
+                _, node = path[depth]
+                log_pe = node.log_pe + math.log(
+                    node.kt_probability(symbol, self.vocab_size)
+                )
+                if depth == self.depth:
+                    new_log_pw = log_pe
+                else:
+                    new_log_pw = _log_add(
+                        _LOG_HALF + log_pe,
+                        _LOG_HALF + node.children_log_pw + child_delta,
+                    )
+                child_delta = new_log_pw - node.log_pw
+            probs[symbol] = math.exp(new_log_pw - base)
+        return probs / probs.sum()

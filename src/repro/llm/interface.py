@@ -1,0 +1,127 @@
+"""Abstract interface all language models in the substrate implement.
+
+Models are *in-context*: they carry no trained weights, only structure built
+from the prompt itself (this is the zero-shot setting — the only "training
+data" is the serialised history).  The contract mirrors what MultiCast needs
+from a Hugging Face model: next-token distributions over a fixed corpus-id
+space, autoregressive constrained sampling, and sequence log-likelihoods.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import GenerationError
+from repro.llm.constraints import Constraint
+from repro.llm.sampling import sample_from_distribution
+
+__all__ = ["LanguageModel", "GenerationResult"]
+
+
+@dataclass
+class GenerationResult:
+    """A sampled continuation plus accounting the cost model needs."""
+
+    tokens: list[int]
+    log_probs: list[float] = field(default_factory=list)
+
+    @property
+    def total_log_prob(self) -> float:
+        return float(sum(self.log_probs))
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+
+class LanguageModel(ABC):
+    """Autoregressive model over a dense corpus-id vocabulary.
+
+    Subclasses implement the incremental session protocol:
+    :meth:`reset` ingests a prompt, :meth:`next_distribution` returns the
+    distribution for the next position, and :meth:`advance` feeds one more
+    token (model output or forced).  The base class builds :meth:`generate`
+    and :meth:`sequence_nll` on top of that protocol.
+    """
+
+    def __init__(self, vocab_size: int) -> None:
+        if vocab_size < 2:
+            raise GenerationError(f"vocab_size must be >= 2, got {vocab_size}")
+        self.vocab_size = vocab_size
+
+    @abstractmethod
+    def reset(self, context: Sequence[int]) -> None:
+        """Start a new session conditioned on ``context``."""
+
+    @abstractmethod
+    def next_distribution(self) -> np.ndarray:
+        """Probability vector (sums to 1) for the next token."""
+
+    @abstractmethod
+    def advance(self, token: int) -> None:
+        """Append ``token`` to the session and update internal structure."""
+
+    def _check_token(self, token: int) -> None:
+        if not 0 <= token < self.vocab_size:
+            raise GenerationError(
+                f"token id {token} outside vocabulary of size {self.vocab_size}"
+            )
+
+    def generate(
+        self,
+        context: Sequence[int],
+        max_new_tokens: int,
+        rng: np.random.Generator,
+        constraint: Constraint | None = None,
+        temperature: float = 1.0,
+        top_k: int | None = None,
+        top_p: float | None = None,
+    ) -> GenerationResult:
+        """Sample a constrained continuation of ``context``.
+
+        ``constraint`` restricts the admissible ids at each generated
+        position (position 0 = first new token), reproducing the paper's
+        "model's output is limited to producing only digits and commas".
+        """
+        if max_new_tokens < 0:
+            raise GenerationError(f"max_new_tokens must be >= 0, got {max_new_tokens}")
+        self.reset(context)
+        tokens: list[int] = []
+        log_probs: list[float] = []
+        for position in range(max_new_tokens):
+            probs = self.next_distribution()
+            allowed = constraint.allowed_at(position) if constraint else None
+            token, prob = sample_from_distribution(
+                probs,
+                rng,
+                temperature=temperature,
+                top_k=top_k,
+                top_p=top_p,
+                allowed_ids=allowed,
+            )
+            tokens.append(token)
+            log_probs.append(float(np.log(max(prob, 1e-300))))
+            self.advance(token)
+        return GenerationResult(tokens=tokens, log_probs=log_probs)
+
+    def sequence_nll(
+        self,
+        tokens: Sequence[int],
+        context: Sequence[int] = (),
+    ) -> np.ndarray:
+        """Per-token negative log-likelihood of ``tokens`` after ``context``.
+
+        The anomaly-detection extension scores timestamps by this quantity:
+        a value the in-context model finds surprising gets a high NLL.
+        """
+        self.reset(context)
+        nll = np.empty(len(tokens), dtype=float)
+        for i, token in enumerate(tokens):
+            self._check_token(int(token))
+            probs = self.next_distribution()
+            nll[i] = -float(np.log(max(probs[int(token)], 1e-300)))
+            self.advance(int(token))
+        return nll

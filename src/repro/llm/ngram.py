@@ -1,0 +1,97 @@
+"""Fixed-order interpolated n-gram model and a uniform control model.
+
+:class:`NgramBackoffLM` recursively interpolates each order with the next
+shorter one (Jelinek–Mercer style with an additive prior):
+
+    P_k(t | s_k) = (c(s_k t) + alpha * P_{k-1}(t | s_{k-1})) / (c(s_k) + alpha)
+
+so unseen contexts fall back smoothly and the distribution is always proper.
+It serves as a second, simpler LLM stand-in and as a cross-check on PPM in
+the ablation benches.  :class:`UniformLM` ignores its context entirely — the
+"no model" control used by tests and the constrained-generation ablation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import GenerationError
+from repro.llm.interface import LanguageModel
+
+__all__ = ["NgramBackoffLM", "UniformLM"]
+
+
+class NgramBackoffLM(LanguageModel):
+    """Interpolated n-gram language model built from the prompt in context.
+
+    Parameters
+    ----------
+    vocab_size:
+        Size of the corpus-id space.
+    order:
+        Context length of the top-level model (an ``order``-gram conditions
+        on ``order`` previous tokens).
+    alpha:
+        Interpolation strength toward the next-shorter context; also acts as
+        the additive prior weight.
+    """
+
+    def __init__(self, vocab_size: int, order: int = 4, alpha: float = 0.5) -> None:
+        super().__init__(vocab_size)
+        if order < 0:
+            raise GenerationError(f"order must be >= 0, got {order}")
+        if alpha <= 0.0:
+            raise GenerationError(f"alpha must be > 0, got {alpha}")
+        self.order = order
+        self.alpha = alpha
+        self._tables: list[dict[tuple[int, ...], np.ndarray]] = []
+        self._history: list[int] = []
+
+    def reset(self, context: Sequence[int]) -> None:
+        self._tables = [
+            defaultdict(lambda: np.zeros(self.vocab_size, dtype=float))
+            for _ in range(self.order + 1)
+        ]
+        self._history = []
+        for token in context:
+            self.advance(int(token))
+
+    def advance(self, token: int) -> None:
+        self._check_token(token)
+        history = self._history
+        n = len(history)
+        for k in range(min(self.order, n) + 1):
+            suffix = tuple(history[n - k :]) if k else ()
+            self._tables[k][suffix][token] += 1.0
+        history.append(token)
+
+    def next_distribution(self) -> np.ndarray:
+        history = self._history
+        n = len(history)
+        # Order 0 with a uniform additive prior.
+        zero = self._tables[0].get((), np.zeros(self.vocab_size))
+        probs = (zero + self.alpha / self.vocab_size) / (zero.sum() + self.alpha)
+        for k in range(1, min(self.order, n) + 1):
+            suffix = tuple(history[n - k :])
+            counts = self._tables[k].get(suffix)
+            if counts is None:
+                counts = np.zeros(self.vocab_size)
+            probs = (counts + self.alpha * probs) / (counts.sum() + self.alpha)
+        return probs / probs.sum()
+
+
+class UniformLM(LanguageModel):
+    """Assigns equal probability to every token, regardless of context."""
+
+    def reset(self, context: Sequence[int]) -> None:
+        for token in context:
+            self._check_token(int(token))
+
+    def advance(self, token: int) -> None:
+        self._check_token(token)
+
+    def next_distribution(self) -> np.ndarray:
+        return np.full(self.vocab_size, 1.0 / self.vocab_size)

@@ -1,0 +1,68 @@
+"""In-context perplexity: scoring backend models without forecasting.
+
+Running a full forecast sweep to pick a backend is expensive; a cheaper,
+training-free proxy is the model's *in-context perplexity* on the history
+itself — how well the model predicts each next token of the serialised
+series given everything before it.  The second half of the series is
+scored (the first half is warm-up), matching how in-context competence is
+usually probed.
+
+``bits_per_token`` = mean log2 loss; lower is better.  The model-selection
+experiment (``bench_model_selection_by_nll``) shows the ranking agrees with
+the RMSE ranking of Table III.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encoding import digit_vocabulary, render_token_stream, DigitCodec
+from repro.exceptions import DataError
+from repro.llm.simulated import get_model
+from repro.scaling import FixedDigitScaler
+
+__all__ = ["bits_per_token", "rank_models_by_perplexity"]
+
+
+def bits_per_token(
+    model_name: str,
+    series: np.ndarray,
+    num_digits: int = 3,
+    warmup_fraction: float = 0.5,
+) -> float:
+    """Mean log2 loss of a backend preset on a serialised series.
+
+    The series is scaled and tokenized exactly as the forecasting pipeline
+    would; the model scores tokens after the warm-up prefix.
+    """
+    values = np.asarray(series, dtype=float)
+    if values.ndim != 1 or values.size < 8:
+        raise DataError("bits_per_token needs a 1-D series of >= 8 points")
+    if not 0.0 < warmup_fraction < 1.0:
+        raise DataError(
+            f"warmup_fraction must be in (0, 1), got {warmup_fraction}"
+        )
+    scaler = FixedDigitScaler(num_digits=num_digits).fit(values)
+    codec = DigitCodec(num_digits)
+    vocabulary = digit_vocabulary()
+    tokens = render_token_stream(scaler.transform(values).tolist(), codec)
+    ids = vocabulary.encode(tokens)
+    split = max(1, int(len(ids) * warmup_fraction))
+    model = get_model(model_name, vocab_size=len(vocabulary))
+    nll = model.sequence_nll(ids[split:], context=ids[:split])
+    return float(nll.mean() / np.log(2.0))
+
+
+def rank_models_by_perplexity(
+    model_names: list[str],
+    series: np.ndarray,
+    num_digits: int = 3,
+) -> list[tuple[str, float]]:
+    """Score several presets on one series; best (lowest bits) first."""
+    if not model_names:
+        raise DataError("need at least one model name")
+    scored = [
+        (name, bits_per_token(name, series, num_digits=num_digits))
+        for name in model_names
+    ]
+    return sorted(scored, key=lambda pair: pair[1])

@@ -1,0 +1,139 @@
+"""Prediction by Partial Matching (PPM) — the main LLM stand-in.
+
+Zero-shot LLM forecasting works because an LLM continues the repetitive
+structure of the numeric token stream it is shown (the LLMTime argument that
+digit-by-digit prediction follows a multimodal distribution the model infers
+in context).  PPM performs precisely that in-context induction: it predicts
+the next token from counts gathered over the prompt itself, preferring the
+longest context suffix that has been seen before and *escaping* to shorter
+suffixes when the long one is uninformative.
+
+This implementation uses the PPM-C escape estimator without exclusion:
+
+    P_k(t | s_k)   = c(s_k t) / (c(s_k) + d(s_k))
+    P_esc(s_k)     = d(s_k)   / (c(s_k) + d(s_k))
+
+where ``s_k`` is the length-``k`` suffix, ``c`` are continuation counts and
+``d`` the number of distinct continuations.  Probability mass cascades from
+order ``max_order`` down to order 0 and finally a uniform floor, so every
+token always has non-zero probability.
+
+The context index is *incremental*: ingesting the prompt is O(n · max_order)
+dictionary updates and every generated token costs O(max_order), which keeps
+full benchmark sweeps fast.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import GenerationError
+from repro.llm.interface import LanguageModel
+
+__all__ = ["PPMLanguageModel"]
+
+
+class _ContextCounts:
+    """Continuation counts for one context order: suffix-tuple -> counts."""
+
+    __slots__ = ("table",)
+
+    def __init__(self) -> None:
+        self.table: dict[tuple[int, ...], dict[int, int]] = defaultdict(dict)
+
+    def observe(self, suffix: tuple[int, ...], token: int) -> None:
+        counts = self.table[suffix]
+        counts[token] = counts.get(token, 0) + 1
+
+    def get(self, suffix: tuple[int, ...]) -> dict[int, int] | None:
+        return self.table.get(suffix)
+
+
+class PPMLanguageModel(LanguageModel):
+    """Variable-order PPM model over a dense corpus-id vocabulary.
+
+    Parameters
+    ----------
+    vocab_size:
+        Size of the corpus-id space (digits + separator, or SAX symbols).
+    max_order:
+        Longest context suffix considered.  This is the model-capacity knob
+        that differentiates the simulated LLaMA2 and Phi-2 presets.
+    uniform_floor:
+        Weight left for the uniform distribution after the order-0 escape —
+        keeps the model proper and mildly exploratory.
+    """
+
+    def __init__(
+        self,
+        vocab_size: int,
+        max_order: int = 8,
+        uniform_floor: float = 1e-3,
+    ) -> None:
+        super().__init__(vocab_size)
+        if max_order < 0:
+            raise GenerationError(f"max_order must be >= 0, got {max_order}")
+        if not 0.0 < uniform_floor < 1.0:
+            raise GenerationError(
+                f"uniform_floor must be in (0, 1), got {uniform_floor}"
+            )
+        self.max_order = max_order
+        self.uniform_floor = uniform_floor
+        self._orders: list[_ContextCounts] = []
+        self._zero_counts = np.zeros(vocab_size, dtype=float)
+        self._history: list[int] = []
+
+    # -- session protocol ---------------------------------------------------
+
+    def reset(self, context: Sequence[int]) -> None:
+        self._orders = [_ContextCounts() for _ in range(self.max_order + 1)]
+        self._zero_counts = np.zeros(self.vocab_size, dtype=float)
+        self._history = []
+        for token in context:
+            self.advance(int(token))
+
+    def advance(self, token: int) -> None:
+        self._check_token(token)
+        history = self._history
+        n = len(history)
+        # Record the continuation for every suffix order ending here.
+        self._zero_counts[token] += 1.0
+        for k in range(1, min(self.max_order, n) + 1):
+            suffix = tuple(history[n - k :])
+            self._orders[k].observe(suffix, token)
+        history.append(token)
+
+    def next_distribution(self) -> np.ndarray:
+        history = self._history
+        n = len(history)
+        result = np.zeros(self.vocab_size, dtype=float)
+        weight = 1.0
+
+        for k in range(min(self.max_order, n), 0, -1):
+            suffix = tuple(history[n - k :])
+            counts = self._orders[k].get(suffix)
+            if not counts:
+                continue
+            total = sum(counts.values())
+            distinct = len(counts)
+            denom = total + distinct
+            for token, count in counts.items():
+                result[token] += weight * count / denom
+            weight *= distinct / denom
+            if weight < 1e-12:
+                break
+
+        # Order 0: global unigram with its own escape toward uniform.
+        total0 = float(self._zero_counts.sum())
+        if total0 > 0.0:
+            distinct0 = float(np.count_nonzero(self._zero_counts))
+            denom0 = total0 + distinct0
+            result += weight * self._zero_counts / denom0
+            weight *= distinct0 / denom0
+
+        floor_weight = max(weight, self.uniform_floor)
+        result += floor_weight / self.vocab_size
+        return result / result.sum()

@@ -1,0 +1,131 @@
+"""Recency-weighted PPM: decayed continuation counts.
+
+Real LLMs weight recent context more heavily than distant context; plain
+PPM counts every historical occurrence equally, so a pattern that changed
+mid-series keeps pulling predictions toward its old continuation.
+:class:`RecencyPPMLanguageModel` decays each continuation count
+exponentially with its age — the weight of an observation ``k`` steps ago
+is ``0.5 ** (k / halflife)`` — while keeping the PPM-C escape mechanism
+over the *decayed* totals.
+
+Counts are stored in amortised O(1) per observation: each cell keeps an
+accumulated decayed weight and the time it was last touched, folding the
+decay in lazily on update and on read.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import GenerationError
+from repro.llm.interface import LanguageModel
+
+__all__ = ["RecencyPPMLanguageModel"]
+
+
+class _DecayedCell:
+    """One (suffix, token) weight with lazy exponential decay."""
+
+    __slots__ = ("weight", "touched")
+
+    def __init__(self) -> None:
+        self.weight = 0.0
+        self.touched = 0
+
+    def bump(self, now: int, gamma: float) -> None:
+        self.weight = self.weight * gamma ** (now - self.touched) + 1.0
+        self.touched = now
+
+    def value(self, now: int, gamma: float) -> float:
+        return self.weight * gamma ** (now - self.touched)
+
+
+class RecencyPPMLanguageModel(LanguageModel):
+    """Variable-order PPM with exponentially decayed counts.
+
+    Parameters
+    ----------
+    vocab_size, max_order, uniform_floor:
+        As in :class:`~repro.llm.ppm.PPMLanguageModel`.
+    halflife:
+        Age (in tokens) at which an observation's weight halves.  Large
+        halflives converge to plain PPM; short ones track regime changes.
+    """
+
+    def __init__(
+        self,
+        vocab_size: int,
+        max_order: int = 8,
+        halflife: float = 500.0,
+        uniform_floor: float = 1e-3,
+    ) -> None:
+        super().__init__(vocab_size)
+        if max_order < 0:
+            raise GenerationError(f"max_order must be >= 0, got {max_order}")
+        if halflife <= 0:
+            raise GenerationError(f"halflife must be > 0, got {halflife}")
+        if not 0.0 < uniform_floor < 1.0:
+            raise GenerationError(
+                f"uniform_floor must be in (0, 1), got {uniform_floor}"
+            )
+        self.max_order = max_order
+        self.halflife = halflife
+        self.uniform_floor = uniform_floor
+        self._gamma = 0.5 ** (1.0 / halflife)
+        self._tables: list[dict[tuple[int, ...], dict[int, _DecayedCell]]] = []
+        self._history: list[int] = []
+
+    def reset(self, context: Sequence[int]) -> None:
+        self._tables = [
+            defaultdict(dict) for _ in range(self.max_order + 1)
+        ]
+        self._history = []
+        for token in context:
+            self.advance(int(token))
+
+    def advance(self, token: int) -> None:
+        self._check_token(token)
+        history = self._history
+        n = len(history)
+        for k in range(min(self.max_order, n) + 1):
+            suffix = tuple(history[n - k :]) if k else ()
+            cells = self._tables[k][suffix]
+            cell = cells.get(token)
+            if cell is None:
+                cell = _DecayedCell()
+                cells[token] = cell
+            cell.bump(n, self._gamma)
+        history.append(token)
+
+    def next_distribution(self) -> np.ndarray:
+        history = self._history
+        now = len(history)
+        result = np.zeros(self.vocab_size, dtype=float)
+        weight = 1.0
+
+        for k in range(min(self.max_order, now), -1, -1):
+            suffix = tuple(history[now - k :]) if k else ()
+            cells = self._tables[k].get(suffix)
+            if not cells:
+                continue
+            values = {
+                token: cell.value(now, self._gamma)
+                for token, cell in cells.items()
+            }
+            total = sum(values.values())
+            if total <= 0.0:
+                continue
+            distinct = len(values)
+            denom = total + distinct
+            for token, value in values.items():
+                result[token] += weight * value / denom
+            weight *= distinct / denom
+            if weight < 1e-12:
+                break
+
+        floor_weight = max(weight, self.uniform_floor)
+        result += floor_weight / self.vocab_size
+        return result / result.sum()

@@ -1,0 +1,93 @@
+"""Sampling from a next-token distribution with the usual LLM knobs.
+
+Order of operations mirrors Hugging Face's ``generate``: constrain (logit
+mask), temperature, top-k, then top-p (nucleus), renormalising after each
+filter.  If masking leaves no probability mass, sampling falls back to a
+uniform distribution over the admissible ids — the constrained equivalent of
+an untrained model, never an error.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.exceptions import GenerationError
+
+__all__ = ["sample_from_distribution"]
+
+
+def sample_from_distribution(
+    probs: np.ndarray,
+    rng: np.random.Generator,
+    temperature: float = 1.0,
+    top_k: int | None = None,
+    top_p: float | None = None,
+    allowed_ids: Iterable[int] | None = None,
+) -> tuple[int, float]:
+    """Draw one token id; returns ``(token_id, probability_it_was_drawn_with)``.
+
+    ``probs`` is a length-V probability vector.  ``temperature`` rescales in
+    log space (``p ** (1/T)``); values below 1 sharpen, above 1 flatten, and
+    0 means greedy argmax.  ``top_k``/``top_p`` filter before renormalising.
+    """
+    p = np.asarray(probs, dtype=float)
+    if p.ndim != 1:
+        raise GenerationError(f"expected a 1-D probability vector, got {p.shape}")
+    if temperature < 0:
+        raise GenerationError(f"temperature must be >= 0, got {temperature}")
+    if top_k is not None and top_k < 1:
+        raise GenerationError(f"top_k must be >= 1, got {top_k}")
+    if top_p is not None and not 0.0 < top_p <= 1.0:
+        raise GenerationError(f"top_p must be in (0, 1], got {top_p}")
+
+    p = np.clip(p, 0.0, None)
+
+    if allowed_ids is not None:
+        mask = np.zeros_like(p, dtype=bool)
+        ids = np.fromiter((int(i) for i in allowed_ids), dtype=int)
+        if ids.size == 0:
+            raise GenerationError("allowed_ids is empty")
+        if ids.min() < 0 or ids.max() >= p.size:
+            raise GenerationError("allowed_ids outside the vocabulary")
+        mask[ids] = True
+        p = np.where(mask, p, 0.0)
+        if p.sum() <= 0.0:
+            p = mask.astype(float)  # uniform over the admissible set
+
+    if p.sum() <= 0.0:
+        raise GenerationError("distribution has no probability mass")
+    p = p / p.sum()
+
+    if temperature < 1e-6:
+        # Exactly-zero and denormal temperatures both mean greedy decoding
+        # (dividing log-probabilities by a denormal would overflow).
+        token = int(np.argmax(p))
+        return token, float(p[token])
+    if temperature != 1.0:
+        with np.errstate(divide="ignore"):
+            logp = np.where(p > 0.0, np.log(p), -np.inf)
+        logp = logp / temperature
+        logp -= logp.max()
+        p = np.exp(logp)
+        p[~np.isfinite(p)] = 0.0
+        p = p / p.sum()
+
+    if top_k is not None and top_k < np.count_nonzero(p):
+        keep = np.argsort(p)[-top_k:]
+        filtered = np.zeros_like(p)
+        filtered[keep] = p[keep]
+        p = filtered / filtered.sum()
+
+    if top_p is not None and top_p < 1.0:
+        order = np.argsort(p)[::-1]
+        cumulative = np.cumsum(p[order])
+        cutoff = int(np.searchsorted(cumulative, top_p)) + 1
+        keep = order[:cutoff]
+        filtered = np.zeros_like(p)
+        filtered[keep] = p[keep]
+        p = filtered / filtered.sum()
+
+    token = int(rng.choice(p.size, p=p))
+    return token, float(p[token])

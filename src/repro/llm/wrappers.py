@@ -1,0 +1,73 @@
+"""Model wrappers that modify a base LM's next-token distribution.
+
+:class:`ShiftBiasedLM` mixes part of the base distribution's probability
+mass one *value token* upward (digit ``d`` → ``d+1``, SAX symbol ``s`` →
+the next interval).  At the most-significant digit position this produces a
+systematic upward offset of the decoded values — precisely the failure mode
+the paper observes for Phi-2 (Fig. 2b: "its entire output is shifted 1 to 2
+units on the y-axis" while still tracking the trend).  The separator token
+(always the last corpus id) is never disturbed, so streams stay well-formed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import GenerationError
+from repro.llm.interface import LanguageModel
+
+__all__ = ["ShiftBiasedLM"]
+
+
+class ShiftBiasedLM(LanguageModel):
+    """Delegate to ``base`` but lean the sampled values one step upward.
+
+    Parameters
+    ----------
+    base:
+        The wrapped in-context model (consumes the same vocabulary).
+    shift_weight:
+        Fraction of each value token's probability mass moved upward.  The
+        separator id (``vocab_size - 1``) is left untouched.
+    shift_steps:
+        How many value ids the mass moves (clamped at the top value id).
+        The expected decoded offset per digit is ``shift_weight * shift_steps``.
+    """
+
+    def __init__(
+        self,
+        base: LanguageModel,
+        shift_weight: float = 0.3,
+        shift_steps: int = 1,
+    ) -> None:
+        super().__init__(base.vocab_size)
+        if not 0.0 <= shift_weight < 1.0:
+            raise GenerationError(
+                f"shift_weight must be in [0, 1), got {shift_weight}"
+            )
+        if shift_steps < 1:
+            raise GenerationError(f"shift_steps must be >= 1, got {shift_steps}")
+        self.base = base
+        self.shift_weight = shift_weight
+        self.shift_steps = shift_steps
+
+    def reset(self, context: Sequence[int]) -> None:
+        self.base.reset(context)
+
+    def advance(self, token: int) -> None:
+        self.base.advance(token)
+
+    def next_distribution(self) -> np.ndarray:
+        probs = self.base.next_distribution().copy()
+        last_value = self.vocab_size - 2  # ids [0, last_value] are values
+        if last_value < 1:
+            return probs
+        moved = self.shift_weight * probs[: last_value + 1]
+        probs[: last_value + 1] -= moved
+        targets = np.minimum(
+            np.arange(last_value + 1) + self.shift_steps, last_value
+        )
+        np.add.at(probs, targets, moved)
+        return probs / probs.sum()

@@ -1,0 +1,38 @@
+"""Forecast accuracy metrics.
+
+The paper evaluates exclusively with RMSE (Section IV-A5); the other metrics
+here are standard companions that the test-suite and ablation benches use to
+cross-check results.
+"""
+
+from repro.metrics.errors import (
+    mae,
+    mape,
+    mase,
+    nrmse,
+    per_dimension_report,
+    rmse,
+    smape,
+)
+from repro.metrics.intervals import (
+    crps_from_samples,
+    interval_coverage,
+    pinball_loss,
+    sample_quantiles,
+    winkler_score,
+)
+
+__all__ = [
+    "rmse",
+    "mae",
+    "mape",
+    "smape",
+    "nrmse",
+    "mase",
+    "per_dimension_report",
+    "pinball_loss",
+    "interval_coverage",
+    "winkler_score",
+    "crps_from_samples",
+    "sample_quantiles",
+]

@@ -1,0 +1,143 @@
+"""Error metrics for point forecasts.
+
+All metrics accept one-dimensional arrays (a single series) or
+two-dimensional arrays shaped ``(n_timestamps, n_dims)``.  For 2-D input the
+error is computed over all entries, which matches how the paper reports a
+single RMSE per (method, dimension) pair: slice the dimension first, then
+call the metric.
+
+The formulation of RMSE follows Section IV-A5 of the paper:
+``sqrt(sum_i (y_i - yhat_i)^2 / n)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+__all__ = [
+    "rmse",
+    "mae",
+    "mape",
+    "smape",
+    "nrmse",
+    "mase",
+    "per_dimension_report",
+]
+
+
+def _validated(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Coerce both inputs to float arrays and check they are comparable."""
+    yt = np.asarray(y_true, dtype=float)
+    yp = np.asarray(y_pred, dtype=float)
+    if yt.shape != yp.shape:
+        raise DataError(
+            f"shape mismatch between actuals {yt.shape} and predictions {yp.shape}"
+        )
+    if yt.size == 0:
+        raise DataError("cannot compute a metric over zero timestamps")
+    if not (np.isfinite(yt).all() and np.isfinite(yp).all()):
+        raise DataError("metrics require finite values (found NaN or inf)")
+    return yt, yp
+
+
+def rmse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Root mean squared error (the paper's headline metric)."""
+    yt, yp = _validated(y_true, y_pred)
+    return float(np.sqrt(np.mean((yt - yp) ** 2)))
+
+
+def mae(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean absolute error."""
+    yt, yp = _validated(y_true, y_pred)
+    return float(np.mean(np.abs(yt - yp)))
+
+
+def mape(y_true: np.ndarray, y_pred: np.ndarray, epsilon: float = 1e-8) -> float:
+    """Mean absolute percentage error.
+
+    ``epsilon`` guards the division for series that touch zero; values whose
+    magnitude is below ``epsilon`` contribute with the clamped denominator.
+    """
+    yt, yp = _validated(y_true, y_pred)
+    denom = np.maximum(np.abs(yt), epsilon)
+    return float(np.mean(np.abs(yt - yp) / denom) * 100.0)
+
+
+def smape(y_true: np.ndarray, y_pred: np.ndarray, epsilon: float = 1e-8) -> float:
+    """Symmetric mean absolute percentage error, in [0, 200]."""
+    yt, yp = _validated(y_true, y_pred)
+    denom = np.maximum((np.abs(yt) + np.abs(yp)) / 2.0, epsilon)
+    return float(np.mean(np.abs(yt - yp) / denom) * 100.0)
+
+
+def nrmse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """RMSE normalised by the range of the actuals.
+
+    Useful to compare error magnitudes across dimensions whose scales differ
+    by orders of magnitude (e.g. HUFL vs HULL in the Electricity dataset).
+    """
+    yt, yp = _validated(y_true, y_pred)
+    spread = float(yt.max() - yt.min())
+    if spread == 0.0:
+        raise DataError("nrmse is undefined for a constant actual series")
+    return rmse(yt, yp) / spread
+
+
+def mase(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    y_train: np.ndarray,
+    seasonality: int = 1,
+) -> float:
+    """Mean absolute scaled error against a seasonal-naive in-sample forecast.
+
+    ``y_train`` is the history the forecaster saw; ``seasonality`` is the
+    naive lag (1 = plain naive).  Only defined for univariate series.
+    """
+    yt, yp = _validated(y_true, y_pred)
+    train = np.asarray(y_train, dtype=float)
+    if train.ndim != 1 or yt.ndim != 1:
+        raise DataError("mase is defined for univariate series only")
+    if seasonality < 1:
+        raise DataError(f"seasonality must be >= 1, got {seasonality}")
+    if train.size <= seasonality:
+        raise DataError("training series shorter than the seasonal lag")
+    scale = np.mean(np.abs(train[seasonality:] - train[:-seasonality]))
+    if scale == 0.0:
+        raise DataError("mase scale is zero (constant training series)")
+    return float(np.mean(np.abs(yt - yp)) / scale)
+
+
+def per_dimension_report(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    dim_names: list[str] | None = None,
+) -> dict[str, dict[str, float]]:
+    """Compute RMSE/MAE/sMAPE for every dimension of a multivariate forecast.
+
+    Returns a mapping ``{dimension_name: {"rmse": ..., "mae": ..., "smape": ...}}``
+    in dimension order — the building block for the paper's Tables IV-VI.
+    """
+    yt, yp = _validated(y_true, y_pred)
+    if yt.ndim == 1:
+        yt = yt[:, None]
+        yp = yp[:, None]
+    if yt.ndim != 2:
+        raise DataError(f"expected a (n, d) array, got ndim={yt.ndim}")
+    n_dims = yt.shape[1]
+    if dim_names is None:
+        dim_names = [f"dim_{i}" for i in range(n_dims)]
+    if len(dim_names) != n_dims:
+        raise DataError(
+            f"{len(dim_names)} dimension names supplied for {n_dims} dimensions"
+        )
+    report: dict[str, dict[str, float]] = {}
+    for i, name in enumerate(dim_names):
+        report[name] = {
+            "rmse": rmse(yt[:, i], yp[:, i]),
+            "mae": mae(yt[:, i], yp[:, i]),
+            "smape": smape(yt[:, i], yp[:, i]),
+        }
+    return report

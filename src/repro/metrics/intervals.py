@@ -1,0 +1,123 @@
+"""Probabilistic-forecast metrics over the sampled trajectories.
+
+MultiCast draws several continuations per forecast; beyond the median point
+forecast, the samples define empirical predictive quantiles.  These metrics
+score them:
+
+* :func:`pinball_loss` — quantile (pinball) loss of a quantile forecast;
+* :func:`interval_coverage` — fraction of actuals inside a central band;
+* :func:`winkler_score` — interval width plus out-of-band penalties;
+* :func:`crps_from_samples` — the continuous ranked probability score
+  estimated directly from the sample ensemble (the standard
+  energy-form estimator).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+__all__ = [
+    "pinball_loss",
+    "interval_coverage",
+    "winkler_score",
+    "crps_from_samples",
+    "sample_quantiles",
+]
+
+
+def sample_quantiles(samples: np.ndarray, quantiles: list[float]) -> np.ndarray:
+    """Empirical per-cell quantiles of a ``(num_samples, ...)`` ensemble."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.ndim < 2 or arr.shape[0] < 1:
+        raise DataError("expected a (num_samples, ...) ensemble")
+    for q in quantiles:
+        if not 0.0 <= q <= 1.0:
+            raise DataError(f"quantile {q} outside [0, 1]")
+    return np.quantile(arr, quantiles, axis=0)
+
+
+def pinball_loss(y_true: np.ndarray, y_quantile: np.ndarray, quantile: float) -> float:
+    """Mean pinball loss of a ``quantile``-level forecast.
+
+    Asymmetric absolute error: under-forecasts cost ``q``, over-forecasts
+    ``1 - q`` per unit.  The proper scoring rule for a single quantile.
+    """
+    if not 0.0 < quantile < 1.0:
+        raise DataError(f"quantile must be in (0, 1), got {quantile}")
+    yt = np.asarray(y_true, dtype=float)
+    yq = np.asarray(y_quantile, dtype=float)
+    if yt.shape != yq.shape:
+        raise DataError(f"shape mismatch: {yt.shape} vs {yq.shape}")
+    if yt.size == 0:
+        raise DataError("empty input")
+    diff = yt - yq
+    return float(np.mean(np.maximum(quantile * diff, (quantile - 1.0) * diff)))
+
+
+def interval_coverage(
+    y_true: np.ndarray, lower: np.ndarray, upper: np.ndarray
+) -> float:
+    """Fraction of actuals falling inside ``[lower, upper]``."""
+    yt = np.asarray(y_true, dtype=float)
+    lo = np.asarray(lower, dtype=float)
+    hi = np.asarray(upper, dtype=float)
+    if not yt.shape == lo.shape == hi.shape:
+        raise DataError("y_true, lower, upper must share a shape")
+    if yt.size == 0:
+        raise DataError("empty input")
+    if (lo > hi).any():
+        raise DataError("lower bound exceeds upper bound somewhere")
+    return float(np.mean((yt >= lo) & (yt <= hi)))
+
+
+def winkler_score(
+    y_true: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    level: float = 0.8,
+) -> float:
+    """Winkler (interval) score for a central ``level`` prediction interval.
+
+    Width of the interval, plus ``2 / alpha`` times the distance by which
+    the actual escapes it (``alpha = 1 - level``).  Lower is better; the
+    score is minimised by the true central interval.
+    """
+    if not 0.0 < level < 1.0:
+        raise DataError(f"level must be in (0, 1), got {level}")
+    yt = np.asarray(y_true, dtype=float)
+    lo = np.asarray(lower, dtype=float)
+    hi = np.asarray(upper, dtype=float)
+    if not yt.shape == lo.shape == hi.shape:
+        raise DataError("y_true, lower, upper must share a shape")
+    if yt.size == 0:
+        raise DataError("empty input")
+    if (lo > hi).any():
+        raise DataError("lower bound exceeds upper bound somewhere")
+    alpha = 1.0 - level
+    width = hi - lo
+    below = np.maximum(lo - yt, 0.0)
+    above = np.maximum(yt - hi, 0.0)
+    return float(np.mean(width + (2.0 / alpha) * (below + above)))
+
+
+def crps_from_samples(y_true: np.ndarray, samples: np.ndarray) -> float:
+    """CRPS estimated from an ensemble (energy form).
+
+    ``CRPS = E|X - y| - 0.5 * E|X - X'|`` with X, X' independent ensemble
+    draws.  ``samples`` has shape ``(num_samples, *y_true.shape)``.
+    """
+    yt = np.asarray(y_true, dtype=float)
+    ens = np.asarray(samples, dtype=float)
+    if ens.ndim != yt.ndim + 1 or ens.shape[1:] != yt.shape:
+        raise DataError(
+            f"samples shape {ens.shape} incompatible with actuals {yt.shape}"
+        )
+    s = ens.shape[0]
+    if s < 2:
+        raise DataError("CRPS needs at least two samples")
+    term_accuracy = np.mean(np.abs(ens - yt[None, ...]))
+    spread = np.abs(ens[:, None, ...] - ens[None, :, ...])
+    term_spread = spread.sum() / (s * (s - 1)) / yt.size
+    return float(term_accuracy - 0.5 * term_spread)

@@ -1,0 +1,29 @@
+"""Symbolic Aggregate approXimation (SAX) quantization substrate.
+
+Section III-B of the paper quantizes each dimension on both axes before
+tokenization: the time axis via Piecewise Aggregate Approximation (PAA) with
+segment length ``w``, and the value axis via equiprobable Gaussian breakpoints
+for an alphabet of size ``a``.  Symbols can be alphabetical (``a``, ``b``, …)
+or digital (``0``-``9``); the digital alphabet is capped at 10 symbols, which
+is why Table IX reports N/A for digital SAX at alphabet size 20.
+"""
+
+from repro.sax.paa import inverse_paa, paa
+from repro.sax.breakpoints import (
+    gaussian_breakpoints,
+    interval_expected_values,
+    interval_midpoints,
+    inverse_normal_cdf,
+)
+from repro.sax.encoder import SaxAlphabet, SaxEncoder
+
+__all__ = [
+    "paa",
+    "inverse_paa",
+    "gaussian_breakpoints",
+    "interval_midpoints",
+    "interval_expected_values",
+    "inverse_normal_cdf",
+    "SaxAlphabet",
+    "SaxEncoder",
+]

@@ -1,0 +1,148 @@
+"""SAX encoding of univariate series and symbol-level reconstruction.
+
+:class:`SaxEncoder` composes the substrate pieces: z-normalise against the
+training history, PAA-compress the time axis, then discretize with Gaussian
+breakpoints into a :class:`SaxAlphabet`.  Decoding inverts each step —
+symbols map to a representative value per interval, segments expand to their
+window, and the z-normalisation is undone — giving the piecewise-constant
+reconstruction the paper plots in Figures 6-8.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigError, EncodingError
+from repro.sax.breakpoints import (
+    gaussian_breakpoints,
+    interval_expected_values,
+    interval_midpoints,
+)
+from repro.sax.paa import inverse_paa, paa
+from repro.scaling.scalers import ZScoreScaler
+
+__all__ = ["SaxAlphabet", "SaxEncoder"]
+
+_LETTERS = "abcdefghijklmnopqrstuvwxyz"
+_DIGITS = "0123456789"
+
+
+@dataclass(frozen=True)
+class SaxAlphabet:
+    """An ordered SAX symbol set (lowest interval first).
+
+    The paper supports two encodings (Section III-B): *alphabetical*
+    (``a`` < ``b`` < …, up to 26 symbols) and *digital* (``0`` < ``1`` < …,
+    up to 10 symbols — hence the N/A cell in Table IX).
+    """
+
+    symbols: tuple[str, ...]
+
+    @classmethod
+    def alphabetical(cls, size: int) -> "SaxAlphabet":
+        if not 2 <= size <= len(_LETTERS):
+            raise ConfigError(
+                f"alphabetical SAX supports sizes 2..{len(_LETTERS)}, got {size}"
+            )
+        return cls(tuple(_LETTERS[:size]))
+
+    @classmethod
+    def digital(cls, size: int) -> "SaxAlphabet":
+        if not 2 <= size <= len(_DIGITS):
+            raise ConfigError(
+                f"digital SAX supports sizes 2..{len(_DIGITS)}, got {size}"
+            )
+        return cls(tuple(_DIGITS[:size]))
+
+    @classmethod
+    def of_kind(cls, kind: str, size: int) -> "SaxAlphabet":
+        """Build by kind name: ``"alphabetical"`` or ``"digital"``."""
+        if kind == "alphabetical":
+            return cls.alphabetical(size)
+        if kind == "digital":
+            return cls.digital(size)
+        raise ConfigError(f"unknown SAX alphabet kind {kind!r}")
+
+    def __len__(self) -> int:
+        return len(self.symbols)
+
+    def index_of(self, symbol: str) -> int:
+        """Position of ``symbol`` in the alphabet (its breakpoint interval)."""
+        try:
+            return self.symbols.index(symbol)
+        except ValueError:
+            raise EncodingError(f"symbol {symbol!r} not in SAX alphabet") from None
+
+
+class SaxEncoder:
+    """Reversible (lossy) SAX transform for one dimension of a series.
+
+    Parameters
+    ----------
+    segment_length:
+        PAA window width ``w`` (x-axis quantization level, Table II).
+    alphabet:
+        The symbol set (y-axis quantization level).
+    reconstruction:
+        ``"midpoint"`` (interval median, default) or ``"expected"``
+        (conditional Gaussian mean) — an ablation knob called out in DESIGN.md.
+    """
+
+    def __init__(
+        self,
+        segment_length: int,
+        alphabet: SaxAlphabet,
+        reconstruction: str = "midpoint",
+    ) -> None:
+        if segment_length < 1:
+            raise ConfigError(f"segment_length must be >= 1, got {segment_length}")
+        if reconstruction not in ("midpoint", "expected"):
+            raise ConfigError(f"unknown reconstruction mode {reconstruction!r}")
+        self.segment_length = segment_length
+        self.alphabet = alphabet
+        self.reconstruction = reconstruction
+        self._breakpoints = gaussian_breakpoints(len(alphabet))
+        if reconstruction == "midpoint":
+            self._levels = interval_midpoints(len(alphabet))
+        else:
+            self._levels = interval_expected_values(len(alphabet))
+        self._zscaler = ZScoreScaler()
+        self._fitted = False
+
+    def fit(self, history: np.ndarray) -> "SaxEncoder":
+        """Learn the z-normalisation statistics from the training history."""
+        self._zscaler.fit(np.asarray(history, dtype=float))
+        self._fitted = True
+        return self
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise EncodingError("SaxEncoder used before fit()")
+
+    def encode(self, x: np.ndarray) -> list[str]:
+        """Series -> SAX word (one symbol per PAA segment)."""
+        self._require_fitted()
+        z = self._zscaler.transform(np.asarray(x, dtype=float))
+        coefficients = paa(z, self.segment_length)
+        indices = np.searchsorted(self._breakpoints, coefficients, side="left")
+        return [self.alphabet.symbols[i] for i in indices]
+
+    def symbol_values(self) -> np.ndarray:
+        """Representative *original-unit* value of each symbol, in order."""
+        self._require_fitted()
+        return self._zscaler.inverse_transform(self._levels)
+
+    def decode(self, symbols: Sequence[str], n: int) -> np.ndarray:
+        """SAX word -> length-``n`` piecewise-constant series in original units."""
+        self._require_fitted()
+        indices = np.array([self.alphabet.index_of(s) for s in symbols], dtype=int)
+        coefficients = self._levels[indices]
+        z = inverse_paa(coefficients, self.segment_length, n)
+        return self._zscaler.inverse_transform(z)
+
+    def segments_for(self, n: int) -> int:
+        """How many symbols encode a series of length ``n``."""
+        return -(-n // self.segment_length)

@@ -1,0 +1,62 @@
+"""Piecewise Aggregate Approximation (PAA) and its pseudo-inverse.
+
+PAA (Keogh et al., 2001; Yi & Faloutsos, 2000) compresses a series along the
+time axis by replacing each window of ``segment_length`` consecutive values
+with their mean.  The paper uses the segment length as "the level of
+quantization on the x-axis" (Table II), so we parameterise by segment length
+rather than by segment count; a trailing partial window is aggregated over
+the values it actually contains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+__all__ = ["paa", "inverse_paa", "num_segments"]
+
+
+def num_segments(n: int, segment_length: int) -> int:
+    """Number of PAA segments covering a series of length ``n``."""
+    if segment_length < 1:
+        raise DataError(f"segment_length must be >= 1, got {segment_length}")
+    if n < 1:
+        raise DataError(f"series length must be >= 1, got {n}")
+    return -(-n // segment_length)  # ceil division
+
+
+def paa(x: np.ndarray, segment_length: int) -> np.ndarray:
+    """Compress ``x`` to per-segment means.
+
+    Returns an array of ``ceil(len(x) / segment_length)`` coefficients; the
+    last coefficient averages the (possibly shorter) trailing window.
+    """
+    arr = np.asarray(x, dtype=float)
+    if arr.ndim != 1:
+        raise DataError(f"paa expects a 1-D series, got shape {arr.shape}")
+    n = arr.size
+    k = num_segments(n, segment_length)
+    coefficients = np.empty(k, dtype=float)
+    for i in range(k):
+        window = arr[i * segment_length : (i + 1) * segment_length]
+        coefficients[i] = window.mean()
+    return coefficients
+
+
+def inverse_paa(coefficients: np.ndarray, segment_length: int, n: int) -> np.ndarray:
+    """Expand PAA coefficients back to a length-``n`` step function.
+
+    Each coefficient is repeated over its window; this is the canonical
+    reconstruction (PAA is lossy, so the result is piecewise constant).
+    """
+    coeffs = np.asarray(coefficients, dtype=float)
+    if coeffs.ndim != 1:
+        raise DataError(f"expected 1-D coefficients, got shape {coeffs.shape}")
+    expected = num_segments(n, segment_length)
+    if coeffs.size != expected:
+        raise DataError(
+            f"{coeffs.size} coefficients cannot cover n={n} with "
+            f"segment_length={segment_length} (need {expected})"
+        )
+    return np.repeat(coeffs, segment_length)[:n]

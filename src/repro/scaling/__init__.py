@@ -1,0 +1,25 @@
+"""Rescaling of time series values prior to tokenization.
+
+The paper (Section III-A) requires each dimension to be "rescaled to avoid
+decimals" before multiplexing, following LLMTime's recipe: map the series to
+non-negative integers that fit a fixed digit budget ``b``, so that every
+timestamp of every dimension serialises to exactly ``b`` digit tokens.
+"""
+
+from repro.scaling.scalers import (
+    FixedDigitScaler,
+    MinMaxScaler,
+    MultivariateScaler,
+    PercentileScaler,
+    Scaler,
+    ZScoreScaler,
+)
+
+__all__ = [
+    "Scaler",
+    "FixedDigitScaler",
+    "PercentileScaler",
+    "ZScoreScaler",
+    "MinMaxScaler",
+    "MultivariateScaler",
+]

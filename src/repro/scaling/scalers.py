@@ -1,0 +1,278 @@
+"""Scalers that prepare real-valued series for digit-level tokenization.
+
+The central class is :class:`FixedDigitScaler`, which implements the
+LLMTime-style rescaling the paper relies on: a univariate series is mapped
+affinely onto the integer range ``[0, 10**num_digits - 1]`` so that every
+value serialises to exactly ``num_digits`` digit tokens.  The inverse maps
+model-generated integers back to the original units.
+
+Out-of-range handling: a forecaster may legitimately predict values outside
+the range seen in the history.  On the *forward* path values are clipped into
+the representable integer range (the LLM cannot emit more digits anyway); on
+the *inverse* path any integer with the right digit count maps back linearly,
+so forecasts can exceed the historical range by up to the headroom margin.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.exceptions import ScalingError
+
+__all__ = [
+    "Scaler",
+    "FixedDigitScaler",
+    "PercentileScaler",
+    "ZScoreScaler",
+    "MinMaxScaler",
+    "MultivariateScaler",
+]
+
+
+def _as_1d_float(x: np.ndarray, what: str) -> np.ndarray:
+    arr = np.asarray(x, dtype=float)
+    if arr.ndim != 1:
+        raise ScalingError(f"{what} must be one-dimensional, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ScalingError(f"{what} must be non-empty")
+    if not np.isfinite(arr).all():
+        raise ScalingError(f"{what} contains NaN or inf")
+    return arr
+
+
+class Scaler(ABC):
+    """A reversible univariate transform fit on a training series."""
+
+    _fitted: bool = False
+
+    @abstractmethod
+    def fit(self, x: np.ndarray) -> "Scaler":
+        """Estimate the transform parameters from a 1-D series."""
+
+    @abstractmethod
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Apply the transform (requires :meth:`fit`)."""
+
+    @abstractmethod
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        """Undo the transform (requires :meth:`fit`)."""
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        """Fit on ``x`` and transform it in one call."""
+        return self.fit(x).transform(x)
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise ScalingError(f"{type(self).__name__} used before fit()")
+
+
+class FixedDigitScaler(Scaler):
+    """Map a real series onto integers in ``[0, 10**num_digits - 1]``.
+
+    Parameters
+    ----------
+    num_digits:
+        The digit budget ``b`` per timestamp (paper default 3).
+    headroom:
+        Fraction of the observed range added above and below before mapping,
+        so forecasts may move past historical extremes without clipping.
+        With ``headroom=0.15`` the top/bottom 15 % of the integer range is
+        reserved for out-of-history excursions.
+
+    A constant training series is handled by centring it mid-range with a
+    unit-width span, so transform/inverse stay well-defined.
+    """
+
+    def __init__(self, num_digits: int = 3, headroom: float = 0.15) -> None:
+        if num_digits < 1:
+            raise ScalingError(f"num_digits must be >= 1, got {num_digits}")
+        if headroom < 0:
+            raise ScalingError(f"headroom must be >= 0, got {headroom}")
+        self.num_digits = num_digits
+        self.headroom = headroom
+        self._lo = 0.0
+        self._hi = 1.0
+
+    @property
+    def max_int(self) -> int:
+        """Largest representable integer (e.g. 999 for 3 digits)."""
+        return 10**self.num_digits - 1
+
+    def fit(self, x: np.ndarray) -> "FixedDigitScaler":
+        arr = _as_1d_float(x, "training series")
+        lo, hi = float(arr.min()), float(arr.max())
+        if hi == lo:
+            lo, hi = lo - 0.5, hi + 0.5
+        margin = (hi - lo) * self.headroom
+        self._lo = lo - margin
+        self._hi = hi + margin
+        self._fitted = True
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Return integer codes; values outside the fitted span are clipped."""
+        self._require_fitted()
+        arr = _as_1d_float(x, "series")
+        frac = (arr - self._lo) / (self._hi - self._lo)
+        codes = np.rint(frac * self.max_int)
+        return np.clip(codes, 0, self.max_int).astype(np.int64)
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        """Map integer codes back to original units (no clipping here)."""
+        self._require_fitted()
+        codes = np.asarray(x, dtype=float)
+        return self._lo + (codes / self.max_int) * (self._hi - self._lo)
+
+    @property
+    def resolution(self) -> float:
+        """Original-unit width of one integer step (quantization error bound)."""
+        self._require_fitted()
+        return (self._hi - self._lo) / self.max_int
+
+
+class PercentileScaler(Scaler):
+    """LLMTime's alpha/beta offset-scale transform.
+
+    ``y = (x - beta) / alpha`` where ``beta`` is the ``beta_quantile`` of the
+    training data (an offset) and ``alpha`` the ``alpha_quantile`` of the
+    offset data (a scale).  Used when serialising with a decimal point is
+    acceptable; MultiCast itself composes :class:`FixedDigitScaler` instead,
+    but the LLMTime baseline exposes both for parity with the original repo.
+    """
+
+    def __init__(self, alpha_quantile: float = 0.99, beta_quantile: float = 0.0) -> None:
+        if not 0.0 < alpha_quantile <= 1.0:
+            raise ScalingError(f"alpha_quantile must be in (0, 1], got {alpha_quantile}")
+        if not 0.0 <= beta_quantile <= 1.0:
+            raise ScalingError(f"beta_quantile must be in [0, 1], got {beta_quantile}")
+        self.alpha_quantile = alpha_quantile
+        self.beta_quantile = beta_quantile
+        self._alpha = 1.0
+        self._beta = 0.0
+
+    def fit(self, x: np.ndarray) -> "PercentileScaler":
+        arr = _as_1d_float(x, "training series")
+        self._beta = float(np.quantile(arr, self.beta_quantile))
+        shifted = arr - self._beta
+        self._alpha = float(np.quantile(np.abs(shifted), self.alpha_quantile))
+        if self._alpha == 0.0:
+            self._alpha = 1.0
+        self._fitted = True
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        return (_as_1d_float(x, "series") - self._beta) / self._alpha
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        return np.asarray(x, dtype=float) * self._alpha + self._beta
+
+
+class ZScoreScaler(Scaler):
+    """Standardise to zero mean and unit variance (used by the SAX substrate)."""
+
+    def __init__(self) -> None:
+        self._mean = 0.0
+        self._std = 1.0
+
+    def fit(self, x: np.ndarray) -> "ZScoreScaler":
+        arr = _as_1d_float(x, "training series")
+        self._mean = float(arr.mean())
+        std = float(arr.std())
+        self._std = std if std > 0.0 else 1.0
+        self._fitted = True
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        return (_as_1d_float(x, "series") - self._mean) / self._std
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        return np.asarray(x, dtype=float) * self._std + self._mean
+
+
+class MinMaxScaler(Scaler):
+    """Map the training range onto [0, 1] (used by the LSTM baseline)."""
+
+    def __init__(self) -> None:
+        self._lo = 0.0
+        self._hi = 1.0
+
+    def fit(self, x: np.ndarray) -> "MinMaxScaler":
+        arr = _as_1d_float(x, "training series")
+        self._lo, self._hi = float(arr.min()), float(arr.max())
+        if self._hi == self._lo:
+            self._hi = self._lo + 1.0
+        self._fitted = True
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        return (_as_1d_float(x, "series") - self._lo) / (self._hi - self._lo)
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        return np.asarray(x, dtype=float) * (self._hi - self._lo) + self._lo
+
+
+class MultivariateScaler:
+    """Apply an independent univariate scaler to every dimension.
+
+    Parameters
+    ----------
+    factory:
+        Zero-argument callable returning a fresh :class:`Scaler` per dimension
+        (e.g. ``lambda: FixedDigitScaler(num_digits=3)``).
+    """
+
+    def __init__(self, factory) -> None:
+        self._factory = factory
+        self._scalers: list[Scaler] = []
+
+    @staticmethod
+    def _as_2d(x: np.ndarray) -> np.ndarray:
+        arr = np.asarray(x, dtype=float)
+        if arr.ndim != 2:
+            raise ScalingError(f"expected a (n, d) array, got shape {arr.shape}")
+        return arr
+
+    def fit(self, x: np.ndarray) -> "MultivariateScaler":
+        """Fit one fresh scaler per dimension of a ``(n, d)`` array."""
+        arr = self._as_2d(x)
+        self._scalers = [self._factory().fit(arr[:, i]) for i in range(arr.shape[1])]
+        return self
+
+    @property
+    def scalers(self) -> list[Scaler]:
+        """Per-dimension fitted scalers, in dimension order."""
+        if not self._scalers:
+            raise ScalingError("MultivariateScaler used before fit()")
+        return self._scalers
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Transform every column with its own fitted scaler."""
+        arr = self._as_2d(x)
+        if arr.shape[1] != len(self.scalers):
+            raise ScalingError(
+                f"fitted on {len(self.scalers)} dimensions, got {arr.shape[1]}"
+            )
+        columns = [s.transform(arr[:, i]) for i, s in enumerate(self.scalers)]
+        return np.stack(columns, axis=1)
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        """Undo the per-column transforms."""
+        arr = np.asarray(x, dtype=float)
+        if arr.ndim != 2 or arr.shape[1] != len(self.scalers):
+            raise ScalingError(
+                f"expected a (n, {len(self.scalers)}) array, got shape {arr.shape}"
+            )
+        columns = [s.inverse_transform(arr[:, i]) for i, s in enumerate(self.scalers)]
+        return np.stack(columns, axis=1)
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        """Fit on ``x`` and transform it in one call."""
+        return self.fit(x).transform(x)

@@ -1,0 +1,39 @@
+"""Zero-shot time-series tasks beyond forecasting.
+
+The paper's conclusion names imputation, anomaly detection, and change-point
+detection as the natural next applications of the same machinery ("we plan
+to expand our research on employing LLMs for zero-shot solutions on other
+similar time series-related tasks").  This package implements all three on
+top of the identical serialisation + in-context-model substrate:
+
+* :func:`~repro.tasks.imputation.impute` — bidirectional constrained infill
+  of missing spans;
+* :func:`~repro.tasks.anomaly.anomaly_scores` — per-timestamp surprise
+  (negative log-likelihood) under the in-context model;
+* :func:`~repro.tasks.changepoint.changepoint_scores` — predictability-drop
+  scoring of candidate change points.
+"""
+
+from repro.tasks.imputation import impute
+from repro.tasks.anomaly import anomaly_scores, detect_anomalies
+from repro.tasks.changepoint import changepoint_scores, detect_changepoints
+from repro.tasks.evaluation import (
+    DetectionScore,
+    inject_level_shift,
+    inject_point_anomalies,
+    inject_regime_change,
+    score_detections,
+)
+
+__all__ = [
+    "impute",
+    "anomaly_scores",
+    "detect_anomalies",
+    "changepoint_scores",
+    "detect_changepoints",
+    "DetectionScore",
+    "score_detections",
+    "inject_point_anomalies",
+    "inject_level_shift",
+    "inject_regime_change",
+]

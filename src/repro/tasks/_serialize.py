@@ -1,0 +1,77 @@
+"""Shared serialisation helper for the zero-shot task extensions.
+
+All three tasks (imputation, anomaly, change-point) need the same move:
+turn a univariate float series into the corpus-id stream the LLM substrate
+consumes, with the scaler kept around to decode model output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.encoding import (
+    SEPARATOR,
+    DigitCodec,
+    digit_vocabulary,
+    render_token_stream,
+)
+from repro.encoding.vocabulary import Vocabulary
+from repro.exceptions import DataError
+from repro.scaling import FixedDigitScaler
+
+__all__ = ["SerializedSeries", "serialize_series", "TOKENS_PER_STEP"]
+
+
+def TOKENS_PER_STEP(num_digits: int) -> int:
+    """Stream tokens per timestamp: the digits plus one separator."""
+    return num_digits + 1
+
+
+@dataclass
+class SerializedSeries:
+    """A series rendered as corpus ids, with everything needed to decode."""
+
+    ids: list[int]
+    scaler: FixedDigitScaler
+    vocabulary: Vocabulary
+    codec: DigitCodec
+
+    @property
+    def separator_id(self) -> int:
+        return self.vocabulary.id_of(SEPARATOR)
+
+    @property
+    def digit_ids(self) -> frozenset[int]:
+        return self.vocabulary.ids_of("0123456789")
+
+
+def serialize_series(
+    series: np.ndarray,
+    num_digits: int = 3,
+    scaler: FixedDigitScaler | None = None,
+    trailing_separator: bool = True,
+) -> SerializedSeries:
+    """Scale + tokenize a 1-D series into corpus ids.
+
+    If ``scaler`` is given it must already be fitted (used to keep one scale
+    across the pieces of a split series); otherwise a fresh scaler is fit on
+    ``series`` itself.
+    """
+    values = np.asarray(series, dtype=float)
+    if values.ndim != 1 or values.size < 1:
+        raise DataError(f"expected a non-empty 1-D series, got shape {values.shape}")
+    if scaler is None:
+        scaler = FixedDigitScaler(num_digits=num_digits).fit(values)
+    codec = DigitCodec(scaler.num_digits)
+    vocabulary = digit_vocabulary()
+    tokens = render_token_stream(scaler.transform(values).tolist(), codec)
+    if trailing_separator:
+        tokens = tokens + [SEPARATOR]
+    return SerializedSeries(
+        ids=vocabulary.encode(tokens),
+        scaler=scaler,
+        vocabulary=vocabulary,
+        codec=codec,
+    )

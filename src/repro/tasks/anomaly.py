@@ -1,0 +1,85 @@
+"""Zero-shot anomaly detection by in-context surprise (paper future work).
+
+Each timestamp's digit tokens are scored by their negative log-likelihood
+under the in-context model, conditioned on everything before them — one
+causal pass over the serialised stream.  A value that breaks the pattern
+the model has induced so far is expensive to encode and gets a high score.
+
+The first few timestamps are always surprising (the model has no context
+yet), so detection applies a warm-up window before thresholding.
+Multivariate input is scored per dimension and aggregated by the per-
+timestamp maximum (an anomaly in any dimension flags the timestamp).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import MultiCastConfig
+from repro.exceptions import DataError
+from repro.llm import get_model
+from repro.tasks._serialize import TOKENS_PER_STEP, serialize_series
+
+__all__ = ["anomaly_scores", "detect_anomalies"]
+
+
+def _univariate_scores(series: np.ndarray, config: MultiCastConfig) -> np.ndarray:
+    serialized = serialize_series(
+        series, num_digits=config.num_digits, trailing_separator=False
+    )
+    model = get_model(config.model, vocab_size=len(serialized.vocabulary))
+    token_nll = model.sequence_nll(serialized.ids)
+    per_step = TOKENS_PER_STEP(serialized.codec.num_digits)
+    n = series.size
+    scores = np.empty(n)
+    for t in range(n):
+        start = t * per_step
+        stop = min(start + serialized.codec.num_digits, token_nll.size)
+        scores[t] = float(token_nll[start:stop].mean())
+    return scores
+
+
+def anomaly_scores(
+    series: np.ndarray, config: MultiCastConfig | None = None
+) -> np.ndarray:
+    """Per-timestamp surprise scores (higher = more anomalous).
+
+    Accepts ``(n,)`` or ``(n, d)`` input; multivariate scores are the
+    per-timestamp maximum across dimensions.
+    """
+    config = config or MultiCastConfig()
+    values = np.asarray(series, dtype=float)
+    if values.ndim == 1:
+        values = values[:, None]
+    if values.ndim != 2 or values.shape[0] < 4:
+        raise DataError("anomaly scoring needs an (n>=4, d) series")
+    if not np.isfinite(values).all():
+        raise DataError("series contains NaN or inf")
+    columns = [
+        _univariate_scores(values[:, k], config) for k in range(values.shape[1])
+    ]
+    return np.max(np.stack(columns, axis=1), axis=1)
+
+
+def detect_anomalies(
+    series: np.ndarray,
+    config: MultiCastConfig | None = None,
+    threshold_quantile: float = 0.98,
+    warmup: int = 8,
+) -> np.ndarray:
+    """Indices whose score exceeds the given quantile, after a warm-up.
+
+    ``warmup`` timestamps at the start are exempt (the in-context model is
+    still cold there) and excluded from the quantile estimate.
+    """
+    if not 0.0 < threshold_quantile < 1.0:
+        raise DataError(
+            f"threshold_quantile must be in (0, 1), got {threshold_quantile}"
+        )
+    scores = anomaly_scores(series, config)
+    if warmup < 0 or warmup >= scores.size:
+        raise DataError(f"warmup must be in [0, {scores.size - 1}], got {warmup}")
+    active = scores[warmup:]
+    threshold = float(np.quantile(active, threshold_quantile))
+    hits = np.nonzero(active > threshold)[0] + warmup
+    return hits

@@ -1,0 +1,115 @@
+"""Zero-shot change-point detection by predictability drop (paper future work).
+
+At each candidate position the series is split into a left and a right
+window.  The right window's serialised tokens are scored under an
+in-context model conditioned on the left window; a structural break makes
+the right window expensive to encode given the left.  Subtracting the right
+window's *self*-conditioned code length (the same model warmed up on the
+right window's own past) normalises away how intrinsically noisy the region
+is — the classic compression-distance construction, with the PPM model
+playing the compressor.
+
+Scores are high at breaks; :func:`detect_changepoints` picks peaks above a
+quantile threshold with a minimum separation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import MultiCastConfig
+from repro.exceptions import DataError
+from repro.llm import get_model
+from repro.scaling import FixedDigitScaler
+from repro.tasks._serialize import serialize_series
+
+__all__ = ["changepoint_scores", "detect_changepoints"]
+
+
+def _window_nll(
+    window: np.ndarray,
+    context: np.ndarray | None,
+    scaler: FixedDigitScaler,
+    config: MultiCastConfig,
+) -> float:
+    """Mean token NLL of ``window`` conditioned on ``context`` (may be None)."""
+    target = serialize_series(window, scaler=scaler, trailing_separator=False)
+    model = get_model(config.model, vocab_size=len(target.vocabulary))
+    if context is None:
+        context_ids: list[int] = []
+    else:
+        context_ids = serialize_series(
+            context, scaler=scaler, trailing_separator=True
+        ).ids
+    return float(model.sequence_nll(target.ids, context=context_ids).mean())
+
+
+def changepoint_scores(
+    series: np.ndarray,
+    window: int = 20,
+    config: MultiCastConfig | None = None,
+) -> np.ndarray:
+    """Change-point score per timestamp (0 where windows don't fit).
+
+    ``scores[t]`` compares how well the left window ``series[t-window:t]``
+    predicts the right window ``series[t:t+window]`` against the right
+    window's self-predictability.  Univariate input only; apply per
+    dimension for multivariate series.
+    """
+    config = config or MultiCastConfig()
+    values = np.asarray(series, dtype=float)
+    if values.ndim != 1:
+        raise DataError("changepoint_scores expects a univariate series")
+    n = values.size
+    if window < 4:
+        raise DataError(f"window must be >= 4, got {window}")
+    if n < 2 * window + 1:
+        raise DataError(
+            f"series of length {n} too short for window={window}"
+        )
+    if not np.isfinite(values).all():
+        raise DataError("series contains NaN or inf")
+
+    scaler = FixedDigitScaler(num_digits=config.num_digits).fit(values)
+    scores = np.zeros(n)
+    for t in range(window, n - window + 1):
+        left = values[t - window : t]
+        right = values[t : t + window]
+        cross = _window_nll(right, left, scaler, config)
+        # Self-predictability: the right window conditioned on its own
+        # first half, measuring local noisiness.
+        half = window // 2
+        own = _window_nll(right[half:], right[:half], scaler, config)
+        scores[t] = cross - own
+    return scores
+
+
+def detect_changepoints(
+    series: np.ndarray,
+    window: int = 20,
+    config: MultiCastConfig | None = None,
+    threshold_quantile: float = 0.95,
+    min_separation: int | None = None,
+) -> np.ndarray:
+    """Peak positions of the change-point score above a quantile threshold.
+
+    Peaks closer than ``min_separation`` (default: ``window``) collapse to
+    the strongest one, since one structural break inflates a whole
+    neighbourhood of scores.
+    """
+    if not 0.0 < threshold_quantile < 1.0:
+        raise DataError(
+            f"threshold_quantile must be in (0, 1), got {threshold_quantile}"
+        )
+    scores = changepoint_scores(series, window=window, config=config)
+    min_separation = window if min_separation is None else min_separation
+    active = scores[scores != 0.0]
+    if active.size == 0:
+        return np.empty(0, dtype=int)
+    threshold = float(np.quantile(active, threshold_quantile))
+    candidates = np.nonzero(scores > threshold)[0]
+    picked: list[int] = []
+    for index in candidates[np.argsort(scores[candidates])[::-1]]:
+        if all(abs(index - p) >= min_separation for p in picked):
+            picked.append(int(index))
+    return np.asarray(sorted(picked), dtype=int)

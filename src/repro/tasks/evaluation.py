@@ -1,0 +1,153 @@
+"""Evaluation harness for the zero-shot task extensions.
+
+Forecasting has RMSE; detection tasks need their own protocol.  This module
+provides (i) corruption generators that plant ground-truth events into a
+clean series — point anomalies, level shifts, and regime changes — and
+(ii) tolerance-windowed precision/recall/F1 for scoring a detector's hits
+against the planted positions (a hit within ``tolerance`` steps of a true
+event counts, one hit per event).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+__all__ = [
+    "inject_point_anomalies",
+    "inject_level_shift",
+    "inject_regime_change",
+    "DetectionScore",
+    "score_detections",
+]
+
+
+def inject_point_anomalies(
+    series: np.ndarray,
+    count: int,
+    magnitude: float = 4.0,
+    seed: int = 0,
+    margin: int = 10,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Plant ``count`` isolated spikes; returns (corrupted, true_positions).
+
+    Spikes alternate sign, have amplitude ``magnitude`` times the series'
+    standard deviation, and stay ``margin`` steps away from the edges and
+    from each other.
+    """
+    values = np.asarray(series, dtype=float).copy()
+    if values.ndim != 1:
+        raise DataError("expected a univariate series")
+    if count < 1:
+        raise DataError(f"count must be >= 1, got {count}")
+    usable = values.size - 2 * margin
+    if usable < count * (margin + 1):
+        raise DataError("series too short for the requested anomalies")
+    rng = np.random.default_rng(seed)
+    positions: list[int] = []
+    while len(positions) < count:
+        candidate = int(rng.integers(margin, values.size - margin))
+        if all(abs(candidate - p) > margin for p in positions):
+            positions.append(candidate)
+    scale = values.std() if values.std() > 0 else 1.0
+    for i, position in enumerate(sorted(positions)):
+        sign = 1.0 if i % 2 == 0 else -1.0
+        values[position] += sign * magnitude * scale
+    return values, np.asarray(sorted(positions), dtype=int)
+
+
+def inject_level_shift(
+    series: np.ndarray, position: int, magnitude: float = 3.0
+) -> np.ndarray:
+    """Add a persistent step of ``magnitude`` std-units from ``position`` on."""
+    values = np.asarray(series, dtype=float).copy()
+    if values.ndim != 1:
+        raise DataError("expected a univariate series")
+    if not 0 < position < values.size:
+        raise DataError(f"position {position} outside the series")
+    scale = values.std() if values.std() > 0 else 1.0
+    values[position:] += magnitude * scale
+    return values
+
+
+def inject_regime_change(
+    length_a: int,
+    length_b: int,
+    period_a: float = 20.0,
+    period_b: float = 7.0,
+    offset_b: float = 2.0,
+    noise: float = 0.05,
+    seed: int = 0,
+) -> tuple[np.ndarray, int]:
+    """Two concatenated seasonal regimes; returns (series, break_position)."""
+    if length_a < 8 or length_b < 8:
+        raise DataError("each regime needs at least 8 points")
+    rng = np.random.default_rng(seed)
+    part_a = np.sin(2 * np.pi * np.arange(length_a) / period_a)
+    part_b = offset_b + np.sin(2 * np.pi * np.arange(length_b) / period_b)
+    series = np.concatenate([part_a, part_b])
+    series += noise * rng.normal(size=series.size)
+    return series, length_a
+
+
+@dataclass(frozen=True)
+class DetectionScore:
+    """Tolerance-windowed detection quality."""
+
+    precision: float
+    recall: float
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall (0 when both are 0)."""
+        if self.precision + self.recall == 0.0:
+            return 0.0
+        return 2.0 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def score_detections(
+    detected: np.ndarray,
+    truth: np.ndarray,
+    tolerance: int = 3,
+) -> DetectionScore:
+    """Match detections to planted events within ``tolerance`` steps.
+
+    Greedy one-to-one matching, nearest first: each true event absorbs at
+    most one detection; unmatched detections are false positives, unmatched
+    events false negatives.
+    """
+    if tolerance < 0:
+        raise DataError(f"tolerance must be >= 0, got {tolerance}")
+    hits = sorted(int(d) for d in np.asarray(detected, dtype=int))
+    events = sorted(int(t) for t in np.asarray(truth, dtype=int))
+    matched_hits: set[int] = set()
+    matched_events: set[int] = set()
+    pairs = sorted(
+        (abs(h - e), hi, ei)
+        for hi, h in enumerate(hits)
+        for ei, e in enumerate(events)
+        if abs(h - e) <= tolerance
+    )
+    for _, hi, ei in pairs:
+        if hi in matched_hits or ei in matched_events:
+            continue
+        matched_hits.add(hi)
+        matched_events.add(ei)
+    tp = len(matched_events)
+    fp = len(hits) - len(matched_hits)
+    fn = len(events) - len(matched_events)
+    precision = tp / len(hits) if hits else (1.0 if not events else 0.0)
+    recall = tp / len(events) if events else 1.0
+    return DetectionScore(
+        precision=precision,
+        recall=recall,
+        true_positives=tp,
+        false_positives=fp,
+        false_negatives=fn,
+    )

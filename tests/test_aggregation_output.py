@@ -1,0 +1,165 @@
+"""Tests for sample aggregation, ForecastOutput, and the shift-bias wrapper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ForecastOutput, aggregate_samples
+from repro.exceptions import ConfigError, DataError, GenerationError
+from repro.llm import PPMLanguageModel, ShiftBiasedLM, UniformLM
+
+
+class TestAggregation:
+    def _samples(self):
+        # 5 samples, 2 timestamps, 1 dim; values engineered per cell.
+        return np.array(
+            [[[1.0], [10.0]], [[2.0], [20.0]], [[3.0], [30.0]],
+             [[4.0], [40.0]], [[100.0], [50.0]]]
+        )
+
+    def test_median_is_outlier_robust(self):
+        point = aggregate_samples(self._samples(), "median")
+        assert point[0, 0] == 3.0
+
+    def test_mean_is_not(self):
+        point = aggregate_samples(self._samples(), "mean")
+        assert point[0, 0] == pytest.approx(22.0)
+
+    def test_trimmed_mean_drops_extremes(self):
+        point = aggregate_samples(self._samples(), "trimmed_mean")
+        assert point[0, 0] == pytest.approx(3.0)  # mean of 2, 3, 4
+
+    def test_trimmed_mean_with_few_samples_falls_back_to_median(self):
+        samples = self._samples()[:3]
+        assert np.allclose(
+            aggregate_samples(samples, "trimmed_mean"),
+            aggregate_samples(samples, "median"),
+        )
+
+    def test_single_sample_passthrough(self):
+        samples = self._samples()[:1]
+        assert np.allclose(aggregate_samples(samples, "median"), samples[0])
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ConfigError):
+            aggregate_samples(self._samples(), "mode")
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(DataError):
+            aggregate_samples(np.zeros((3, 4)), "median")
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            aggregate_samples(np.zeros((0, 2, 1)), "median")
+
+
+class TestForecastOutput:
+    def _output(self):
+        return ForecastOutput(
+            values=np.zeros((4, 2)),
+            samples=np.zeros((3, 4, 2)),
+            prompt_tokens=100,
+            generated_tokens=60,
+            simulated_seconds=30.0,
+            model_name="test",
+        )
+
+    def test_properties(self):
+        output = self._output()
+        assert output.horizon == 4
+        assert output.num_dims == 2
+        assert output.num_samples == 3
+        assert output.total_tokens == 160
+
+    def test_dimension_accessor(self):
+        output = self._output()
+        assert output.dimension(1).shape == (4,)
+        with pytest.raises(DataError):
+            output.dimension(2)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DataError):
+            ForecastOutput(values=np.zeros((4, 2)), samples=np.zeros((3, 5, 2)))
+
+    def test_1d_values_rejected(self):
+        with pytest.raises(DataError):
+            ForecastOutput(values=np.zeros(4), samples=np.zeros((3, 4, 1)))
+
+
+class TestShiftBiasedLM:
+    def test_moves_mass_upward(self):
+        base = UniformLM(vocab_size=11)
+        shifted = ShiftBiasedLM(base, shift_weight=0.5, shift_steps=1)
+        shifted.reset([])
+        probs = shifted.next_distribution()
+        # Digit 0 loses half its mass; digit 9 accumulates; separator intact.
+        assert probs[0] == pytest.approx(0.5 / 11)
+        assert probs[9] > probs[5] > probs[0]
+        assert probs[10] == pytest.approx(1.0 / 11)
+
+    def test_distribution_stays_proper(self):
+        base = PPMLanguageModel(vocab_size=11, max_order=3)
+        shifted = ShiftBiasedLM(base, shift_weight=0.8, shift_steps=5)
+        shifted.reset([0, 1, 2, 10] * 8)
+        probs = shifted.next_distribution()
+        assert probs.sum() == pytest.approx(1.0)
+        assert (probs >= 0).all()
+
+    def test_zero_weight_is_identity(self):
+        base = PPMLanguageModel(vocab_size=11, max_order=3)
+        shifted = ShiftBiasedLM(
+            PPMLanguageModel(vocab_size=11, max_order=3), shift_weight=0.0
+        )
+        context = [3, 1, 4, 10] * 5
+        base.reset(context)
+        shifted.reset(context)
+        assert np.allclose(base.next_distribution(), shifted.next_distribution())
+
+    def test_decoded_values_shift_upward_on_average(self):
+        """The Phi-2 failure mode: output tracks but sits above the truth."""
+        rng = np.random.default_rng(0)
+        base = PPMLanguageModel(vocab_size=11, max_order=6)
+        shifted = ShiftBiasedLM(
+            PPMLanguageModel(vocab_size=11, max_order=6),
+            shift_weight=0.8,
+            shift_steps=3,
+        )
+        context = ([5, 0, 0, 10]) * 30  # the value 500 repeated
+        base_first = []
+        shifted_first = []
+        for _ in range(30):
+            base.reset(context)
+            shifted.reset(context)
+            digits = frozenset(range(10))
+            base_first.append(
+                base.generate(context, 1, rng, temperature=1.0).tokens[0]
+            )
+            shifted.reset(context)
+            shifted_first.append(
+                shifted.generate(context, 1, rng, temperature=1.0).tokens[0]
+            )
+        assert np.mean(shifted_first) > np.mean(base_first) + 1.0
+
+    def test_invalid_args(self):
+        base = UniformLM(vocab_size=5)
+        with pytest.raises(GenerationError):
+            ShiftBiasedLM(base, shift_weight=1.0)
+        with pytest.raises(GenerationError):
+            ShiftBiasedLM(base, shift_weight=-0.1)
+        with pytest.raises(GenerationError):
+            ShiftBiasedLM(base, shift_steps=0)
+
+
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=30)
+def test_aggregation_between_min_and_max_property(num_samples, horizon, dims):
+    rng = np.random.default_rng(num_samples * 100 + horizon * 10 + dims)
+    samples = rng.normal(size=(num_samples, horizon, dims))
+    for method in ("median", "mean", "trimmed_mean"):
+        point = aggregate_samples(samples, method)
+        assert (point >= samples.min(axis=0) - 1e-12).all()
+        assert (point <= samples.max(axis=0) + 1e-12).all()

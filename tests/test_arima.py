@@ -1,0 +1,213 @@
+"""Tests for the from-scratch ARIMA implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import ARIMA, auto_arima
+from repro.baselines.arima import difference, undifference
+from repro.exceptions import FittingError
+from repro.metrics import rmse
+
+
+def _simulate_arma(n, phi=(), theta=(), c=0.0, sigma=1.0, seed=0, burn=200):
+    rng = np.random.default_rng(seed)
+    e = rng.normal(0.0, sigma, size=n + burn)
+    x = np.zeros(n + burn)
+    p, q = len(phi), len(theta)
+    for t in range(n + burn):
+        value = c + e[t]
+        for i in range(1, p + 1):
+            if t - i >= 0:
+                value += phi[i - 1] * x[t - i]
+        for j in range(1, q + 1):
+            if t - j >= 0:
+                value += theta[j - 1] * e[t - j]
+        x[t] = value
+    return x[burn:]
+
+
+class TestDifferencing:
+    def test_first_difference(self):
+        assert difference([1.0, 3.0, 6.0], 1).tolist() == [2.0, 3.0]
+
+    def test_zero_order_is_identity(self):
+        x = np.array([1.0, 2.0])
+        assert difference(x, 0).tolist() == x.tolist()
+
+    def test_round_trip_order_1(self):
+        x = np.array([5.0, 7.0, 4.0, 9.0, 12.0])
+        d1 = difference(x, 1)
+        forecast = np.array([1.0, -2.0, 0.5])
+        restored = undifference(forecast, x, 1)
+        # Equivalent to continuing the cumulative sum from x[-1].
+        assert restored.tolist() == [13.0, 11.0, 11.5]
+
+    def test_round_trip_order_2(self):
+        rng = np.random.default_rng(0)
+        x = np.cumsum(np.cumsum(rng.normal(size=50)))
+        future = rng.normal(size=5)
+        # Differencing the extended series must recover the forecast.
+        restored = undifference(future, x, 2)
+        extended = np.concatenate([x, restored])
+        assert np.allclose(difference(extended, 2)[-5:], future)
+
+    def test_negative_order_rejected(self):
+        with pytest.raises(FittingError):
+            difference([1.0, 2.0], -1)
+        with pytest.raises(FittingError):
+            undifference(np.ones(2), np.ones(5), -1)
+
+    def test_too_short_to_difference(self):
+        with pytest.raises(FittingError):
+            difference([1.0], 1)
+
+
+class TestArEstimation:
+    def test_recovers_ar1_coefficient(self):
+        x = _simulate_arma(3000, phi=(0.7,), seed=1)
+        model = ARIMA((1, 0, 0)).fit(x)
+        assert model.params["phi"][0] == pytest.approx(0.7, abs=0.05)
+
+    def test_recovers_ar2_coefficients(self):
+        x = _simulate_arma(5000, phi=(1.2, -0.5), seed=2)
+        model = ARIMA((2, 0, 0)).fit(x)
+        assert model.params["phi"] == pytest.approx([1.2, -0.5], abs=0.06)
+
+    def test_recovers_intercept(self):
+        x = _simulate_arma(4000, phi=(0.5,), c=2.0, seed=3)
+        model = ARIMA((1, 0, 0)).fit(x)
+        # Implied mean = c / (1 - phi) should be near 4.
+        implied_mean = model.params["c"] / (1 - model.params["phi"][0])
+        assert implied_mean == pytest.approx(4.0, abs=0.4)
+
+    def test_sigma2_estimated(self):
+        x = _simulate_arma(5000, phi=(0.6,), sigma=2.0, seed=4)
+        model = ARIMA((1, 0, 0)).fit(x)
+        assert model.params["sigma2"] == pytest.approx(4.0, rel=0.15)
+
+
+class TestArmaEstimation:
+    def test_recovers_ma1_coefficient(self):
+        x = _simulate_arma(5000, theta=(0.6,), seed=5)
+        model = ARIMA((0, 0, 1)).fit(x)
+        assert model.params["theta"][0] == pytest.approx(0.6, abs=0.08)
+
+    def test_recovers_arma11(self):
+        x = _simulate_arma(6000, phi=(0.5,), theta=(0.4,), seed=6)
+        model = ARIMA((1, 0, 1)).fit(x)
+        assert model.params["phi"][0] == pytest.approx(0.5, abs=0.1)
+        assert model.params["theta"][0] == pytest.approx(0.4, abs=0.12)
+
+    def test_css_improves_on_hannan_rissanen(self):
+        y = _simulate_arma(800, phi=(0.5,), theta=(0.4,), seed=7)
+        c0, phi0, theta0 = ARIMA._hannan_rissanen(y, 1, 1)
+        c1, phi1, theta1 = ARIMA._refine_css(y, c0, phi0, theta0)
+        from repro.baselines.arima import _css_residuals
+
+        sse_before = float((_css_residuals(y, c0, phi0, theta0) ** 2).sum())
+        sse_after = float((_css_residuals(y, c1, phi1, theta1) ** 2).sum())
+        assert sse_after <= sse_before + 1e-9
+
+
+class TestForecasting:
+    def test_ar1_forecast_decays_to_mean(self):
+        x = _simulate_arma(2000, phi=(0.8,), seed=8)
+        model = ARIMA((1, 0, 0)).fit(x)
+        forecast = model.forecast(100)
+        # Long-horizon AR(1) forecasts converge to the process mean (~0).
+        assert abs(forecast[-1]) < abs(forecast[0]) + 0.5
+        assert abs(forecast[-1]) < 0.5
+
+    def test_random_walk_with_drift(self):
+        rng = np.random.default_rng(9)
+        x = np.cumsum(0.5 + rng.normal(0, 0.1, size=400))
+        model = ARIMA((0, 1, 0)).fit(x)
+        forecast = model.forecast(10)
+        increments = np.diff(np.concatenate([[x[-1]], forecast]))
+        assert np.allclose(increments, 0.5, atol=0.05)
+
+    def test_beats_naive_on_strong_ar_process(self):
+        x = _simulate_arma(1200, phi=(0.95,), seed=10)
+        train, test = x[:1100], x[1100:1120]
+        model = ARIMA((1, 0, 0)).fit(train)
+        arima_rmse = rmse(test, model.forecast(20))
+        naive_rmse = rmse(test, np.full(20, train.mean()))
+        assert arima_rmse < naive_rmse
+
+    def test_forecast_before_fit_raises(self):
+        with pytest.raises(FittingError):
+            ARIMA((1, 0, 0)).forecast(5)
+
+    def test_bad_horizon_rejected(self):
+        model = ARIMA((1, 0, 0)).fit(_simulate_arma(100, phi=(0.5,)))
+        with pytest.raises(FittingError):
+            model.forecast(0)
+
+
+class TestValidation:
+    def test_arima_000_rejected(self):
+        with pytest.raises(FittingError):
+            ARIMA((0, 0, 0))
+
+    def test_negative_order_rejected(self):
+        with pytest.raises(FittingError):
+            ARIMA((-1, 0, 0))
+
+    def test_2d_series_rejected(self):
+        with pytest.raises(FittingError):
+            ARIMA((1, 0, 0)).fit(np.zeros((10, 2)))
+
+    def test_nan_series_rejected(self):
+        with pytest.raises(FittingError):
+            ARIMA((1, 0, 0)).fit(np.array([1.0, np.nan] * 30))
+
+    def test_too_short_series_rejected(self):
+        with pytest.raises(FittingError):
+            ARIMA((3, 0, 2)).fit(np.arange(8.0))
+
+
+class TestAutoArima:
+    def test_selects_differencing_for_random_walk(self):
+        rng = np.random.default_rng(11)
+        x = np.cumsum(rng.normal(size=400))
+        model = auto_arima(x)
+        assert model.order[1] >= 1
+
+    def test_no_differencing_for_stationary_series(self):
+        x = _simulate_arma(400, phi=(0.3,), seed=12)
+        model = auto_arima(x)
+        assert model.order[1] == 0
+
+    def test_aic_of_selected_model_is_minimal_among_candidates(self):
+        x = _simulate_arma(300, phi=(0.6,), seed=13)
+        best = auto_arima(x, max_p=2, max_q=1)
+        competitor = ARIMA((2, 0, 1)).fit(x)
+        assert best.aic <= competitor.aic + 1e-9
+
+    def test_short_series_rejected(self):
+        with pytest.raises(FittingError):
+            auto_arima(np.arange(10.0))
+
+
+@given(
+    st.floats(min_value=-0.85, max_value=0.85),
+    st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=15, deadline=None)
+def test_ar1_recovery_property(phi, seed):
+    """OLS AR(1) estimation is consistent across the stationary range."""
+    x = _simulate_arma(3000, phi=(phi,), seed=seed)
+    model = ARIMA((1, 0, 0)).fit(x)
+    assert model.params["phi"][0] == pytest.approx(phi, abs=0.08)
+
+
+@given(st.integers(min_value=0, max_value=2), st.integers(min_value=0, max_value=50))
+@settings(max_examples=20, deadline=None)
+def test_difference_undifference_round_trip_property(d, seed):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=40)
+    future = rng.normal(size=6)
+    restored = undifference(future, x, d)
+    extended = np.concatenate([x, restored])
+    assert np.allclose(difference(extended, d)[-6:], future, atol=1e-9)

@@ -1,0 +1,154 @@
+"""Tests for conformal intervals, the token planner, and perplexity scoring."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MultiCastConfig,
+    MultiCastForecaster,
+    SaxConfig,
+    plan_forecast,
+)
+from repro.data import Dataset, gas_rate, synthetic_multivariate
+from repro.evaluation import ConformalForecaster
+from repro.exceptions import ConfigError, DataError
+from repro.llm import bits_per_token, rank_models_by_perplexity
+
+
+class TestConformal:
+    def _dataset(self, n=160, seed=0):
+        return synthetic_multivariate(n=n, num_dims=2, seed=seed)
+
+    def test_bands_bracket_the_point_forecast(self):
+        result = ConformalForecaster("theta", level=0.8).forecast(
+            self._dataset(), horizon=10
+        )
+        assert (result.lower <= result.values).all()
+        assert (result.values <= result.upper).all()
+        assert result.values.shape == (10, 2)
+
+    def test_higher_level_gives_wider_bands(self):
+        dataset = self._dataset(seed=1)
+        narrow = ConformalForecaster("theta", level=0.5, calibration_windows=4)
+        wide = ConformalForecaster("theta", level=0.95, calibration_windows=4)
+        narrow_width = narrow.forecast(dataset, 8).width().mean()
+        wide_width = wide.forecast(dataset, 8).width().mean()
+        assert wide_width >= narrow_width
+
+    def test_achieves_rough_coverage_on_holdout(self):
+        # Calibrate on the first part, check coverage on the true tail.
+        full = self._dataset(n=200, seed=2)
+        horizon = 15
+        train = Dataset("train", full.values[:-horizon], full.dim_names)
+        actual = full.values[-horizon:]
+        result = ConformalForecaster(
+            "theta", level=0.9, calibration_windows=4
+        ).forecast(train, horizon)
+        covered = np.mean((actual >= result.lower) & (actual <= result.upper))
+        assert covered >= 0.5  # loose: exchangeability is only approximate
+
+    def test_llm_method_supported(self):
+        result = ConformalForecaster(
+            "multicast-di", level=0.8, num_samples=2
+        ).forecast(gas_rate(n=150), horizon=8)
+        assert result.values.shape == (8, 2)
+
+    def test_too_short_dataset_rejected(self):
+        with pytest.raises(DataError):
+            ConformalForecaster("theta", calibration_windows=5).forecast(
+                self._dataset(n=60), horizon=20
+            )
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigError):
+            ConformalForecaster("theta", level=1.0)
+        with pytest.raises(ConfigError):
+            ConformalForecaster("theta", calibration_windows=0)
+        forecaster = ConformalForecaster("theta")
+        with pytest.raises(DataError):
+            forecaster.forecast(self._dataset(), horizon=0)
+
+
+class TestPlanner:
+    def test_plan_matches_actual_run_raw(self):
+        config = MultiCastConfig(scheme="di", num_samples=3)
+        history, future = gas_rate().train_test_split()
+        plan = plan_forecast(config, history.shape[0], 2, len(future))
+        output = MultiCastForecaster(config).forecast(history, len(future))
+        assert plan.prompt_tokens == output.prompt_tokens
+        assert plan.generated_tokens == output.generated_tokens
+        assert plan.simulated_seconds == pytest.approx(output.simulated_seconds)
+
+    def test_plan_matches_actual_run_sax(self):
+        config = MultiCastConfig(scheme="vc", num_samples=2, sax=SaxConfig())
+        history, future = gas_rate().train_test_split()
+        plan = plan_forecast(config, history.shape[0], 2, len(future))
+        output = MultiCastForecaster(config).forecast(history, len(future))
+        assert plan.prompt_tokens == output.prompt_tokens
+        assert plan.generated_tokens == output.generated_tokens
+
+    def test_plan_respects_context_budget(self):
+        config = MultiCastConfig(num_samples=1, max_context_tokens=100)
+        plan = plan_forecast(config, history_length=5000, num_dims=2, horizon=4)
+        assert plan.prompt_tokens <= 100 + 7  # one extra row's tokens at most
+
+    def test_sax_plan_is_far_cheaper(self):
+        raw = plan_forecast(MultiCastConfig(num_samples=5), 240, 2, 60)
+        sax = plan_forecast(
+            MultiCastConfig(num_samples=5, sax=SaxConfig(segment_length=6)),
+            240, 2, 60,
+        )
+        assert sax.total_tokens * 5 < raw.total_tokens
+        assert sax.simulated_seconds * 5 < raw.simulated_seconds
+
+    def test_total_tokens_accounts_prompt_per_sample(self):
+        plan = plan_forecast(MultiCastConfig(num_samples=4), 100, 1, 10)
+        assert plan.total_tokens == 4 * plan.prompt_tokens + plan.generated_tokens
+
+    def test_invalid_args(self):
+        config = MultiCastConfig()
+        with pytest.raises(ConfigError):
+            plan_forecast(config, 2, 1, 5)
+        with pytest.raises(ConfigError):
+            plan_forecast(config, 100, 0, 5)
+        with pytest.raises(ConfigError):
+            plan_forecast(config, 100, 1, 0)
+
+
+class TestPerplexity:
+    def test_patterned_series_scores_below_noise(self):
+        t = np.arange(150.0)
+        periodic = np.sin(2 * np.pi * t / 10.0)
+        noise = np.random.default_rng(0).normal(size=150)
+        assert bits_per_token("llama2-7b-sim", periodic) < bits_per_token(
+            "llama2-7b-sim", noise
+        )
+
+    def test_llama_preset_beats_phi_preset(self):
+        """The ranking agrees with Table III's RMSE ordering."""
+        series = gas_rate().dimension("CO2")
+        ranking = rank_models_by_perplexity(
+            ["phi2-2.7b-sim", "llama2-7b-sim"], series
+        )
+        assert ranking[0][0] == "llama2-7b-sim"
+
+    def test_ranking_sorted_ascending(self):
+        series = gas_rate().dimension("GasRate")
+        ranking = rank_models_by_perplexity(
+            ["llama2-7b-sim", "phi2-2.7b-sim", "uniform-sim"], series
+        )
+        bits = [b for _, b in ranking]
+        assert bits == sorted(bits)
+
+    def test_uniform_model_bits_are_log2_vocab(self):
+        series = np.sin(np.arange(60.0) / 3.0)
+        bits = bits_per_token("uniform-sim", series)
+        assert bits == pytest.approx(np.log2(11), abs=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            bits_per_token("llama2-7b-sim", np.ones(4))
+        with pytest.raises(DataError):
+            bits_per_token("llama2-7b-sim", np.ones(20), warmup_fraction=1.0)
+        with pytest.raises(DataError):
+            rank_models_by_perplexity([], np.ones(20))

@@ -1,0 +1,223 @@
+"""Tests for the dataset container, generators, and CSV persistence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import (
+    Dataset,
+    electricity,
+    gas_rate,
+    load_csv,
+    load_paper_datasets,
+    save_csv,
+    synthetic_multivariate,
+    weather,
+)
+from repro.exceptions import DataError
+
+
+class TestDataset:
+    def _make(self):
+        return Dataset(
+            name="toy",
+            values=np.arange(20.0).reshape(10, 2),
+            dim_names=("a", "b"),
+        )
+
+    def test_shapes(self):
+        ds = self._make()
+        assert ds.num_timestamps == 10
+        assert ds.num_dims == 2
+        assert len(ds) == 10
+
+    def test_univariate_input_promoted_to_2d(self):
+        ds = Dataset("u", np.arange(5.0), ("x",))
+        assert ds.values.shape == (5, 1)
+
+    def test_values_are_read_only(self):
+        ds = self._make()
+        with pytest.raises(ValueError):
+            ds.values[0, 0] = 99.0
+
+    def test_dimension_by_index_and_name(self):
+        ds = self._make()
+        assert np.array_equal(ds.dimension(1), ds.dimension("b"))
+
+    def test_unknown_dimension_raises(self):
+        ds = self._make()
+        with pytest.raises(DataError):
+            ds.dimension("z")
+        with pytest.raises(DataError):
+            ds.dimension(5)
+
+    def test_select_dims(self):
+        ds = self._make()
+        sub = ds.select_dims(["b"])
+        assert sub.num_dims == 1
+        assert sub.dim_names == ("b",)
+        assert np.array_equal(sub.values[:, 0], ds.dimension("b"))
+
+    def test_head(self):
+        ds = self._make()
+        assert ds.head(4).num_timestamps == 4
+        with pytest.raises(DataError):
+            ds.head(1)
+        with pytest.raises(DataError):
+            ds.head(11)
+
+    def test_train_test_split_sizes(self):
+        ds = self._make()
+        history, future = ds.train_test_split(test_fraction=0.2)
+        assert history.shape == (8, 2)
+        assert future.shape == (2, 2)
+        assert np.array_equal(np.vstack([history, future]), ds.values)
+
+    def test_split_fraction_validated(self):
+        ds = self._make()
+        for bad in (0.0, 1.0, -0.5):
+            with pytest.raises(DataError):
+                ds.train_test_split(bad)
+
+    def test_nan_values_rejected(self):
+        with pytest.raises(DataError):
+            Dataset("bad", np.array([[1.0], [np.nan]]), ("x",))
+
+    def test_name_count_mismatch_rejected(self):
+        with pytest.raises(DataError):
+            Dataset("bad", np.zeros((5, 2)), ("only",))
+
+    def test_too_short_rejected(self):
+        with pytest.raises(DataError):
+            Dataset("bad", np.zeros((1, 2)), ("a", "b"))
+
+    def test_summary_row_matches_table_i(self):
+        row = gas_rate().summary_row()
+        assert row == {"dataset": "gas_rate", "dimensions": 2, "length": 296}
+
+
+class TestGenerators:
+    def test_table_i_shapes(self):
+        """The generators reproduce the paper's Table I exactly."""
+        expected = {
+            "gas_rate": (296, 2),
+            "electricity": (242, 3),
+            "weather": (217, 4),
+        }
+        for ds in load_paper_datasets():
+            assert ds.values.shape == expected[ds.name]
+
+    def test_deterministic_for_fixed_seed(self):
+        assert np.array_equal(gas_rate(seed=3).values, gas_rate(seed=3).values)
+        assert not np.array_equal(gas_rate(seed=3).values, gas_rate(seed=4).values)
+
+    def test_gas_rate_scales(self):
+        ds = gas_rate()
+        gas = ds.dimension("GasRate")
+        co2 = ds.dimension("CO2")
+        assert -3.0 <= gas.min() and gas.max() <= 3.0
+        assert 40.0 < co2.mean() < 60.0
+
+    def test_gas_rate_lagged_negative_correlation(self):
+        """The transfer function makes CO2 respond negatively to lagged gas."""
+        ds = gas_rate()
+        gas = ds.dimension("GasRate")
+        co2 = ds.dimension("CO2")
+        lag = 4
+        corr = np.corrcoef(gas[:-lag], co2[lag:])[0, 1]
+        assert corr < -0.4
+
+    def test_electricity_scale_separation(self):
+        ds = electricity()
+        hufl = ds.dimension("HUFL")
+        hull = ds.dimension("HULL")
+        assert np.abs(hufl).mean() > 2.0 * np.abs(hull).mean()
+
+    def test_electricity_loads_are_correlated(self):
+        ds = electricity()
+        corr = np.corrcoef(ds.dimension("HUFL"), ds.dimension("HULL"))[0, 1]
+        assert corr > 0.6
+
+    def test_electricity_ot_tracks_load(self):
+        ds = electricity()
+        corr = np.corrcoef(ds.dimension("HUFL"), ds.dimension("OT"))[0, 1]
+        assert corr > 0.3
+
+    def test_weather_physical_relations(self):
+        ds = weather()
+        t = ds.dimension("Tlog")
+        vpmax = ds.dimension("VPmax")
+        tpot = ds.dimension("Tpot")
+        # Magnus formula: VPmax is a deterministic function of T.
+        expected_vpmax = 6.1094 * np.exp(17.625 * t / (t + 243.04))
+        assert np.allclose(vpmax, expected_vpmax)
+        # Tpot sits a little above T + 273.15.
+        assert np.all(np.abs(tpot - (t + 273.15)) < 6.0)
+
+    def test_weather_dimensions_strongly_correlated(self):
+        ds = weather()
+        t = ds.dimension("Tlog")
+        for name in ("H2OC", "VPmax", "Tpot"):
+            corr = np.corrcoef(t, ds.dimension(name))[0, 1]
+            assert corr > 0.5, name
+
+    def test_synthetic_coupling_produces_correlation(self):
+        ds = synthetic_multivariate(n=300, num_dims=3, coupling=0.8, seed=1)
+        corr = np.corrcoef(ds.values[:, 0], ds.values[:, 1])[0, 1]
+        assert corr > 0.5
+
+    def test_synthetic_validation(self):
+        with pytest.raises(DataError):
+            synthetic_multivariate(num_dims=0)
+        with pytest.raises(DataError):
+            synthetic_multivariate(n=4)
+
+
+class TestCsvIo:
+    def test_round_trip(self, tmp_path):
+        ds = gas_rate(n=30)
+        path = tmp_path / "gas.csv"
+        save_csv(ds, path)
+        loaded = load_csv(path, name="gas_rate")
+        assert loaded.dim_names == ds.dim_names
+        assert np.allclose(loaded.values, ds.values, atol=1e-9)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DataError):
+            load_csv(tmp_path / "nope.csv")
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DataError):
+            load_csv(path)
+
+    def test_header_only_raises(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text("a,b\n")
+        with pytest.raises(DataError):
+            load_csv(path)
+
+    def test_ragged_row_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        with pytest.raises(DataError, match=":3"):
+            load_csv(path)
+
+    def test_non_numeric_cell_raises(self, tmp_path):
+        path = tmp_path / "text.csv"
+        path.write_text("a\n1\nfoo\n")
+        with pytest.raises(DataError):
+            load_csv(path)
+
+
+@given(
+    st.integers(min_value=8, max_value=200),
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=30, deadline=None)
+def test_synthetic_generator_contract_property(n, num_dims, seed):
+    ds = synthetic_multivariate(n=n, num_dims=num_dims, seed=seed)
+    assert ds.values.shape == (n, num_dims)
+    assert np.isfinite(ds.values).all()

@@ -1,0 +1,188 @@
+"""Tests for classical decomposition and the deseasonalize extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import MultiCastConfig, MultiCastForecaster
+from repro.data import weather
+from repro.decomposition import (
+    ClassicalDecomposition,
+    SeasonalAdjuster,
+    centered_moving_average,
+    estimate_period,
+)
+from repro.exceptions import ConfigError, DataError
+from repro.metrics import rmse
+
+
+def _seasonal_series(n=120, period=12, trend=0.1, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(float(n))
+    return (
+        5.0
+        + trend * t
+        + 3.0 * np.sin(2 * np.pi * t / period)
+        + noise * rng.normal(size=n)
+    )
+
+
+class TestCenteredMovingAverage:
+    def test_constant_series_unchanged(self):
+        x = np.full(20, 3.0)
+        assert np.allclose(centered_moving_average(x, 4), 3.0)
+
+    def test_linear_series_preserved_in_interior(self):
+        x = np.arange(30.0)
+        smoothed = centered_moving_average(x, 5)
+        assert np.allclose(smoothed[5:25], x[5:25])
+
+    def test_removes_seasonality(self):
+        x = _seasonal_series(trend=0.0)
+        smoothed = centered_moving_average(x, 12)
+        # A period-long 2xMA averages out an additive season entirely.
+        assert np.abs(smoothed[12:-12] - 5.0).max() < 0.05
+
+    def test_output_length_matches_input(self):
+        for window in (2, 3, 4, 7):
+            assert centered_moving_average(np.arange(25.0), window).size == 25
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            centered_moving_average(np.arange(10.0), 1)
+        with pytest.raises(DataError):
+            centered_moving_average(np.arange(10.0), 11)
+        with pytest.raises(DataError):
+            centered_moving_average(np.zeros((3, 2)), 2)
+
+
+class TestClassicalDecomposition:
+    def test_components_sum_to_series(self):
+        x = _seasonal_series(noise=0.2, seed=1)
+        decomposition = ClassicalDecomposition.fit(x, period=12)
+        seasonal = decomposition.seasonal_at(np.arange(x.size))
+        reconstructed = decomposition.trend + seasonal + decomposition.residual
+        assert np.allclose(reconstructed, x)
+
+    def test_seasonal_profile_sums_to_zero(self):
+        x = _seasonal_series(noise=0.1, seed=2)
+        decomposition = ClassicalDecomposition.fit(x, period=12)
+        assert decomposition.seasonal_profile.sum() == pytest.approx(0.0, abs=1e-9)
+
+    def test_recovers_a_known_seasonal_profile(self):
+        x = _seasonal_series(noise=0.0)
+        decomposition = ClassicalDecomposition.fit(x, period=12)
+        expected = 3.0 * np.sin(2 * np.pi * np.arange(12) / 12.0)
+        assert np.allclose(decomposition.seasonal_profile, expected, atol=0.15)
+
+    def test_residual_is_small_for_clean_signal(self):
+        x = _seasonal_series(noise=0.0)
+        decomposition = ClassicalDecomposition.fit(x, period=12)
+        assert np.abs(decomposition.residual[12:-12]).max() < 0.2
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            ClassicalDecomposition.fit(np.arange(10.0), period=1)
+        with pytest.raises(DataError):
+            ClassicalDecomposition.fit(np.arange(10.0), period=8)
+
+
+class TestSeasonalAdjuster:
+    def test_adjust_restore_round_trip(self):
+        x = _seasonal_series(noise=0.1, seed=3)
+        adjuster = SeasonalAdjuster(12).fit(x)
+        adjusted = adjuster.adjust(x)
+        restored = adjuster.restore(adjusted, start_index=0)
+        assert np.allclose(restored, x)
+
+    def test_adjusted_series_loses_its_period(self):
+        x = _seasonal_series(trend=0.0, noise=0.05, seed=4)
+        adjusted = SeasonalAdjuster(12).fit(x).adjust(x)
+        assert estimate_period(x) == 12
+        assert estimate_period(adjusted) != 12
+
+    def test_restore_default_continues_after_training(self):
+        x = _seasonal_series(trend=0.0, noise=0.0)
+        adjuster = SeasonalAdjuster(12).fit(x)
+        restored = adjuster.restore(np.zeros(12))
+        # Pure seasonal profile aligned to indices n .. n+11.
+        expected = 3.0 * np.sin(2 * np.pi * (np.arange(120, 132)) / 12.0)
+        assert np.allclose(restored, expected, atol=0.15)
+
+    def test_restore_2d_broadcasts_over_dims(self):
+        x = _seasonal_series()
+        adjuster = SeasonalAdjuster(12).fit(x)
+        restored = adjuster.restore(np.zeros((6, 3)))
+        assert restored.shape == (6, 3)
+        assert np.allclose(restored[:, 0], restored[:, 1])
+
+    def test_unfitted_use_raises(self):
+        with pytest.raises(DataError):
+            SeasonalAdjuster(12).adjust(np.zeros(24))
+
+    def test_wrong_length_adjust_raises(self):
+        adjuster = SeasonalAdjuster(12).fit(_seasonal_series())
+        with pytest.raises(DataError):
+            adjuster.adjust(np.zeros(50))
+
+
+class TestDeseasonalizedForecasting:
+    def test_config_validation(self):
+        MultiCastConfig(deseasonalize=12)
+        MultiCastConfig(deseasonalize="auto")
+        with pytest.raises(ConfigError):
+            MultiCastConfig(deseasonalize=1)
+        with pytest.raises(ConfigError):
+            MultiCastConfig(deseasonalize="yes")
+
+    def test_improves_weather_forecasts(self):
+        """The headline of the extension: seasonal stripping fixes the
+        substrate's weakness on the strongly seasonal weather data."""
+        dataset = weather()
+        history, future = dataset.train_test_split()
+        plain = MultiCastForecaster(
+            MultiCastConfig(scheme="di", num_samples=3, seed=0)
+        ).forecast(history, len(future))
+        adjusted = MultiCastForecaster(
+            MultiCastConfig(scheme="di", num_samples=3, seed=0, deseasonalize="auto")
+        ).forecast(history, len(future))
+        plain_error = np.mean(
+            [rmse(future[:, k], plain.values[:, k]) for k in range(4)]
+        )
+        adjusted_error = np.mean(
+            [rmse(future[:, k], adjusted.values[:, k]) for k in range(4)]
+        )
+        assert adjusted_error < 0.7 * plain_error
+        assert adjusted.metadata["deseasonalized"] is not None
+
+    def test_non_seasonal_dimension_passes_through(self):
+        rng = np.random.default_rng(5)
+        history = rng.normal(size=(100, 1))  # white noise: no period
+        output = MultiCastForecaster(
+            MultiCastConfig(num_samples=2, deseasonalize="auto")
+        ).forecast(history, 5)
+        assert output.metadata["deseasonalized"] == [None]
+
+    def test_fixed_period_recorded(self):
+        x = _seasonal_series(n=100)[:, None]
+        output = MultiCastForecaster(
+            MultiCastConfig(num_samples=2, deseasonalize=12)
+        ).forecast(x, 6)
+        assert output.metadata["deseasonalized"] == [12]
+
+    def test_samples_restored_consistently_with_point_forecast(self):
+        x = _seasonal_series(n=100)[:, None]
+        output = MultiCastForecaster(
+            MultiCastConfig(num_samples=3, deseasonalize=12, aggregation="median")
+        ).forecast(x, 6)
+        assert np.allclose(
+            np.median(output.samples, axis=0), output.values, atol=1e-9
+        )
+
+    def test_works_with_sax(self):
+        from repro.core import SaxConfig
+
+        x = _seasonal_series(n=120)[:, None]
+        output = MultiCastForecaster(
+            MultiCastConfig(num_samples=2, deseasonalize=12, sax=SaxConfig())
+        ).forecast(x, 9)
+        assert output.values.shape == (9, 1)

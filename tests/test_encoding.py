@@ -1,0 +1,186 @@
+"""Unit and property tests for repro.encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.encoding import (
+    SEPARATOR,
+    DigitCodec,
+    Vocabulary,
+    digit_vocabulary,
+    parse_token_stream,
+    render_token_stream,
+    sax_vocabulary,
+)
+from repro.exceptions import EncodingError
+
+
+class TestVocabulary:
+    def test_digit_vocabulary_has_eleven_tokens(self):
+        vocab = digit_vocabulary()
+        assert len(vocab) == 11
+        assert vocab.tokens[:10] == tuple(str(d) for d in range(10))
+        assert vocab.tokens[10] == ","
+
+    def test_encode_decode_round_trip(self):
+        vocab = digit_vocabulary()
+        tokens = list("31,41")
+        assert vocab.decode(vocab.encode(tokens)) == tokens
+
+    def test_unknown_token_raises(self):
+        with pytest.raises(EncodingError):
+            digit_vocabulary().id_of("x")
+
+    def test_out_of_range_id_raises(self):
+        with pytest.raises(EncodingError):
+            digit_vocabulary().token_of(11)
+
+    def test_duplicate_tokens_rejected(self):
+        with pytest.raises(EncodingError):
+            Vocabulary(["a", "a"])
+
+    def test_multi_char_tokens_rejected(self):
+        with pytest.raises(EncodingError):
+            Vocabulary(["ab"])
+
+    def test_empty_vocabulary_rejected(self):
+        with pytest.raises(EncodingError):
+            Vocabulary([])
+
+    def test_ids_of_returns_frozenset(self):
+        vocab = digit_vocabulary()
+        ids = vocab.ids_of("0123456789")
+        assert isinstance(ids, frozenset)
+        assert len(ids) == 10
+
+    def test_equality_and_hash(self):
+        assert digit_vocabulary() == digit_vocabulary()
+        assert hash(digit_vocabulary()) == hash(digit_vocabulary())
+
+    def test_sax_vocabulary_appends_separator(self):
+        vocab = sax_vocabulary("abcde")
+        assert len(vocab) == 6
+        assert "," in vocab
+
+    def test_sax_vocabulary_rejects_comma_symbol(self):
+        with pytest.raises(EncodingError):
+            sax_vocabulary(["a", ","])
+
+
+class TestDigitCodec:
+    def test_zero_pads(self):
+        assert DigitCodec(3).digits_of(7) == ["0", "0", "7"]
+
+    def test_round_trip(self):
+        codec = DigitCodec(4)
+        for value in (0, 1, 42, 9999):
+            assert codec.value_of(codec.digits_of(value)) == value
+
+    def test_overflow_raises(self):
+        with pytest.raises(EncodingError):
+            DigitCodec(2).digits_of(100)
+
+    def test_negative_raises(self):
+        with pytest.raises(EncodingError):
+            DigitCodec(2).digits_of(-1)
+
+    def test_partial_parse_left_aligns(self):
+        # A truncated group "42" under width 3 reads as 420.
+        assert DigitCodec(3).value_of_partial(["4", "2"]) == 420
+
+    def test_partial_parse_empty_raises(self):
+        with pytest.raises(EncodingError):
+            DigitCodec(3).value_of_partial([])
+
+    def test_wrong_width_full_parse_raises(self):
+        with pytest.raises(EncodingError):
+            DigitCodec(3).value_of(["1", "2"])
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(EncodingError):
+            DigitCodec(0)
+
+
+class TestRenderAndParse:
+    def test_render_inserts_separators(self):
+        tokens = render_token_stream([17, 23], DigitCodec(2))
+        assert tokens == ["1", "7", SEPARATOR, "2", "3"]
+
+    def test_round_trip(self):
+        codec = DigitCodec(3)
+        values = [0, 5, 123, 999, 42]
+        parsed = parse_token_stream(render_token_stream(values, codec), codec)
+        assert parsed.tolist() == values
+
+    def test_strict_round_trip(self):
+        codec = DigitCodec(3)
+        values = [1, 2, 3]
+        tokens = render_token_stream(values, codec)
+        assert parse_token_stream(tokens, codec, strict=True).tolist() == values
+
+    def test_lenient_accepts_truncated_final_group(self):
+        codec = DigitCodec(3)
+        tokens = ["1", "2", "3", SEPARATOR, "4", "5"]
+        assert parse_token_stream(tokens, codec).tolist() == [123, 450]
+
+    def test_strict_rejects_truncated_final_group(self):
+        codec = DigitCodec(3)
+        tokens = ["1", "2", "3", SEPARATOR, "4", "5"]
+        with pytest.raises(EncodingError):
+            parse_token_stream(tokens, codec, strict=True)
+
+    def test_lenient_splits_missing_separator(self):
+        codec = DigitCodec(2)
+        tokens = ["1", "2", "3", "4"]  # no separator at all
+        assert parse_token_stream(tokens, codec).tolist() == [12, 34]
+
+    def test_lenient_skips_doubled_separators(self):
+        codec = DigitCodec(2)
+        tokens = ["1", "2", SEPARATOR, SEPARATOR, "3", "4"]
+        assert parse_token_stream(tokens, codec).tolist() == [12, 34]
+
+    def test_strict_rejects_doubled_separators(self):
+        codec = DigitCodec(2)
+        with pytest.raises(EncodingError):
+            parse_token_stream(["1", "2", SEPARATOR, SEPARATOR], codec, strict=True)
+
+    def test_unknown_token_raises(self):
+        with pytest.raises(EncodingError):
+            parse_token_stream(["1", "x"], DigitCodec(2))
+
+    def test_empty_stream_parses_to_nothing(self):
+        assert parse_token_stream([], DigitCodec(3)).size == 0
+
+    def test_result_dtype_is_integer(self):
+        parsed = parse_token_stream(["1", "2"], DigitCodec(2))
+        assert parsed.dtype == np.int64
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=999), min_size=0, max_size=60),
+)
+def test_stream_round_trip_property(values):
+    codec = DigitCodec(3)
+    tokens = render_token_stream(values, codec)
+    assert parse_token_stream(tokens, codec, strict=True).tolist() == values
+
+
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.data(),
+)
+def test_stream_round_trip_any_width_property(width, data):
+    codec = DigitCodec(width)
+    values = data.draw(
+        st.lists(st.integers(min_value=0, max_value=codec.max_value), max_size=30)
+    )
+    tokens = render_token_stream(values, codec)
+    assert parse_token_stream(tokens, codec).tolist() == values
+
+
+@given(st.lists(st.sampled_from("0123456789,"), max_size=80))
+def test_lenient_parser_never_crashes_on_numeric_garbage(chars):
+    """Whatever digit/comma soup the model emits, lenient parsing survives."""
+    parsed = parse_token_stream(chars, DigitCodec(3))
+    assert (parsed >= 0).all() and (parsed <= 999).all()

@@ -1,0 +1,180 @@
+"""Tests for the evaluation harness: protocol, tables, ASCII plots."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.arima import kpss_statistic
+from repro.data import gas_rate, synthetic_multivariate
+from repro.evaluation import (
+    EvalResult,
+    ascii_plot,
+    available_methods,
+    evaluate_method,
+    format_table,
+    overlay_series,
+    run_method,
+    TableResult,
+)
+from repro.exceptions import ConfigError, DataError, FittingError
+
+
+class TestKpss:
+    def test_stationary_series_scores_low(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=500)
+        assert kpss_statistic(x) < 0.463
+
+    def test_random_walk_scores_high(self):
+        rng = np.random.default_rng(1)
+        x = np.cumsum(rng.normal(size=500))
+        assert kpss_statistic(x) > 0.463
+
+    def test_strong_ar_is_still_stationary(self):
+        """The case the variance heuristic gets wrong (over-differencing)."""
+        rng = np.random.default_rng(2)
+        x = np.zeros(2000)
+        for t in range(1, 2000):
+            x[t] = 0.8 * x[t - 1] + rng.normal()
+        assert kpss_statistic(x) < 0.463
+
+    def test_too_short_rejected(self):
+        with pytest.raises(FittingError):
+            kpss_statistic(np.ones(5))
+
+
+class TestMethodRegistry:
+    def test_paper_competitors_registered(self):
+        methods = available_methods()
+        for name in ("multicast-di", "multicast-vi", "multicast-vc",
+                     "llmtime", "arima", "lstm"):
+            assert name in methods
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(ConfigError):
+            run_method("prophet", np.zeros((20, 1)), 5)
+
+    def test_classical_methods_return_arrays(self):
+        history = synthetic_multivariate(n=80, num_dims=2, seed=0).values
+        forecast = run_method("naive", history, 4)
+        assert isinstance(forecast, np.ndarray)
+        assert forecast.shape == (4, 2)
+
+    def test_llm_methods_return_forecast_output(self):
+        history = synthetic_multivariate(n=80, num_dims=2, seed=0).values
+        output = run_method("multicast-vi", history, 4, num_samples=2)
+        assert output.values.shape == (4, 2)
+        assert output.generated_tokens > 0
+
+
+class TestEvaluateMethod:
+    def test_result_contract(self):
+        dataset = synthetic_multivariate(n=100, num_dims=2, seed=1)
+        result = evaluate_method("multicast-di", dataset, seed=0, num_samples=2)
+        assert isinstance(result, EvalResult)
+        assert set(result.rmse_per_dim) == {"x0", "x1"}
+        assert all(v >= 0 for v in result.rmse_per_dim.values())
+        assert result.forecast.shape == result.actual.shape
+        assert result.simulated_seconds > 0
+        assert result.reported_seconds == result.simulated_seconds
+
+    def test_classical_method_reports_wall_time(self):
+        dataset = synthetic_multivariate(n=100, num_dims=1, seed=2)
+        result = evaluate_method("drift", dataset)
+        assert result.simulated_seconds == 0.0
+        assert result.reported_seconds == result.wall_seconds
+
+    def test_sax_options_flow_through(self):
+        dataset = gas_rate(n=120)
+        result = evaluate_method(
+            "multicast-di",
+            dataset,
+            num_samples=2,
+            sax={"segment_length": 6, "alphabet_size": 5},
+        )
+        assert result.metadata["sax"] is True
+
+    def test_holdout_fraction(self):
+        dataset = synthetic_multivariate(n=100, num_dims=1, seed=3)
+        result = evaluate_method("naive", dataset, test_fraction=0.1)
+        assert result.actual.shape[0] == 10
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["x", "yy"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].index("|") == lines[2].index("|")
+
+    def test_format_table_validation(self):
+        with pytest.raises(DataError):
+            format_table([], [])
+        with pytest.raises(DataError):
+            format_table(["a"], [[1, 2]])
+
+    def test_table_result_cell_lookup(self):
+        table = TableResult("T", "demo", ["Model", "x"])
+        table.add_row("m1", 1.5)
+        assert table.cell("m1", "x") == 1.5
+        with pytest.raises(DataError):
+            table.cell("m2", "x")
+        with pytest.raises(DataError):
+            table.cell("m1", "y")
+
+    def test_table_result_format_includes_notes(self):
+        table = TableResult("T", "demo", ["Model", "x"], notes=["hello"])
+        table.add_row("m1", 1.0)
+        assert "hello" in table.format()
+        assert "T: demo" in str(table)
+
+
+class TestAsciiPlot:
+    def test_renders_legend_and_bounds(self):
+        text = ascii_plot({"actual": np.sin(np.arange(30) / 3.0)}, title="demo")
+        assert "demo" in text
+        assert "* actual" in text
+        assert "0.995" in text  # y max label (max of the plotted sine)
+
+    def test_multiple_series_get_distinct_markers(self):
+        text = ascii_plot(
+            {"a": np.arange(10.0), "b": np.arange(10.0)[::-1]}
+        )
+        assert "* a" in text and "o b" in text
+
+    def test_constant_series_does_not_crash(self):
+        text = ascii_plot({"flat": np.ones(10)})
+        assert "flat" in text
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            ascii_plot({})
+        with pytest.raises(DataError):
+            ascii_plot({"x": np.ones(1)})
+        with pytest.raises(DataError):
+            ascii_plot({"x": np.array([1.0, np.nan])})
+        with pytest.raises(DataError):
+            ascii_plot({"x": np.ones(5)}, width=4)
+
+
+class TestOverlayCsv:
+    def test_writes_aligned_columns(self, tmp_path):
+        path = tmp_path / "fig.csv"
+        overlay_series(
+            path,
+            actual=np.array([1.0, 2.0]),
+            forecasts={"m": np.array([1.1, 2.1])},
+            history=np.array([0.0, 0.5]),
+        )
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "t,history,actual,m"
+        assert len(lines) == 5  # header + 2 history + 2 forecast rows
+        assert lines[1].startswith("0,0,")
+        assert lines[3].split(",")[2] == "1"
+
+    def test_length_mismatch_rejected(self, tmp_path):
+        with pytest.raises(DataError):
+            overlay_series(
+                tmp_path / "bad.csv",
+                actual=np.array([1.0, 2.0]),
+                forecasts={"m": np.array([1.0])},
+            )

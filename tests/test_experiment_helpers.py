@@ -1,0 +1,121 @@
+"""Tests for paper-values data, comparison reports, extended roster, CLI extras."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.data import gas_rate
+from repro.evaluation import TableResult
+from repro.exceptions import DataError
+from repro.experiments import (
+    EXTENDED_METHODS,
+    PAPER_TABLE_III,
+    PAPER_TABLE_IV,
+    PAPER_TABLE_V,
+    PAPER_TABLE_VI,
+    PAPER_TABLE_VII_SECONDS,
+    PAPER_TABLE_VIII,
+    PAPER_TABLE_IX,
+    comparison_report,
+    extended_accuracy_table,
+)
+
+
+class TestPaperValues:
+    def test_table_iii_gap_is_about_2x(self):
+        """The digitised numbers themselves carry the paper's claim."""
+        llama = PAPER_TABLE_III["MultiCast (LLaMA2 / 7B)"]
+        phi = PAPER_TABLE_III["MultiCast (Phi-2 / 2.7B)"]
+        for dim in ("GasRate", "CO2"):
+            assert 1.5 < phi[dim] / llama[dim] < 2.1
+
+    def test_accuracy_tables_have_six_methods(self):
+        for table in (PAPER_TABLE_IV, PAPER_TABLE_V, PAPER_TABLE_VI):
+            assert len(table) == 6
+
+    def test_table_vii_time_doubles_in_the_paper_too(self):
+        for method, seconds in PAPER_TABLE_VII_SECONDS.items():
+            assert seconds[10] == pytest.approx(2 * seconds[5], rel=0.25), method
+            assert seconds[20] == pytest.approx(4 * seconds[5], rel=0.25), method
+
+    def test_table_viii_speedup_ratios(self):
+        raw_seconds = PAPER_TABLE_VIII["MultiCast"][1]
+        for kind in ("alphabetical", "digital"):
+            cells = PAPER_TABLE_VIII[f"MultiCast SAX ({kind})"]
+            assert raw_seconds / cells[3][1] > 7.0
+            assert raw_seconds / cells[9][1] > 20.0
+
+    def test_table_ix_digital_na(self):
+        assert PAPER_TABLE_IX["MultiCast SAX (digital)"][20] is None
+
+    def test_comparison_report_renders(self):
+        measured = TableResult("Table IV", "demo", ["Model", "GasRate", "CO2"])
+        for label in PAPER_TABLE_IV:
+            measured.add_row(label, 1.0, 2.0)
+        report = comparison_report(measured, PAPER_TABLE_IV, ["GasRate", "CO2"])
+        assert "GasRate (paper)" in report
+        assert "GasRate (measured)" in report
+        assert "ARIMA" in report
+
+    def test_comparison_report_missing_row_raises(self):
+        measured = TableResult("T", "demo", ["Model", "GasRate", "CO2"])
+        measured.add_row("only-this", 1.0, 2.0)
+        with pytest.raises(DataError):
+            comparison_report(measured, PAPER_TABLE_IV, ["GasRate"])
+
+
+class TestExtendedRoster:
+    def test_method_list_superset_of_paper(self):
+        for method in ("multicast-di", "llmtime", "arima", "lstm"):
+            assert method in EXTENDED_METHODS
+        for extension in ("holt-winters", "theta", "multicast-bi"):
+            assert extension in EXTENDED_METHODS
+
+    def test_subset_run(self):
+        table = extended_accuracy_table(
+            gas_rate(n=120),
+            num_samples=2,
+            methods=("naive", "drift", "theta"),
+        )
+        assert len(table.rows) == 3
+        assert table.header[-1] == "time [s]"
+        for row in table.rows:
+            assert np.isfinite(row[1]) and np.isfinite(row[2])
+
+
+class TestCliExtras:
+    def test_plan_command(self, capsys):
+        assert main(["plan", "--dataset", "gas_rate", "--samples", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "prompt tokens" in out
+        assert "simulated inference" in out
+
+    def test_plan_with_sax_is_cheaper(self, capsys):
+        main(["plan", "--samples", "5"])
+        raw = capsys.readouterr().out
+        main(["plan", "--samples", "5", "--sax-segment", "6"])
+        sax = capsys.readouterr().out
+
+        def total(text):
+            line = [l for l in text.splitlines() if "billing total" in l][0]
+            return int(line.split()[2])
+
+        assert total(sax) * 5 < total(raw)
+
+    def test_backtest_command(self, capsys):
+        code = main([
+            "backtest", "--dataset", "gas_rate", "--method", "theta",
+            "--horizon", "15", "--windows", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RMSE[GasRate]" in out
+        assert "±" in out
+
+    def test_backtest_too_many_windows_errors_cleanly(self, capsys):
+        code = main([
+            "backtest", "--dataset", "gas_rate", "--horizon", "100",
+            "--windows", "5",
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

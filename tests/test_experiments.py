@@ -1,0 +1,145 @@
+"""Tests for the per-table/figure experiment drivers (reduced sample counts).
+
+The full paper-parameter runs live in ``benchmarks/``; these tests exercise
+the same drivers with small sample counts to keep the suite fast, asserting
+the structural properties each table must have.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    figure_2,
+    figure_3,
+    figure_6,
+    figure_8,
+    table_i,
+    table_iii,
+    table_iv,
+    table_vii,
+    table_viii,
+    table_ix,
+)
+
+
+class TestTableI:
+    def test_matches_paper_exactly(self):
+        table = table_i()
+        assert table.cell("gas_rate", "Dimensions") == 2
+        assert table.cell("gas_rate", "Length") == 296
+        assert table.cell("electricity", "Dimensions") == 3
+        assert table.cell("electricity", "Length") == 242
+        assert table.cell("weather", "Dimensions") == 4
+        assert table.cell("weather", "Length") == 217
+
+
+class TestTableIII:
+    def test_llama_beats_phi_on_both_dimensions(self):
+        table = table_iii(num_samples=3)
+        for dim in ("GasRate", "CO2"):
+            llama = table.cell("MultiCast (LLaMA2 / 7B)", dim)
+            phi = table.cell("MultiCast (Phi-2 / 2.7B)", dim)
+            assert llama < phi, dim
+            # The paper reports roughly a 2x gap; require a clear margin.
+            assert phi / llama > 1.3, dim
+
+
+class TestTableIV:
+    def test_all_methods_produce_finite_errors(self):
+        table = table_iv(num_samples=2)
+        assert len(table.rows) == 6
+        for row in table.rows:
+            assert all(np.isfinite(v) for v in row[1:]), row[0]
+
+    def test_errors_in_plausible_bands(self):
+        table = table_iv(num_samples=2)
+        for row in table.rows:
+            # GasRate dim: paper range 0.70-1.15; allow a generous band.
+            assert 0.1 < row[1] < 4.0, row[0]
+            # CO2 dim: paper range 2.6-4.6; our band is wider.
+            assert 0.3 < row[2] < 10.0, row[0]
+
+
+class TestTableVII:
+    def test_time_doubles_with_samples(self):
+        table = table_vii(sample_counts=(2, 4, 8))
+        for method in ("MultiCast (DI)", "MultiCast (VC)", "LLMTIME"):
+            seconds = [table.cell(f"{method} [sec]", c) for c in ("2", "4", "8")]
+            assert seconds[1] == pytest.approx(2 * seconds[0], rel=0.05)
+            assert seconds[2] == pytest.approx(4 * seconds[0], rel=0.05)
+
+    def test_vc_is_slowest_multicast_variant(self):
+        table = table_vii(sample_counts=(2,))
+        di = table.cell("MultiCast (DI) [sec]", "2")
+        vc = table.cell("MultiCast (VC) [sec]", "2")
+        assert vc > di
+
+
+class TestTableVIII:
+    def test_sax_is_an_order_of_magnitude_faster(self):
+        # Paper ratios: 1168/148 ≈ 7.9x at w=3 up to 1168/52 ≈ 22x at w=9.
+        table = table_viii(num_samples=2)
+        raw_seconds = table.cell("MultiCast [sec]", "3")
+        for kind in ("alphabetical", "digital"):
+            assert table.cell(f"MultiCast SAX ({kind}) [sec]", "3") * 5 < raw_seconds
+            assert table.cell(f"MultiCast SAX ({kind}) [sec]", "9") * 10 < raw_seconds
+
+    def test_time_falls_with_segment_length(self):
+        table = table_viii(num_samples=2)
+        seconds = [
+            table.cell("MultiCast SAX (alphabetical) [sec]", w)
+            for w in ("3", "6", "9")
+        ]
+        assert seconds[0] > seconds[1] > seconds[2]
+
+
+class TestTableIX:
+    def test_digital_sax_is_na_at_twenty(self):
+        table = table_ix(num_samples=2)
+        assert table.cell("MultiCast SAX (digital)", "20") == "N/A"
+        assert table.cell("MultiCast SAX (digital) [sec]", "20") == "N/A"
+
+    def test_time_flat_in_alphabet_size(self):
+        table = table_ix(num_samples=2)
+        seconds = [
+            table.cell("MultiCast SAX (alphabetical) [sec]", a)
+            for a in ("5", "10", "20")
+        ]
+        assert max(seconds) - min(seconds) <= 0.1 * max(seconds) + 1
+
+    def test_alphabetical_reaches_twenty(self):
+        table = table_ix(num_samples=2)
+        assert isinstance(table.cell("MultiCast SAX (alphabetical)", "20"), float)
+
+
+class TestFigures:
+    def test_figure_2_overlays_both_backends(self):
+        figure = figure_2(num_samples=2)
+        assert set(figure.forecasts) == {"llama2-sim", "phi2-sim"}
+        assert figure.actual.shape == figure.forecasts["llama2-sim"].shape
+        chart = figure.render()
+        assert "Figure 2" in chart
+        assert "llama2-sim" in chart
+
+    def test_figure_2_llama_closer_than_phi(self):
+        figure = figure_2(num_samples=3)
+        assert figure.rmse_of("llama2-sim") < figure.rmse_of("phi2-sim")
+
+    def test_figure_3_includes_arima(self):
+        figure = figure_3(num_samples=2)
+        assert "arima" in figure.forecasts
+
+    def test_figure_6_has_three_segment_lengths(self):
+        figure = figure_6(num_samples=2)
+        assert set(figure.forecasts) == {"sax-w3", "sax-w6", "sax-w9"}
+
+    def test_figure_8_digital_symbols(self):
+        figure = figure_8(num_samples=2)
+        assert set(figure.forecasts) == {"sax-digital"}
+
+    def test_figure_csv_round_trip(self, tmp_path):
+        figure = figure_2(num_samples=2)
+        path = tmp_path / "figure2.csv"
+        figure.save_csv(path)
+        header = path.read_text().splitlines()[0]
+        assert header == "t,history,actual,llama2-sim,phi2-sim"

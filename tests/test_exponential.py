@@ -1,0 +1,179 @@
+"""Tests for the exponential-smoothing baselines and period detection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import (
+    HoltLinear,
+    HoltWinters,
+    SimpleExponentialSmoothing,
+    Theta,
+    estimate_period,
+)
+from repro.exceptions import FittingError
+from repro.metrics import rmse
+
+
+def _seasonal(n=120, period=12, trend=0.05, noise=0.1, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(float(n))
+    return 10.0 + trend * t + 2.0 * np.sin(2 * np.pi * t / period) + noise * rng.normal(size=n)
+
+
+class TestSes:
+    def test_constant_series_forecasts_the_constant(self):
+        model = SimpleExponentialSmoothing().fit(np.full(20, 7.0))
+        assert np.allclose(model.forecast(5), 7.0)
+
+    def test_forecast_is_flat(self):
+        model = SimpleExponentialSmoothing().fit(np.sin(np.arange(30.0)))
+        forecast = model.forecast(10)
+        assert np.allclose(forecast, forecast[0])
+
+    def test_alpha_near_one_tracks_last_value(self):
+        x = np.array([1.0, 2.0, 3.0, 100.0])
+        model = SimpleExponentialSmoothing(alpha=0.999).fit(x)
+        assert model.forecast(1)[0] == pytest.approx(100.0, abs=0.5)
+
+    def test_fitted_alpha_in_bounds(self):
+        rng = np.random.default_rng(0)
+        model = SimpleExponentialSmoothing().fit(rng.normal(size=50))
+        assert 0.0 < model.fitted_alpha <= 1.0
+
+    def test_fixed_alpha_respected(self):
+        model = SimpleExponentialSmoothing(alpha=0.42).fit(np.arange(10.0))
+        assert model.fitted_alpha == 0.42
+
+    def test_validation(self):
+        with pytest.raises(FittingError):
+            SimpleExponentialSmoothing(alpha=0.0)
+        with pytest.raises(FittingError):
+            SimpleExponentialSmoothing().fit(np.ones(2))
+        with pytest.raises(FittingError):
+            SimpleExponentialSmoothing().forecast(3)
+        model = SimpleExponentialSmoothing().fit(np.arange(10.0))
+        with pytest.raises(FittingError):
+            model.forecast(0)
+
+
+class TestHoltLinear:
+    def test_extrapolates_a_clean_trend(self):
+        x = 3.0 + 2.0 * np.arange(40.0)
+        forecast = HoltLinear().fit(x).forecast(5)
+        expected = 3.0 + 2.0 * np.arange(40.0, 45.0)
+        assert np.allclose(forecast, expected, atol=0.3)
+
+    def test_damped_forecast_flattens(self):
+        x = 3.0 + 2.0 * np.arange(40.0)
+        undamped = HoltLinear(damping=1.0).fit(x).forecast(50)
+        damped = HoltLinear(damping=0.8).fit(x).forecast(50)
+        assert damped[-1] < undamped[-1]
+        # A damped trend's increments shrink geometrically.
+        increments = np.diff(damped)
+        assert increments[-1] < increments[0]
+
+    def test_params_recorded(self):
+        model = HoltLinear().fit(np.arange(30.0))
+        assert set(model.params) == {"alpha", "beta"}
+
+    def test_validation(self):
+        with pytest.raises(FittingError):
+            HoltLinear(damping=0.0)
+        with pytest.raises(FittingError):
+            HoltLinear().fit(np.ones(3))
+        with pytest.raises(FittingError):
+            HoltLinear().forecast(1)
+
+
+class TestHoltWinters:
+    def test_nails_a_clean_seasonal_series(self):
+        x = _seasonal(noise=0.0)
+        train, test = x[:108], x[108:]
+        forecast = HoltWinters(period=12).fit(train).forecast(12)
+        assert rmse(test, forecast) < 0.1
+
+    def test_beats_theta_on_seasonal_data(self):
+        x = _seasonal(noise=0.1, seed=1)
+        train, test = x[:108], x[108:]
+        hw = rmse(test, HoltWinters(period=12).fit(train).forecast(12))
+        theta = rmse(test, Theta().fit(train).forecast(12))
+        assert hw < theta
+
+    def test_seasonal_pattern_repeats_with_period(self):
+        x = _seasonal(trend=0.0, noise=0.0)
+        forecast = HoltWinters(period=12).fit(x).forecast(24)
+        assert np.allclose(forecast[:12], forecast[12:], atol=0.05)
+
+    def test_needs_two_full_seasons(self):
+        with pytest.raises(FittingError):
+            HoltWinters(period=12).fit(np.arange(20.0))
+
+    def test_validation(self):
+        with pytest.raises(FittingError):
+            HoltWinters(period=1)
+        with pytest.raises(FittingError):
+            HoltWinters(period=4).forecast(2)
+
+
+class TestTheta:
+    def test_continues_a_linear_trend_at_half_slope(self):
+        # The canonical theta method dampens the drift to ~half the fitted
+        # slope (SES of the theta=2 line is flat; averaging with the drift
+        # line halves the increment) — the behaviour that won M3.
+        x = 5.0 + 1.5 * np.arange(60.0)
+        forecast = Theta().fit(x).forecast(10)
+        assert forecast[0] == pytest.approx(x[-1] + 0.75, abs=0.5)
+        assert np.allclose(np.diff(forecast), 0.75, atol=0.05)
+
+    def test_flat_series(self):
+        forecast = Theta().fit(np.full(30, 4.0)).forecast(5)
+        assert np.allclose(forecast, 4.0, atol=1e-6)
+
+    def test_trend_direction_preserved(self):
+        down = Theta().fit(100.0 - 2.0 * np.arange(50.0)).forecast(10)
+        assert (np.diff(down) < 0).all()
+
+    def test_validation(self):
+        with pytest.raises(FittingError):
+            Theta().fit(np.ones(3))
+        with pytest.raises(FittingError):
+            Theta().forecast(2)
+
+
+class TestEstimatePeriod:
+    def test_finds_a_clean_period(self):
+        assert estimate_period(_seasonal(noise=0.0)) == 12
+
+    def test_finds_period_under_noise(self):
+        assert estimate_period(_seasonal(noise=0.3, seed=2)) in (11, 12, 13)
+
+    def test_trend_does_not_fool_it(self):
+        x = _seasonal(trend=0.5, noise=0.05, seed=3)
+        assert estimate_period(x) in (11, 12, 13)
+
+    def test_white_noise_has_no_period(self):
+        rng = np.random.default_rng(4)
+        assert estimate_period(rng.normal(size=200)) == 1
+
+    def test_constant_series(self):
+        assert estimate_period(np.full(50, 3.0)) == 1
+
+    def test_too_short_rejected(self):
+        with pytest.raises(FittingError):
+            estimate_period(np.ones(4))
+
+
+@given(
+    st.floats(min_value=-5.0, max_value=5.0),
+    st.floats(min_value=-1.0, max_value=1.0),
+    st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=25, deadline=None)
+def test_holt_recovers_any_linear_trend_property(intercept, slope, seed):
+    rng = np.random.default_rng(seed)
+    x = intercept + slope * np.arange(50.0) + 0.01 * rng.normal(size=50)
+    forecast = HoltLinear().fit(x).forecast(3)
+    expected = intercept + slope * np.arange(50.0, 53.0)
+    tolerance = 0.2 + 0.1 * abs(slope)
+    assert np.allclose(forecast, expected, atol=tolerance)

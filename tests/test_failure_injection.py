@@ -1,0 +1,161 @@
+"""Failure-injection tests: the pipeline must survive pathological backends.
+
+A production pipeline wraps a model it does not control.  These tests
+register deliberately adversarial in-context models — degenerate
+distributions, separator-flooding preferences, single-token collapse —
+and assert the forecaster still honours its output contract (correct
+shapes, finite values, in-range forecasts).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import MultiCastConfig, MultiCastForecaster
+from repro.data import synthetic_multivariate
+from repro.exceptions import GenerationError
+from repro.llm import (
+    ModelSpec,
+    TokenCostModel,
+    UniformLM,
+    register_model,
+)
+from repro.llm.interface import LanguageModel
+
+HISTORY = synthetic_multivariate(n=80, num_dims=2, seed=9).values
+
+
+class _SeparatorLover(LanguageModel):
+    """Puts almost all mass on the last id (the separator in our vocabs)."""
+
+    def reset(self, context):
+        pass
+
+    def advance(self, token):
+        self._check_token(token)
+
+    def next_distribution(self):
+        probs = np.full(self.vocab_size, 0.01 / (self.vocab_size - 1))
+        probs[-1] = 0.99
+        return probs / probs.sum()
+
+
+class _SingleTokenCollapse(LanguageModel):
+    """Deterministically emits token 0 forever."""
+
+    def reset(self, context):
+        pass
+
+    def advance(self, token):
+        self._check_token(token)
+
+    def next_distribution(self):
+        probs = np.zeros(self.vocab_size)
+        probs[0] = 1.0
+        return probs
+
+
+class _ZeroMassOnDigits(LanguageModel):
+    """All probability on the separator; digits get exactly zero.
+
+    Under the structured grammar the digit positions then have zero
+    admissible mass — the sampler must fall back to uniform-over-allowed
+    rather than crash.
+    """
+
+    def reset(self, context):
+        pass
+
+    def advance(self, token):
+        self._check_token(token)
+
+    def next_distribution(self):
+        probs = np.zeros(self.vocab_size)
+        probs[-1] = 1.0
+        return probs
+
+
+def _register(name, factory):
+    register_model(
+        ModelSpec(name=name, factory=factory, cost=TokenCostModel(0.1)),
+        overwrite=True,
+    )
+
+
+def _forecast(model_name, structured=True, scheme="vc"):
+    config = MultiCastConfig(
+        scheme=scheme,
+        num_samples=2,
+        model=model_name,
+        structured_constraint=structured,
+        seed=0,
+    )
+    return MultiCastForecaster(config).forecast(HISTORY, horizon=6)
+
+
+class TestAdversarialBackends:
+    @pytest.mark.parametrize("scheme", ["di", "vi", "vc"])
+    def test_separator_flooding_with_grammar(self, scheme):
+        _register("adversary-separator", _SeparatorLover)
+        output = _forecast("adversary-separator", structured=True, scheme=scheme)
+        assert output.values.shape == (6, 2)
+        assert np.isfinite(output.values).all()
+
+    @pytest.mark.parametrize("scheme", ["di", "vi", "vc"])
+    def test_separator_flooding_without_grammar(self, scheme):
+        """The hard case: the stream is nearly all commas; lenient demux
+        yields few/no rows and the horizon-fitter pads from the history."""
+        _register("adversary-separator", _SeparatorLover)
+        output = _forecast("adversary-separator", structured=False, scheme=scheme)
+        assert output.values.shape == (6, 2)
+        assert np.isfinite(output.values).all()
+        # Padded forecasts stay inside the scaler's representable span.
+        for k in range(2):
+            lo, hi = HISTORY[:, k].min(), HISTORY[:, k].max()
+            span = hi - lo
+            assert output.values[:, k].min() >= lo - 0.2 * span - 1e-9
+            assert output.values[:, k].max() <= hi + 0.2 * span + 1e-9
+
+    def test_single_token_collapse(self):
+        _register("adversary-collapse", _SingleTokenCollapse)
+        output = _forecast("adversary-collapse")
+        # All-zero digit groups decode to the scaler's lower bound: finite,
+        # in-range, shaped correctly.
+        assert np.isfinite(output.values).all()
+
+    def test_zero_mass_on_required_positions(self):
+        _register("adversary-zeromass", _ZeroMassOnDigits)
+        output = _forecast("adversary-zeromass", structured=True)
+        assert np.isfinite(output.values).all()
+
+    def test_uniform_backend_all_schemes_and_sax(self):
+        from repro.core import SaxConfig
+
+        for scheme in ("di", "vi", "vc", "bi"):
+            config = MultiCastConfig(
+                scheme=scheme, num_samples=2, model="uniform-sim", seed=1
+            )
+            output = MultiCastForecaster(config).forecast(HISTORY, 5)
+            assert np.isfinite(output.values).all()
+        config = MultiCastConfig(
+            num_samples=2, model="uniform-sim", sax=SaxConfig(), seed=1
+        )
+        output = MultiCastForecaster(config).forecast(HISTORY, 5)
+        assert np.isfinite(output.values).all()
+
+
+class TestGeneratorContracts:
+    def test_truncated_generation_budget(self):
+        """Even a 1-token generation budget must not break demux/padding."""
+        config = MultiCastConfig(num_samples=1, seed=0)
+        forecaster = MultiCastForecaster(config)
+        # Monkey-level: horizon 1 with DI needs d*b+1 tokens; the pipeline
+        # always requests the full budget, so emulate truncation by using
+        # the separator-flooding model without grammar instead.
+        _register("adversary-separator", _SeparatorLover)
+        output = _forecast("adversary-separator", structured=False)
+        assert output.values.shape == (6, 2)
+
+    def test_uniform_model_rejects_bad_token_ids(self):
+        model = UniformLM(vocab_size=5)
+        with pytest.raises(GenerationError):
+            model.advance(7)

@@ -1,0 +1,230 @@
+"""Integration tests for the MultiCast forecaster (raw + SAX paths)."""
+
+import numpy as np
+import pytest
+
+from repro.core import MultiCastConfig, MultiCastForecaster, SaxConfig
+from repro.data import gas_rate, synthetic_multivariate
+from repro.exceptions import ConfigError, DataError
+from repro.metrics import rmse
+
+
+def _history(n=120, d=2, seed=0):
+    return synthetic_multivariate(n=n, num_dims=d, seed=seed).values
+
+
+class TestConfigValidation:
+    def test_paper_defaults(self):
+        config = MultiCastConfig()
+        assert config.num_samples == 5
+        assert config.num_digits == 3
+        assert config.model == "llama2-7b-sim"
+        assert config.sax is None
+
+    def test_invalid_scheme(self):
+        with pytest.raises(ConfigError):
+            MultiCastConfig(scheme="xyz")
+
+    def test_invalid_counts(self):
+        with pytest.raises(ConfigError):
+            MultiCastConfig(num_digits=0)
+        with pytest.raises(ConfigError):
+            MultiCastConfig(num_samples=0)
+        with pytest.raises(ConfigError):
+            MultiCastConfig(max_context_tokens=2)
+
+    def test_invalid_aggregation(self):
+        with pytest.raises(ConfigError):
+            MultiCastConfig(aggregation="mode")
+
+    def test_sax_defaults_match_table_ii(self):
+        sax = SaxConfig()
+        assert sax.segment_length == 6
+        assert sax.alphabet_size == 5
+        assert sax.alphabet_kind == "alphabetical"
+
+    def test_sax_validation(self):
+        with pytest.raises(ConfigError):
+            SaxConfig(segment_length=0)
+        with pytest.raises(ConfigError):
+            SaxConfig(alphabet_kind="digital", alphabet_size=20)
+        with pytest.raises(ConfigError):
+            SaxConfig(reconstruction="nearest")
+
+
+class TestRawPipeline:
+    @pytest.mark.parametrize("scheme", ["di", "vi", "vc", "bi"])
+    def test_output_contract(self, scheme):
+        history = _history()
+        config = MultiCastConfig(scheme=scheme, num_samples=3, seed=0)
+        output = MultiCastForecaster(config).forecast(history, horizon=9)
+        assert output.values.shape == (9, 2)
+        assert output.samples.shape == (3, 9, 2)
+        assert np.isfinite(output.values).all()
+        assert output.prompt_tokens > 0
+        assert output.generated_tokens > 0
+        assert output.metadata["method"] == f"multicast-{scheme}"
+        assert output.metadata["sax"] is False
+
+    def test_token_accounting_matches_scheme_arithmetic(self):
+        history = _history(n=60, d=3)
+        horizon = 5
+        for scheme, per_step in (("di", 10), ("vi", 10), ("vc", 12)):
+            config = MultiCastConfig(scheme=scheme, num_samples=2, num_digits=3)
+            output = MultiCastForecaster(config).forecast(history, horizon)
+            assert output.generated_tokens == 2 * horizon * per_step, scheme
+
+    def test_forecast_within_scaler_span(self):
+        history = 100.0 + 10.0 * _history()
+        output = MultiCastForecaster(
+            MultiCastConfig(num_samples=2, seed=1)
+        ).forecast(history, 8)
+        # Codes are bounded, so forecasts cannot leave the headroom span.
+        for k in range(2):
+            lo, hi = history[:, k].min(), history[:, k].max()
+            span = hi - lo
+            assert output.values[:, k].min() >= lo - 0.2 * span - 1e-9
+            assert output.values[:, k].max() <= hi + 0.2 * span + 1e-9
+
+    def test_reproducible_with_seed(self):
+        history = _history()
+        config = MultiCastConfig(num_samples=2, seed=11)
+        a = MultiCastForecaster(config).forecast(history, 6)
+        b = MultiCastForecaster(config).forecast(history, 6)
+        assert np.allclose(a.values, b.values)
+
+    def test_seed_override_changes_samples(self):
+        history = _history(seed=3)
+        config = MultiCastConfig(num_samples=2, seed=0, model="phi2-2.7b-sim")
+        a = MultiCastForecaster(config).forecast(history, 6, seed=1)
+        b = MultiCastForecaster(config).forecast(history, 6, seed=2)
+        assert not np.allclose(a.values, b.values)
+
+    def test_beats_mean_predictor_on_periodic_data(self):
+        t = np.arange(160.0)
+        series = np.stack(
+            [np.sin(2 * np.pi * t / 16), np.cos(2 * np.pi * t / 16)], axis=1
+        )
+        train, test = series[:144], series[144:]
+        output = MultiCastForecaster(
+            MultiCastConfig(scheme="vi", num_samples=5, seed=0)
+        ).forecast(train, 16)
+        for k in range(2):
+            assert rmse(test[:, k], output.values[:, k]) < rmse(
+                test[:, k], np.full(16, train[:, k].mean())
+            )
+
+    def test_univariate_history_promoted(self):
+        output = MultiCastForecaster(MultiCastConfig(num_samples=2)).forecast(
+            np.sin(np.arange(60.0) / 4), 5
+        )
+        assert output.values.shape == (5, 1)
+
+    def test_input_validation(self):
+        forecaster = MultiCastForecaster(MultiCastConfig(num_samples=1))
+        with pytest.raises(DataError):
+            forecaster.forecast(np.zeros((3, 2)), 5)  # too short
+        with pytest.raises(DataError):
+            forecaster.forecast(np.zeros((10, 2)), 0)  # bad horizon
+        with pytest.raises(DataError):
+            forecaster.forecast(np.full((10, 2), np.nan), 3)
+        with pytest.raises(DataError):
+            forecaster.forecast(np.zeros((2, 2, 2)), 3)
+
+    def test_context_budget_respected(self):
+        history = _history(n=2000)
+        config = MultiCastConfig(num_samples=1, max_context_tokens=300)
+        output = MultiCastForecaster(config).forecast(history, 4)
+        assert output.prompt_tokens <= 300 + 1  # + trailing separator
+
+    def test_unstructured_constraint_still_produces_valid_output(self):
+        history = _history()
+        config = MultiCastConfig(
+            num_samples=2, structured_constraint=False, seed=0
+        )
+        output = MultiCastForecaster(config).forecast(history, 7)
+        assert output.values.shape == (7, 2)
+        assert np.isfinite(output.values).all()
+
+    def test_uniform_model_still_yields_contractual_output(self):
+        """Garbage model, valid plumbing: the pipeline never crashes."""
+        history = _history()
+        config = MultiCastConfig(num_samples=2, model="uniform-sim", seed=0)
+        output = MultiCastForecaster(config).forecast(history, 6)
+        assert output.values.shape == (6, 2)
+        assert np.isfinite(output.values).all()
+
+
+class TestSaxPipeline:
+    def test_output_contract(self):
+        history = _history()
+        config = MultiCastConfig(num_samples=3, sax=SaxConfig(), seed=0)
+        output = MultiCastForecaster(config).forecast(history, 10)
+        assert output.values.shape == (10, 2)
+        assert output.metadata["sax"] is True
+        assert output.metadata["segment_length"] == 6
+
+    def test_sax_generates_order_of_magnitude_fewer_tokens(self):
+        """The heart of Tables VIII-IX: one symbol per segment."""
+        history = _history()
+        raw = MultiCastForecaster(MultiCastConfig(num_samples=2)).forecast(history, 30)
+        sax = MultiCastForecaster(
+            MultiCastConfig(num_samples=2, sax=SaxConfig(segment_length=6))
+        ).forecast(history, 30)
+        assert sax.generated_tokens * 10 < raw.generated_tokens
+        assert sax.simulated_seconds * 10 < raw.simulated_seconds
+
+    def test_longer_segments_generate_fewer_tokens(self):
+        history = _history()
+        tokens = {}
+        for w in (3, 6, 9):
+            config = MultiCastConfig(
+                num_samples=1, sax=SaxConfig(segment_length=w), seed=0
+            )
+            tokens[w] = MultiCastForecaster(config).forecast(history, 18).generated_tokens
+        assert tokens[9] < tokens[6] < tokens[3]
+
+    def test_digital_alphabet(self):
+        history = _history()
+        config = MultiCastConfig(
+            num_samples=2,
+            sax=SaxConfig(alphabet_kind="digital", alphabet_size=5),
+            seed=0,
+        )
+        output = MultiCastForecaster(config).forecast(history, 8)
+        assert output.values.shape == (8, 2)
+
+    def test_sax_forecast_values_come_from_symbol_levels(self):
+        history = _history()
+        config = MultiCastConfig(
+            num_samples=1, sax=SaxConfig(alphabet_size=5), seed=0
+        )
+        output = MultiCastForecaster(config).forecast(history, 6)
+        # Each sample value must be one of the 5 reconstruction levels per dim.
+        for k in range(2):
+            unique = np.unique(np.round(output.samples[0, :, k], 6))
+            assert unique.size <= 5
+
+    def test_horizon_not_multiple_of_segment_length(self):
+        history = _history()
+        config = MultiCastConfig(num_samples=2, sax=SaxConfig(segment_length=6))
+        output = MultiCastForecaster(config).forecast(history, 7)
+        assert output.values.shape == (7, 2)
+
+    @pytest.mark.parametrize("scheme", ["di", "vi", "vc"])
+    def test_all_schemes_work_with_sax(self, scheme):
+        history = _history()
+        config = MultiCastConfig(scheme=scheme, num_samples=2, sax=SaxConfig())
+        output = MultiCastForecaster(config).forecast(history, 9)
+        assert output.values.shape == (9, 2)
+
+
+class TestOnPaperDatasets:
+    def test_gas_rate_end_to_end(self):
+        history, future = gas_rate().train_test_split(0.2)
+        output = MultiCastForecaster(
+            MultiCastConfig(scheme="di", num_samples=3, seed=0)
+        ).forecast(history, len(future))
+        # Sanity band: errors comparable to the paper's order of magnitude.
+        assert rmse(future[:, 0], output.values[:, 0]) < 3.0
+        assert rmse(future[:, 1], output.values[:, 1]) < 10.0

@@ -1,0 +1,183 @@
+"""Tests for probabilistic metrics and ForecastOutput quantiles/intervals."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ForecastOutput, MultiCastConfig, MultiCastForecaster
+from repro.data import synthetic_multivariate
+from repro.exceptions import DataError
+from repro.metrics import (
+    crps_from_samples,
+    interval_coverage,
+    pinball_loss,
+    sample_quantiles,
+    winkler_score,
+)
+
+
+class TestPinball:
+    def test_median_pinball_is_half_mae(self):
+        y = np.array([1.0, 2.0, 3.0])
+        q = np.array([2.0, 2.0, 2.0])
+        assert pinball_loss(y, q, 0.5) == pytest.approx(
+            0.5 * np.mean(np.abs(y - q))
+        )
+
+    def test_asymmetry(self):
+        y = np.array([10.0])
+        low_forecast = np.array([5.0])  # under-forecast costs q
+        assert pinball_loss(y, low_forecast, 0.9) == pytest.approx(4.5)
+        assert pinball_loss(y, low_forecast, 0.1) == pytest.approx(0.5)
+
+    def test_perfect_quantile_zero(self):
+        y = np.array([1.0, 2.0])
+        assert pinball_loss(y, y, 0.3) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            pinball_loss([1.0], [1.0], 0.0)
+        with pytest.raises(DataError):
+            pinball_loss([1.0], [1.0, 2.0], 0.5)
+        with pytest.raises(DataError):
+            pinball_loss([], [], 0.5)
+
+    def test_true_quantile_minimises_pinball(self):
+        """Proper-scoring sanity: the q-quantile of the data minimises loss."""
+        rng = np.random.default_rng(0)
+        y = rng.normal(size=4000)
+        q = 0.8
+        true_q = np.quantile(y, q)
+        best = pinball_loss(y, np.full_like(y, true_q), q)
+        for offset in (-0.5, 0.5):
+            worse = pinball_loss(y, np.full_like(y, true_q + offset), q)
+            assert best < worse
+
+
+class TestCoverage:
+    def test_full_coverage(self):
+        y = np.array([1.0, 2.0])
+        assert interval_coverage(y, y - 1, y + 1) == 1.0
+
+    def test_partial_coverage(self):
+        y = np.array([0.0, 10.0])
+        assert interval_coverage(y, np.array([-1.0, -1.0]), np.array([1.0, 1.0])) == 0.5
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(DataError):
+            interval_coverage([1.0], [2.0], [0.0])
+
+
+class TestWinkler:
+    def test_inside_equals_width(self):
+        y = np.array([5.0])
+        assert winkler_score(y, np.array([4.0]), np.array([6.0]), level=0.8) == pytest.approx(2.0)
+
+    def test_escape_penalised(self):
+        y = np.array([10.0])
+        inside = winkler_score(np.array([5.0]), np.array([4.0]), np.array([6.0]))
+        outside = winkler_score(y, np.array([4.0]), np.array([6.0]))
+        assert outside > inside
+
+    def test_penalty_scales_with_level(self):
+        y = np.array([10.0])
+        lo, hi = np.array([4.0]), np.array([6.0])
+        assert winkler_score(y, lo, hi, level=0.95) > winkler_score(y, lo, hi, level=0.5)
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            winkler_score([1.0], [0.0], [2.0], level=1.0)
+
+
+class TestCrps:
+    def test_point_mass_on_truth_gives_zero(self):
+        y = np.array([3.0, 4.0])
+        samples = np.tile(y, (5, 1))
+        assert crps_from_samples(y, samples) == pytest.approx(0.0)
+
+    def test_sharper_calibrated_ensemble_scores_better(self):
+        rng = np.random.default_rng(1)
+        y = rng.normal(size=200)
+        tight = y[None, :] + 0.1 * rng.normal(size=(50, 200))
+        wide = y[None, :] + 2.0 * rng.normal(size=(50, 200))
+        assert crps_from_samples(y, tight) < crps_from_samples(y, wide)
+
+    def test_biased_ensemble_scores_worse(self):
+        rng = np.random.default_rng(2)
+        y = np.zeros(200)
+        calibrated = 0.5 * rng.normal(size=(50, 200))
+        biased = 3.0 + 0.5 * rng.normal(size=(50, 200))
+        assert crps_from_samples(y, calibrated) < crps_from_samples(y, biased)
+
+    def test_matches_analytic_gaussian_value(self):
+        # CRPS of N(0,1) vs y=0 is sigma * (2/sqrt(2pi) - 1/sqrt(pi)) ~ 0.2337.
+        rng = np.random.default_rng(3)
+        samples = rng.normal(size=(8000, 1))
+        value = crps_from_samples(np.zeros(1), samples)
+        assert value == pytest.approx(0.2337, abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            crps_from_samples(np.zeros(3), np.zeros((1, 3)))
+        with pytest.raises(DataError):
+            crps_from_samples(np.zeros(3), np.zeros((4, 2)))
+
+
+class TestSampleQuantiles:
+    def test_shape_and_order(self):
+        rng = np.random.default_rng(4)
+        samples = rng.normal(size=(40, 6, 2))
+        quantiles = sample_quantiles(samples, [0.1, 0.5, 0.9])
+        assert quantiles.shape == (3, 6, 2)
+        assert (quantiles[0] <= quantiles[1]).all()
+        assert (quantiles[1] <= quantiles[2]).all()
+
+    def test_invalid_quantile_rejected(self):
+        with pytest.raises(DataError):
+            sample_quantiles(np.zeros((3, 2)), [1.5])
+
+
+class TestForecastOutputIntervals:
+    def _output(self):
+        rng = np.random.default_rng(5)
+        samples = rng.normal(size=(40, 8, 2))
+        return ForecastOutput(values=np.median(samples, axis=0), samples=samples)
+
+    def test_quantiles_are_ordered(self):
+        output = self._output()
+        assert (output.quantile(0.1) <= output.quantile(0.9)).all()
+
+    def test_interval_brackets_the_median(self):
+        output = self._output()
+        lower, upper = output.interval(0.8)
+        assert (lower <= output.quantile(0.5)).all()
+        assert (output.quantile(0.5) <= upper).all()
+
+    def test_invalid_args(self):
+        output = self._output()
+        with pytest.raises(DataError):
+            output.quantile(1.5)
+        with pytest.raises(DataError):
+            output.interval(1.0)
+
+    def test_end_to_end_interval_coverage(self):
+        """The ensemble from a real forecast gives a usable central band."""
+        dataset = synthetic_multivariate(n=150, num_dims=2, seed=0)
+        history, future = dataset.train_test_split(0.2)
+        output = MultiCastForecaster(
+            MultiCastConfig(num_samples=9, seed=0)
+        ).forecast(history, len(future))
+        lower, upper = output.interval(0.8)
+        coverage = interval_coverage(future, lower, upper)
+        assert 0.05 < coverage <= 1.0  # non-degenerate band
+
+
+@given(
+    st.lists(st.floats(min_value=-100, max_value=100), min_size=2, max_size=40),
+    st.floats(min_value=0.05, max_value=0.95),
+)
+@settings(max_examples=40)
+def test_pinball_nonnegative_property(ys, q):
+    y = np.asarray(ys)
+    forecast = np.full_like(y, float(np.median(y)))
+    assert pinball_loss(y, forecast, q) >= 0.0

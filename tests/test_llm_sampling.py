@@ -1,0 +1,251 @@
+"""Tests for sampling, constraints, cost model, and the model registry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.encoding import digit_vocabulary
+from repro.exceptions import ConfigError, GenerationError
+from repro.llm import (
+    ModelSpec,
+    PeriodicPatternConstraint,
+    PPMLanguageModel,
+    SetConstraint,
+    TokenCostModel,
+    UniformLM,
+    available_models,
+    get_model,
+    register_model,
+    sample_from_distribution,
+)
+
+
+class TestSampling:
+    def test_greedy_picks_argmax(self):
+        probs = np.array([0.1, 0.7, 0.2])
+        token, p = sample_from_distribution(probs, np.random.default_rng(0), temperature=0.0)
+        assert token == 1
+        assert p == pytest.approx(0.7)
+
+    def test_respects_allowed_ids(self):
+        probs = np.array([0.9, 0.05, 0.05])
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            token, _ = sample_from_distribution(probs, rng, allowed_ids=[1, 2])
+            assert token in (1, 2)
+
+    def test_masked_out_mass_falls_back_to_uniform(self):
+        probs = np.array([1.0, 0.0, 0.0])
+        rng = np.random.default_rng(2)
+        tokens = {
+            sample_from_distribution(probs, rng, allowed_ids=[1, 2])[0]
+            for _ in range(50)
+        }
+        assert tokens == {1, 2}
+
+    def test_temperature_zero_after_mask(self):
+        probs = np.array([0.5, 0.3, 0.2])
+        token, _ = sample_from_distribution(
+            probs, np.random.default_rng(0), temperature=0.0, allowed_ids=[1, 2]
+        )
+        assert token == 1
+
+    def test_low_temperature_sharpens(self):
+        probs = np.array([0.6, 0.4])
+        rng = np.random.default_rng(3)
+        cold = [
+            sample_from_distribution(probs, rng, temperature=0.1)[0]
+            for _ in range(200)
+        ]
+        assert np.mean(cold) < 0.05  # almost always token 0
+
+    def test_high_temperature_flattens(self):
+        probs = np.array([0.9, 0.1])
+        rng = np.random.default_rng(4)
+        hot = [
+            sample_from_distribution(probs, rng, temperature=10.0)[0]
+            for _ in range(400)
+        ]
+        assert 0.3 < np.mean(hot) < 0.7
+
+    def test_top_k_filters(self):
+        probs = np.array([0.5, 0.3, 0.15, 0.05])
+        rng = np.random.default_rng(5)
+        tokens = {
+            sample_from_distribution(probs, rng, top_k=2)[0] for _ in range(100)
+        }
+        assert tokens <= {0, 1}
+
+    def test_top_p_filters(self):
+        probs = np.array([0.55, 0.4, 0.04, 0.01])
+        rng = np.random.default_rng(6)
+        tokens = {
+            sample_from_distribution(probs, rng, top_p=0.9)[0] for _ in range(200)
+        }
+        assert tokens <= {0, 1}
+
+    def test_invalid_args_raise(self):
+        probs = np.array([1.0])
+        rng = np.random.default_rng(0)
+        with pytest.raises(GenerationError):
+            sample_from_distribution(probs, rng, temperature=-1.0)
+        with pytest.raises(GenerationError):
+            sample_from_distribution(probs, rng, top_k=0)
+        with pytest.raises(GenerationError):
+            sample_from_distribution(probs, rng, top_p=0.0)
+        with pytest.raises(GenerationError):
+            sample_from_distribution(np.zeros((2, 2)), rng)
+        with pytest.raises(GenerationError):
+            sample_from_distribution(np.array([0.5, 0.5]), rng, allowed_ids=[5])
+        with pytest.raises(GenerationError):
+            sample_from_distribution(np.array([0.5, 0.5]), rng, allowed_ids=[])
+
+    def test_all_zero_distribution_raises(self):
+        with pytest.raises(GenerationError):
+            sample_from_distribution(np.zeros(3), np.random.default_rng(0))
+
+
+class TestConstraints:
+    def test_set_constraint_is_position_independent(self):
+        constraint = SetConstraint([1, 2, 3])
+        assert constraint.allowed_at(0) == constraint.allowed_at(99)
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ConfigError):
+            SetConstraint([])
+
+    def test_periodic_pattern_cycles(self):
+        digits = frozenset(range(10))
+        comma = frozenset([10])
+        constraint = PeriodicPatternConstraint([digits, digits, comma])
+        assert constraint.allowed_at(0) == digits
+        assert constraint.allowed_at(2) == comma
+        assert constraint.allowed_at(3) == digits
+        assert constraint.allowed_at(5) == comma
+
+    def test_phase_shift(self):
+        a, b = frozenset([0]), frozenset([1])
+        constraint = PeriodicPatternConstraint([a, b], phase=1)
+        assert constraint.allowed_at(0) == b
+        assert constraint.allowed_at(1) == a
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ConfigError):
+            PeriodicPatternConstraint([])
+
+    def test_empty_slot_rejected(self):
+        with pytest.raises(ConfigError):
+            PeriodicPatternConstraint([frozenset([1]), frozenset()])
+
+    def test_negative_position_rejected(self):
+        constraint = PeriodicPatternConstraint([frozenset([1])])
+        with pytest.raises(ConfigError):
+            constraint.allowed_at(-1)
+
+    def test_generation_follows_structured_grammar(self):
+        """Even a uniform model emits perfectly formed groups under the grammar."""
+        vocab = digit_vocabulary()
+        digits = vocab.ids_of("0123456789")
+        comma = vocab.ids_of(",")
+        constraint = PeriodicPatternConstraint(
+            [digits, digits, digits, comma]
+        )
+        model = UniformLM(vocab_size=len(vocab))
+        result = model.generate([], 12, np.random.default_rng(7), constraint=constraint)
+        text = "".join(vocab.decode(result.tokens))
+        groups = text.split(",")
+        assert [len(g) for g in groups[:3]] == [3, 3, 3]
+
+
+class TestCostModel:
+    def test_seconds_scale_linearly_with_generated_tokens(self):
+        cost = TokenCostModel(seconds_per_generated_token=0.5)
+        assert cost.seconds(0, 100) == pytest.approx(50.0)
+        assert cost.seconds(0, 200) == pytest.approx(100.0)
+
+    def test_prompt_tokens_are_cheap_but_counted(self):
+        cost = TokenCostModel(
+            seconds_per_generated_token=0.5, seconds_per_prompt_token=0.002
+        )
+        assert cost.seconds(1000, 0) == pytest.approx(2.0)
+
+    def test_dollars_count_all_tokens(self):
+        cost = TokenCostModel(usd_per_1k_tokens=2.0)
+        assert cost.dollars(500, 500) == pytest.approx(2.0)
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ConfigError):
+            TokenCostModel(seconds_per_generated_token=-1.0)
+
+
+class TestRegistry:
+    def test_paper_presets_available(self):
+        names = available_models()
+        assert "llama2-7b-sim" in names
+        assert "phi2-2.7b-sim" in names
+
+    def test_get_model_instantiates(self):
+        model = get_model("llama2-7b-sim", vocab_size=11)
+        assert model.name == "llama2-7b-sim"
+        assert model.vocab_size == 11
+
+    def test_unknown_model_raises_with_suggestions(self):
+        with pytest.raises(ConfigError, match="llama2-7b-sim"):
+            get_model("gpt-17", vocab_size=11)
+
+    def test_duplicate_registration_rejected(self):
+        spec = ModelSpec(name="llama2-7b-sim", factory=UniformLM)
+        with pytest.raises(ConfigError):
+            register_model(spec)
+
+    def test_overwrite_allowed_when_explicit(self):
+        spec = ModelSpec(name="test-overwrite", factory=UniformLM)
+        register_model(spec)
+        register_model(spec, overwrite=True)
+
+    def test_generation_is_reproducible_with_seeded_rng(self):
+        model = get_model("llama2-7b-sim", vocab_size=11)
+        context = list(range(10)) * 4
+        a = model.generate(context, 20, np.random.default_rng(42)).tokens
+        b = model.generate(context, 20, np.random.default_rng(42)).tokens
+        assert a == b
+
+    def test_simulated_model_is_stateless_across_calls(self):
+        model = get_model("llama2-7b-sim", vocab_size=11)
+        context = [1, 2, 3] * 10
+        first = model.generate(context, 10, np.random.default_rng(0)).tokens
+        model.generate([5, 6] * 20, 10, np.random.default_rng(9))
+        again = model.generate(context, 10, np.random.default_rng(0)).tokens
+        assert first == again
+
+    def test_nll_scoring_through_wrapper(self):
+        model = get_model("llama2-7b-sim", vocab_size=5)
+        nll = model.sequence_nll([0, 1, 2], context=[0, 1, 2] * 10)
+        assert nll.shape == (3,)
+        assert np.isfinite(nll).all()
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=1.0),
+        min_size=2,
+        max_size=20,
+    ).filter(lambda xs: sum(xs) > 0),
+    st.floats(min_value=0.0, max_value=5.0),
+)
+@settings(max_examples=60)
+def test_sampling_always_returns_valid_token_property(weights, temperature):
+    probs = np.asarray(weights)
+    probs = probs / probs.sum()
+    token, p = sample_from_distribution(
+        probs, np.random.default_rng(0), temperature=temperature
+    )
+    assert 0 <= token < probs.size
+    assert 0.0 <= p <= 1.0 + 1e-9
+
+
+@given(st.integers(min_value=1, max_value=8), st.integers(min_value=0, max_value=40))
+def test_periodic_constraint_period_property(period, position):
+    pattern = [frozenset([i]) for i in range(period)]
+    constraint = PeriodicPatternConstraint(pattern)
+    assert constraint.allowed_at(position) == frozenset([position % period])

@@ -1,0 +1,166 @@
+"""Tests for the from-scratch numpy LSTM, including a numerical gradient check."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import LSTMForecaster, LSTMNetwork
+from repro.baselines.lstm import AdamOptimizer, _clip_gradients
+from repro.exceptions import FittingError
+from repro.metrics import rmse
+
+
+class TestNetworkShapes:
+    def test_forward_output_shape(self):
+        net = LSTMNetwork(input_size=3, hidden_size=8, output_size=3, seed=0)
+        windows = np.random.default_rng(0).normal(size=(5, 7, 3))
+        predictions, cache = net.forward(windows)
+        assert predictions.shape == (5, 3)
+        assert cache["time"] == 7
+
+    def test_predict_matches_forward_without_dropout(self):
+        net = LSTMNetwork(input_size=2, hidden_size=4, output_size=2, seed=1)
+        windows = np.random.default_rng(1).normal(size=(3, 5, 2))
+        predictions, _ = net.forward(windows, dropout=0.0)
+        assert np.allclose(net.predict(windows), predictions)
+
+    def test_dropout_requires_rng(self):
+        net = LSTMNetwork(input_size=2, hidden_size=4, output_size=1)
+        with pytest.raises(FittingError):
+            net.forward(np.zeros((1, 3, 2)), dropout=0.5)
+
+    def test_wrong_input_size_rejected(self):
+        net = LSTMNetwork(input_size=2, hidden_size=4, output_size=1)
+        with pytest.raises(FittingError):
+            net.forward(np.zeros((1, 3, 5)))
+
+    def test_forget_gate_bias_initialised_to_one(self):
+        net = LSTMNetwork(input_size=2, hidden_size=4, output_size=1)
+        assert np.allclose(net.params["b"][4:8], 1.0)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(FittingError):
+            LSTMNetwork(input_size=0, hidden_size=4, output_size=1)
+
+
+class TestGradientCheck:
+    """Backward pass vs central finite differences, to ~1e-6 relative error."""
+
+    def _loss_and_grads(self, net, windows, targets):
+        predictions, cache = net.forward(windows)
+        error = predictions - targets
+        loss = float((error**2).sum())
+        grads = net.backward(2.0 * error, cache)
+        return loss, grads
+
+    def test_gradients_match_finite_differences(self):
+        rng = np.random.default_rng(42)
+        net = LSTMNetwork(input_size=2, hidden_size=3, output_size=2, seed=7)
+        windows = rng.normal(size=(4, 5, 2))
+        targets = rng.normal(size=(4, 2))
+        _, analytic = self._loss_and_grads(net, windows, targets)
+
+        epsilon = 1e-6
+        for name, param in net.params.items():
+            flat = param.ravel()
+            # Probe a handful of entries per tensor.
+            indices = rng.choice(flat.size, size=min(12, flat.size), replace=False)
+            for idx in indices:
+                original = flat[idx]
+                flat[idx] = original + epsilon
+                loss_plus, _ = self._loss_and_grads(net, windows, targets)
+                flat[idx] = original - epsilon
+                loss_minus, _ = self._loss_and_grads(net, windows, targets)
+                flat[idx] = original
+                numeric = (loss_plus - loss_minus) / (2 * epsilon)
+                analytic_value = analytic[name].ravel()[idx]
+                assert analytic_value == pytest.approx(
+                    numeric, rel=1e-4, abs=1e-7
+                ), f"{name}[{idx}]"
+
+
+class TestAdam:
+    def test_descends_a_quadratic(self):
+        params = {"x": np.array([5.0])}
+        optimizer = AdamOptimizer(learning_rate=0.1)
+        for _ in range(500):
+            grads = {"x": 2.0 * params["x"]}
+            optimizer.update(params, grads)
+        assert abs(params["x"][0]) < 0.05
+
+    def test_invalid_learning_rate(self):
+        with pytest.raises(FittingError):
+            AdamOptimizer(learning_rate=0.0)
+
+
+class TestClipGradients:
+    def test_large_gradients_scaled_to_norm(self):
+        grads = {"a": np.array([30.0, 40.0])}
+        _clip_gradients(grads, max_norm=5.0)
+        assert np.linalg.norm(grads["a"]) == pytest.approx(5.0)
+
+    def test_small_gradients_untouched(self):
+        grads = {"a": np.array([0.3, 0.4])}
+        _clip_gradients(grads, max_norm=5.0)
+        assert np.allclose(grads["a"], [0.3, 0.4])
+
+
+class TestForecaster:
+    def test_loss_decreases_during_training(self):
+        t = np.arange(120.0)
+        series = np.stack([np.sin(t / 5.0), np.cos(t / 5.0)], axis=1)
+        model = LSTMForecaster(
+            window=8, hidden_size=16, epochs=15, dropout=0.0, seed=0
+        ).fit(series)
+        assert model.loss_history[-1] < model.loss_history[0] / 2
+
+    def test_learns_a_sine_wave(self):
+        t = np.arange(220.0)
+        series = np.sin(2 * np.pi * t / 20.0)[:, None]
+        train, test = series[:200], series[200:]
+        model = LSTMForecaster(
+            window=20, hidden_size=24, epochs=60, dropout=0.0, seed=1,
+            learning_rate=5e-3,
+        ).fit(train)
+        forecast = model.forecast(20)
+        assert rmse(test, forecast) < 0.45  # well under the signal amplitude
+
+    def test_multivariate_forecast_shape(self):
+        rng = np.random.default_rng(2)
+        series = rng.normal(size=(60, 3))
+        model = LSTMForecaster(window=6, hidden_size=8, epochs=2, seed=2).fit(series)
+        assert model.forecast(7).shape == (7, 3)
+
+    def test_univariate_input_promoted(self):
+        series = np.sin(np.arange(50.0) / 3.0)
+        model = LSTMForecaster(window=5, hidden_size=8, epochs=2).fit(series)
+        assert model.forecast(3).shape == (3, 1)
+
+    def test_deterministic_for_fixed_seed(self):
+        series = np.sin(np.arange(60.0) / 4.0)[:, None]
+        a = LSTMForecaster(window=5, hidden_size=8, epochs=3, seed=5).fit(series)
+        b = LSTMForecaster(window=5, hidden_size=8, epochs=3, seed=5).fit(series)
+        assert np.allclose(a.forecast(5), b.forecast(5))
+
+    def test_forecast_before_fit_raises(self):
+        with pytest.raises(FittingError):
+            LSTMForecaster().forecast(5)
+
+    def test_history_shorter_than_window_rejected(self):
+        with pytest.raises(FittingError):
+            LSTMForecaster(window=50).fit(np.zeros((20, 1)))
+
+    def test_invalid_hyperparameters_rejected(self):
+        with pytest.raises(FittingError):
+            LSTMForecaster(window=0)
+        with pytest.raises(FittingError):
+            LSTMForecaster(dropout=1.0)
+        with pytest.raises(FittingError):
+            LSTMForecaster(epochs=0)
+        with pytest.raises(FittingError):
+            LSTMForecaster(batch_size=0)
+
+    def test_paper_configuration_is_default(self):
+        model = LSTMForecaster()
+        assert model.hidden_size == 128
+        assert model.dropout == pytest.approx(0.2)
+        assert model.epochs == 30

@@ -1,0 +1,153 @@
+"""Unit and property tests for repro.metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import DataError
+from repro.metrics import mae, mape, mase, nrmse, per_dimension_report, rmse, smape
+
+
+class TestRmse:
+    def test_perfect_forecast_is_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert rmse(y, y) == 0.0
+
+    def test_known_value(self):
+        # errors (1, -1) -> sqrt((1 + 1) / 2) = 1
+        assert rmse([1.0, 2.0], [2.0, 1.0]) == pytest.approx(1.0)
+
+    def test_matches_paper_formula(self):
+        rng = np.random.default_rng(0)
+        y = rng.normal(size=50)
+        yhat = rng.normal(size=50)
+        expected = np.sqrt(np.sum((y - yhat) ** 2) / 50)
+        assert rmse(y, yhat) == pytest.approx(expected)
+
+    def test_2d_input_pools_all_entries(self):
+        y = np.zeros((4, 2))
+        yhat = np.ones((4, 2))
+        assert rmse(y, yhat) == pytest.approx(1.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(DataError):
+            rmse([1.0, 2.0], [1.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(DataError):
+            rmse([], [])
+
+    def test_nan_raises(self):
+        with pytest.raises(DataError):
+            rmse([np.nan], [1.0])
+
+    def test_inf_prediction_raises(self):
+        with pytest.raises(DataError):
+            rmse([1.0], [np.inf])
+
+
+class TestMae:
+    def test_known_value(self):
+        assert mae([0.0, 0.0], [3.0, -1.0]) == pytest.approx(2.0)
+
+    def test_never_exceeds_rmse(self):
+        rng = np.random.default_rng(1)
+        y = rng.normal(size=100)
+        yhat = rng.normal(size=100)
+        assert mae(y, yhat) <= rmse(y, yhat) + 1e-12
+
+
+class TestMape:
+    def test_known_value(self):
+        assert mape([10.0, 20.0], [11.0, 18.0]) == pytest.approx(10.0)
+
+    def test_zero_actual_is_guarded(self):
+        value = mape([0.0], [1.0])
+        assert np.isfinite(value)
+
+
+class TestSmape:
+    def test_symmetric(self):
+        assert smape([10.0], [12.0]) == pytest.approx(smape([12.0], [10.0]))
+
+    def test_bounded_by_200(self):
+        assert smape([1.0], [-1.0]) <= 200.0 + 1e-9
+
+
+class TestNrmse:
+    def test_scales_with_range(self):
+        y = np.array([0.0, 10.0])
+        yhat = np.array([1.0, 11.0])
+        assert nrmse(y, yhat) == pytest.approx(0.1)
+
+    def test_constant_actuals_raise(self):
+        with pytest.raises(DataError):
+            nrmse([5.0, 5.0], [4.0, 6.0])
+
+
+class TestMase:
+    def test_naive_forecast_scores_one_on_random_walk(self):
+        rng = np.random.default_rng(2)
+        train = np.cumsum(rng.normal(size=500))
+        # In-sample naive error ~ test naive error for a random walk.
+        y_true = train[1:]
+        y_pred = train[:-1]
+        assert mase(y_true, y_pred, train) == pytest.approx(1.0, rel=0.05)
+
+    def test_multivariate_input_rejected(self):
+        with pytest.raises(DataError):
+            mase(np.zeros((3, 2)), np.zeros((3, 2)), np.zeros(10))
+
+    def test_bad_seasonality_rejected(self):
+        with pytest.raises(DataError):
+            mase([1.0], [1.0], [1.0, 2.0], seasonality=0)
+
+    def test_constant_train_rejected(self):
+        with pytest.raises(DataError):
+            mase([1.0], [1.0], np.ones(10))
+
+
+class TestPerDimensionReport:
+    def test_reports_every_dimension(self):
+        y = np.array([[1.0, 10.0], [2.0, 20.0]])
+        yhat = np.array([[1.0, 11.0], [2.0, 21.0]])
+        report = per_dimension_report(y, yhat, ["a", "b"])
+        assert report["a"]["rmse"] == pytest.approx(0.0)
+        assert report["b"]["rmse"] == pytest.approx(1.0)
+        assert set(report["a"]) == {"rmse", "mae", "smape"}
+
+    def test_default_names(self):
+        y = np.zeros((3, 2))
+        report = per_dimension_report(y, y + 1.0)
+        assert list(report) == ["dim_0", "dim_1"]
+
+    def test_univariate_promoted(self):
+        report = per_dimension_report(np.zeros(3), np.ones(3))
+        assert report["dim_0"]["rmse"] == pytest.approx(1.0)
+
+    def test_name_count_mismatch_raises(self):
+        with pytest.raises(DataError):
+            per_dimension_report(np.zeros((3, 2)), np.zeros((3, 2)), ["only_one"])
+
+
+finite_series = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=50
+)
+
+
+@given(finite_series)
+def test_rmse_identity_property(xs):
+    assert rmse(xs, xs) == 0.0
+
+
+@given(finite_series, st.floats(min_value=-100.0, max_value=100.0))
+def test_rmse_of_constant_shift_property(xs, shift):
+    y = np.asarray(xs)
+    assert rmse(y, y + shift) == pytest.approx(abs(shift), abs=1e-6)
+
+
+@given(finite_series, finite_series.map(lambda v: v))
+def test_rmse_symmetry_property(xs, ys):
+    n = min(len(xs), len(ys))
+    a, b = np.asarray(xs[:n]), np.asarray(ys[:n])
+    assert rmse(a, b) == pytest.approx(rmse(b, a))

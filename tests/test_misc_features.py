@@ -1,0 +1,100 @@
+"""Tests for the temperature override, seasonal-naive method, JSON tables."""
+
+import numpy as np
+import pytest
+
+from repro.core import MultiCastConfig, MultiCastForecaster
+from repro.data import synthetic_multivariate
+from repro.evaluation import TableResult, evaluate_method, run_method
+from repro.exceptions import ConfigError, DataError
+
+
+class TestTemperatureOverride:
+    def test_validation(self):
+        MultiCastConfig(temperature=0.0)
+        MultiCastConfig(temperature=1.3)
+        with pytest.raises(ConfigError):
+            MultiCastConfig(temperature=-0.1)
+
+    def test_greedy_decoding_is_deterministic_across_seeds(self):
+        history = synthetic_multivariate(n=90, num_dims=2, seed=0).values
+        config = MultiCastConfig(num_samples=1, temperature=0.0)
+        a = MultiCastForecaster(config).forecast(history, 6, seed=1)
+        b = MultiCastForecaster(config).forecast(history, 6, seed=2)
+        assert np.allclose(a.values, b.values)
+
+    def test_none_uses_preset_temperature(self):
+        history = synthetic_multivariate(n=90, num_dims=2, seed=3).values
+        config = MultiCastConfig(num_samples=1, temperature=None)
+        a = MultiCastForecaster(config).forecast(history, 6, seed=1)
+        b = MultiCastForecaster(config).forecast(history, 6, seed=2)
+        assert not np.allclose(a.values, b.values)  # stochastic preset
+
+    def test_low_temperature_reduces_sample_spread(self):
+        history = synthetic_multivariate(n=90, num_dims=1, seed=4).values
+        hot = MultiCastForecaster(
+            MultiCastConfig(num_samples=6, temperature=1.5, seed=0)
+        ).forecast(history, 8)
+        cold = MultiCastForecaster(
+            MultiCastConfig(num_samples=6, temperature=0.2, seed=0)
+        ).forecast(history, 8)
+        assert cold.samples.std(axis=0).mean() < hot.samples.std(axis=0).mean()
+
+
+class TestSeasonalNaiveMethod:
+    def test_exact_on_periodic_series(self):
+        t = np.arange(96.0)
+        series = np.sin(2 * np.pi * t / 8.0)[:, None]
+        forecast = run_method("seasonal-naive", series[:88], 8, period=8)
+        assert np.allclose(forecast, series[88:], atol=1e-9)
+
+    def test_auto_period_detection(self):
+        t = np.arange(120.0)
+        series = np.stack(
+            [np.sin(2 * np.pi * t / 12.0), np.cos(2 * np.pi * t / 12.0)], axis=1
+        )
+        forecast = run_method("seasonal-naive", series[:108], 12)
+        assert np.sqrt(np.mean((forecast - series[108:]) ** 2)) < 0.2
+
+    def test_registered_in_harness(self):
+        dataset = synthetic_multivariate(n=100, num_dims=2, seed=5)
+        result = evaluate_method("seasonal-naive", dataset)
+        assert set(result.rmse_per_dim) == {"x0", "x1"}
+
+
+class TestTableJson:
+    def _table(self):
+        table = TableResult(
+            "Table X", "demo", ["Model", "a", "b"], notes=["a note"]
+        )
+        table.add_row("m1", 1.5, "N/A")
+        table.add_row("m2", 2.5, 3.5)
+        return table
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "table.json"
+        original = self._table()
+        original.save_json(path)
+        loaded = TableResult.load_json(path)
+        assert loaded.table_id == original.table_id
+        assert loaded.header == original.header
+        assert loaded.rows == original.rows
+        assert loaded.notes == original.notes
+        assert loaded.cell("m1", "b") == "N/A"
+        assert loaded.cell("m2", "a") == 2.5
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DataError):
+            TableResult.load_json(tmp_path / "nope.json")
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(DataError):
+            TableResult.load_json(path)
+
+    def test_wrong_schema_raises(self, tmp_path):
+        path = tmp_path / "wrong.json"
+        path.write_text('{"rows": []}')
+        with pytest.raises(DataError):
+            TableResult.load_json(path)

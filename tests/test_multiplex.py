@@ -1,0 +1,221 @@
+"""Unit and property tests for the dimensional multiplexers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.multiplex import (
+    MULTIPLEX_SCHEMES,
+    BlockInterleaver,
+    DigitInterleaver,
+    SaxSymbolCodec,
+    ValueConcatenator,
+    ValueInterleaver,
+    get_multiplexer,
+)
+from repro.encoding import SEPARATOR, DigitCodec
+from repro.exceptions import ConfigError, EncodingError
+from repro.sax import SaxAlphabet
+
+
+def _text(tokens):
+    return "".join(tokens)
+
+
+class TestPaperExamples:
+    """The worked example of Figure 1: d1=[17, 26], d2=[23, 31]."""
+
+    codes = np.array([[17, 23], [26, 31]])
+    codec = DigitCodec(2)
+
+    def test_digit_interleaving_matches_figure_1a(self):
+        stream = DigitInterleaver().mux(self.codes, self.codec)
+        assert _text(stream) == "1273,2361"
+
+    def test_value_interleaving_matches_figure_1b(self):
+        stream = ValueInterleaver().mux(self.codes, self.codec)
+        assert _text(stream) == "1723,2631"
+
+    def test_value_concatenation_matches_figure_1c(self):
+        stream = ValueConcatenator().mux(self.codes, self.codec)
+        assert _text(stream) == "17,23,26,31"
+
+    @pytest.mark.parametrize("scheme", ["di", "vi", "vc", "bi"])
+    def test_round_trip(self, scheme):
+        mux = get_multiplexer(scheme)
+        stream = mux.mux(self.codes, self.codec)
+        recovered = mux.demux(stream, num_dims=2, codec=self.codec)
+        assert np.array_equal(recovered, self.codes)
+
+
+class TestTokensPerTimestamp:
+    def test_grouped_schemes(self):
+        for mux in (DigitInterleaver(), ValueInterleaver(), BlockInterleaver()):
+            # d*b digits plus one separator.
+            assert mux.tokens_per_timestamp(3, 4) == 13
+
+    def test_vc_pays_separator_per_value(self):
+        assert ValueConcatenator().tokens_per_timestamp(3, 4) == 15
+
+    def test_mux_stream_length_matches_accounting(self):
+        rng = np.random.default_rng(0)
+        codes = rng.integers(0, 1000, size=(12, 3))
+        codec = DigitCodec(3)
+        for scheme in MULTIPLEX_SCHEMES:
+            mux = get_multiplexer(scheme)
+            stream = mux.mux(codes, codec)
+            # Stream omits the final trailing separator.
+            expected = 12 * mux.tokens_per_timestamp(3, 3) - 1
+            assert len(stream) == expected, scheme
+
+
+class TestLenientDemux:
+    codec = DigitCodec(3)
+
+    def test_truncated_final_group_is_completed(self):
+        mux = ValueInterleaver()
+        codes = np.array([[123, 456]])
+        stream = mux.mux(codes, self.codec)
+        # Cut the stream mid-way through the second value.
+        recovered = mux.demux(stream[:4], num_dims=2, codec=self.codec)
+        assert recovered.shape == (1, 2)
+        assert recovered[0, 0] == 123
+        assert recovered[0, 1] == 400  # "4" right-padded with zeros
+
+    def test_vc_drops_incomplete_trailing_timestamp(self):
+        mux = ValueConcatenator()
+        codes = np.array([[1, 2], [3, 4]])
+        stream = mux.mux(codes, self.codec)
+        # Remove the last value entirely: only one full timestamp remains.
+        cut = stream[: stream.index(SEPARATOR, 8)]
+        recovered = mux.demux(cut[:7], num_dims=2, codec=self.codec)
+        assert recovered.shape[1] == 2
+
+    def test_empty_stream_gives_zero_rows(self):
+        for scheme in MULTIPLEX_SCHEMES:
+            mux = get_multiplexer(scheme)
+            out = mux.demux([], num_dims=2, codec=self.codec)
+            assert out.shape == (0, 2)
+
+    def test_digit_interleaver_truncation_loses_low_order_digits(self):
+        mux = DigitInterleaver()
+        codes = np.array([[789, 123]])
+        stream = mux.mux(codes, self.codec)  # 7 1 8 2 9 3
+        recovered = mux.demux(stream[:4], num_dims=2, codec=self.codec)
+        # Tokens 7 1 8 2 -> dim0 has digits 7,8,_ -> 780; dim1 1,2,_ -> 120.
+        assert recovered[0].tolist() == [780, 120]
+
+
+class TestValidation:
+    def test_unknown_scheme(self):
+        with pytest.raises(ConfigError):
+            get_multiplexer("zigzag")
+
+    def test_non_integer_matrix_rejected(self):
+        with pytest.raises(EncodingError):
+            ValueInterleaver().mux(np.zeros((2, 2)), DigitCodec(2))
+
+    def test_1d_matrix_rejected(self):
+        with pytest.raises(EncodingError):
+            ValueInterleaver().mux(np.array([1, 2, 3]), DigitCodec(2))
+
+    def test_overflowing_value_rejected(self):
+        with pytest.raises(EncodingError):
+            ValueInterleaver().mux(np.array([[100]]), DigitCodec(2))
+
+
+class TestBlockInterleaver:
+    def test_rotation_changes_layout_but_round_trips(self):
+        codes = np.array([[11, 22, 33], [44, 55, 66], [77, 88, 99]])
+        codec = DigitCodec(2)
+        mux = BlockInterleaver()
+        stream = mux.mux(codes, codec)
+        groups = _text(stream).split(",")
+        assert groups[0] == "112233"  # rotation 0
+        assert groups[1] == "556644"  # rotation 1: dims (1, 2, 0)
+        assert np.array_equal(mux.demux(stream, 3, codec), codes)
+
+
+class TestSaxSymbolCodec:
+    alphabet = SaxAlphabet.alphabetical(5)
+
+    def test_width_is_one(self):
+        assert SaxSymbolCodec(self.alphabet).num_digits == 1
+
+    def test_round_trip(self):
+        codec = SaxSymbolCodec(self.alphabet)
+        for i in range(5):
+            assert codec.value_of_partial(codec.digits_of(i)) == i
+
+    def test_out_of_alphabet_index_rejected(self):
+        with pytest.raises(EncodingError):
+            SaxSymbolCodec(self.alphabet).digits_of(5)
+
+    def test_pad_token_is_middle_symbol(self):
+        assert SaxSymbolCodec(self.alphabet).pad_token == "c"
+
+    def test_multiplexes_symbols(self):
+        codec = SaxSymbolCodec(self.alphabet)
+        codes = np.array([[0, 1], [1, 2]])
+        stream = ValueInterleaver().mux(codes, codec)
+        assert _text(stream) == "ab,bc"
+        assert np.array_equal(
+            ValueInterleaver().demux(stream, 2, codec), codes
+        )
+
+
+class TestConstraintPatterns:
+    def test_grouped_pattern(self):
+        digits = frozenset(range(10))
+        pattern = ValueInterleaver().constraint_pattern(2, 3, digits, 10)
+        assert len(pattern) == 7
+        assert pattern[:6] == [digits] * 6
+        assert pattern[6] == frozenset([10])
+
+    def test_vc_pattern_is_per_value(self):
+        digits = frozenset(range(10))
+        pattern = ValueConcatenator().constraint_pattern(2, 3, digits, 10)
+        assert len(pattern) == 4
+
+
+matrices = st.integers(min_value=1, max_value=5).flatmap(
+    lambda d: st.integers(min_value=1, max_value=4).flatmap(
+        lambda width: st.lists(
+            st.lists(
+                st.integers(min_value=0, max_value=10**width - 1),
+                min_size=d,
+                max_size=d,
+            ),
+            min_size=1,
+            max_size=20,
+        ).map(lambda rows: (np.asarray(rows, dtype=np.int64), width))
+    )
+)
+
+
+@given(matrices, st.sampled_from(sorted(MULTIPLEX_SCHEMES)))
+@settings(max_examples=80, deadline=None)
+def test_mux_demux_round_trip_property(matrix_and_width, scheme):
+    """demux(mux(x)) == x for every scheme, shape, and digit width."""
+    codes, width = matrix_and_width
+    codec = DigitCodec(width)
+    mux = get_multiplexer(scheme)
+    stream = mux.mux(codes, codec)
+    assert np.array_equal(mux.demux(stream, codes.shape[1], codec), codes)
+
+
+@given(matrices, st.sampled_from(sorted(MULTIPLEX_SCHEMES)), st.data())
+@settings(max_examples=60, deadline=None)
+def test_demux_of_any_prefix_never_crashes_property(matrix_and_width, scheme, data):
+    """Truncated model output must always demultiplex without raising."""
+    codes, width = matrix_and_width
+    codec = DigitCodec(width)
+    mux = get_multiplexer(scheme)
+    stream = mux.mux(codes, codec)
+    cut = data.draw(st.integers(min_value=0, max_value=len(stream)))
+    recovered = mux.demux(stream[:cut], codes.shape[1], codec)
+    assert recovered.shape[1] == codes.shape[1]
+    assert recovered.shape[0] <= codes.shape[0]
+    # Whatever rows come back, the fully-present prefix rows are exact.
+    if recovered.shape[0] > 1:
+        assert np.array_equal(recovered[:-1], codes[: recovered.shape[0] - 1])

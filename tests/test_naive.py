@@ -1,0 +1,66 @@
+"""Tests for the naive reference forecasters."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import drift_forecast, naive_forecast, seasonal_naive_forecast
+from repro.exceptions import DataError
+
+
+class TestNaive:
+    def test_repeats_last_row(self):
+        history = np.array([[1.0, 10.0], [2.0, 20.0]])
+        forecast = naive_forecast(history, 3)
+        assert forecast.shape == (3, 2)
+        assert np.allclose(forecast, [2.0, 20.0])
+
+    def test_univariate_promoted(self):
+        forecast = naive_forecast(np.array([1.0, 5.0]), 2)
+        assert forecast.shape == (2, 1)
+
+    def test_bad_horizon(self):
+        with pytest.raises(DataError):
+            naive_forecast(np.ones((3, 1)), 0)
+
+
+class TestSeasonalNaive:
+    def test_repeats_season(self):
+        history = np.arange(8.0)[:, None]  # last season of 4: [4,5,6,7]
+        forecast = seasonal_naive_forecast(history, horizon=6, period=4)
+        assert forecast[:, 0].tolist() == [4.0, 5.0, 6.0, 7.0, 4.0, 5.0]
+
+    def test_period_one_equals_naive(self):
+        history = np.array([[3.0], [9.0]])
+        assert np.allclose(
+            seasonal_naive_forecast(history, 4, period=1),
+            naive_forecast(history, 4),
+        )
+
+    def test_period_validated(self):
+        with pytest.raises(DataError):
+            seasonal_naive_forecast(np.ones((5, 1)), 3, period=6)
+        with pytest.raises(DataError):
+            seasonal_naive_forecast(np.ones((5, 1)), 3, period=0)
+
+    def test_exact_on_perfectly_periodic_series(self):
+        t = np.arange(40)
+        series = np.sin(2 * np.pi * t / 8.0)[:, None]
+        forecast = seasonal_naive_forecast(series[:32], 8, period=8)
+        assert np.allclose(forecast, series[32:], atol=1e-12)
+
+
+class TestDrift:
+    def test_extrapolates_linear_trend_exactly(self):
+        history = (2.0 * np.arange(10.0) + 1.0)[:, None]
+        forecast = drift_forecast(history, 3)
+        assert np.allclose(forecast[:, 0], [21.0, 23.0, 25.0])
+
+    def test_needs_two_points(self):
+        with pytest.raises(DataError):
+            drift_forecast(np.ones((1, 1)), 2)
+
+    def test_multivariate_slopes_independent(self):
+        history = np.stack([np.arange(5.0), -2.0 * np.arange(5.0)], axis=1)
+        forecast = drift_forecast(history, 2)
+        assert np.allclose(forecast[:, 0], [5.0, 6.0])
+        assert np.allclose(forecast[:, 1], [-10.0, -12.0])

@@ -1,0 +1,83 @@
+"""Tests for the top-level package surface and remaining figure drivers."""
+
+import numpy as np
+
+
+class TestTopLevelApi:
+    def test_headline_imports(self):
+        from repro import (
+            ForecastOutput,
+            MultiCastConfig,
+            MultiCastForecaster,
+            ReproError,
+            SaxConfig,
+            plan_forecast,
+        )
+
+        assert callable(plan_forecast)
+        assert issubclass(ReproError, Exception)
+        del ForecastOutput, MultiCastConfig, MultiCastForecaster, SaxConfig
+
+    def test_package_docstring_example_runs(self):
+        from repro import MultiCastConfig, MultiCastForecaster
+        from repro.data import gas_rate
+
+        history, future = gas_rate().train_test_split()
+        forecaster = MultiCastForecaster(
+            MultiCastConfig(scheme="vi", num_samples=2)
+        )
+        output = forecaster.forecast(history, horizon=len(future))
+        assert output.values.shape == future.shape
+
+    def test_version_is_exposed(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+
+class TestRemainingFigures:
+    """Figures 4, 5, 7 — the drivers not covered by test_experiments."""
+
+    def test_figure_4_lstm_overlay(self):
+        from repro.experiments import figure_4
+
+        figure = figure_4(num_samples=2)
+        assert set(figure.forecasts) == {"multicast-vc", "lstm"}
+        assert np.isfinite(figure.forecasts["lstm"]).all()
+
+    def test_figure_5_arima_overlay(self):
+        from repro.experiments import figure_5
+
+        figure = figure_5(num_samples=2)
+        assert set(figure.forecasts) == {"multicast-vi", "arima"}
+        assert figure.dimension == "Tlog"
+
+    def test_figure_7_alphabet_levels(self):
+        from repro.experiments import figure_7
+
+        # Odd sample count: the median of an odd ensemble is an actual SAX
+        # level; an even count would average two levels into a midpoint.
+        figure = figure_7(num_samples=3)
+        for size in (5, 10, 20):
+            levels = np.unique(np.round(figure.forecasts[f"sax-a{size}"], 6))
+            assert levels.size <= size
+
+
+class TestCliTableAndFigureVariants:
+    def test_cli_table_iii(self, capsys):
+        from repro.cli import main
+
+        assert main(["table", "iii", "--samples", "2"]) == 0
+        assert "LLaMA2" in capsys.readouterr().out
+
+    def test_cli_figure_6(self, capsys):
+        from repro.cli import main
+
+        assert main(["figure", "6", "--samples", "2"]) == 0
+        assert "sax-w3" in capsys.readouterr().out

@@ -1,0 +1,126 @@
+"""Tests for dataset preprocessing: resample, fill_missing, differencing."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    Dataset,
+    difference_dataset,
+    fill_missing,
+    gas_rate,
+    resample,
+)
+from repro.exceptions import DataError
+
+
+class TestResample:
+    def _dataset(self, n=24):
+        values = np.stack([np.arange(float(n)), 10.0 * np.arange(float(n))], axis=1)
+        return Dataset("toy", values, ("a", "b"))
+
+    def test_mean_of_blocks(self):
+        resampled = resample(self._dataset(), factor=3)
+        assert resampled.values.shape == (8, 2)
+        assert resampled.values[0, 0] == pytest.approx(1.0)  # mean of 0,1,2
+        assert resampled.values[0, 1] == pytest.approx(10.0)
+
+    def test_trailing_partial_block(self):
+        resampled = resample(self._dataset(n=25), factor=3)
+        assert resampled.values.shape == (9, 2)
+        assert resampled.values[-1, 0] == pytest.approx(24.0)  # lone element
+
+    def test_paper_style_3day_resample_of_hourly(self):
+        """The ETDataset preparation: hourly -> 3-day means (factor 72)."""
+        rng = np.random.default_rng(0)
+        hourly = Dataset("etth", rng.normal(size=(72 * 10, 1)), ("OT",))
+        resampled = resample(hourly, factor=72)
+        assert resampled.num_timestamps == 10
+
+    def test_aggregations(self):
+        dataset = self._dataset(n=6)
+        assert resample(dataset, 3, "first").values[0, 0] == 0.0
+        assert resample(dataset, 3, "last").values[0, 0] == 2.0
+        assert resample(dataset, 3, "max").values[0, 0] == 2.0
+        assert resample(dataset, 3, "min").values[0, 0] == 0.0
+        assert resample(dataset, 3, "median").values[0, 0] == 1.0
+
+    def test_factor_one_is_identity(self):
+        dataset = self._dataset()
+        assert resample(dataset, 1) is dataset
+
+    def test_name_records_the_factor(self):
+        assert resample(self._dataset(), 4).name == "toy_x4"
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            resample(self._dataset(), 0)
+        with pytest.raises(DataError):
+            resample(self._dataset(), 3, "mode")
+        with pytest.raises(DataError):
+            resample(self._dataset(n=4), 4)
+
+
+class TestFillMissing:
+    def test_interpolation_bridges_gaps(self):
+        values = np.array([0.0, np.nan, np.nan, 3.0])
+        filled = fill_missing(values)
+        assert np.allclose(filled.values[:, 0], [0.0, 1.0, 2.0, 3.0])
+
+    def test_edges_padded_with_nearest(self):
+        values = np.array([np.nan, 2.0, 3.0, np.nan])
+        filled = fill_missing(values)
+        assert filled.values[0, 0] == 2.0
+        assert filled.values[3, 0] == 3.0
+
+    def test_ffill(self):
+        values = np.array([np.nan, 5.0, np.nan, np.nan, 7.0])
+        filled = fill_missing(values, method="ffill")
+        assert np.allclose(filled.values[:, 0], [5.0, 5.0, 5.0, 5.0, 7.0])
+
+    def test_per_dimension_independence(self):
+        values = np.array([[1.0, np.nan], [np.nan, 20.0], [3.0, 30.0]])
+        filled = fill_missing(values, dim_names=("a", "b"))
+        assert filled.values[1, 0] == pytest.approx(2.0)
+        assert filled.values[0, 1] == 20.0
+
+    def test_zero_shot_method(self):
+        t = np.arange(120.0)
+        clean = np.sin(2 * np.pi * t / 12.0)
+        corrupted = clean.copy()
+        corrupted[60:66] = np.nan
+        filled = fill_missing(corrupted, method="zero-shot")
+        gap_error = np.abs(filled.values[60:66, 0] - clean[60:66]).max()
+        assert gap_error < 0.5
+
+    def test_result_is_a_valid_dataset(self):
+        filled = fill_missing(np.array([1.0, np.nan, 3.0]), name="x")
+        assert isinstance(filled, Dataset)
+        assert np.isfinite(filled.values).all()
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            fill_missing(np.array([np.nan, np.nan]))  # fully missing
+        with pytest.raises(DataError):
+            fill_missing(np.array([1.0, np.inf]))
+        with pytest.raises(DataError):
+            fill_missing(np.array([1.0, np.nan, 3.0]), method="magic")
+
+
+class TestDifferenceDataset:
+    def test_first_difference(self):
+        dataset = Dataset("d", np.array([[1.0], [3.0], [6.0]]), ("x",))
+        differenced = difference_dataset(dataset)
+        assert differenced.values[:, 0].tolist() == [2.0, 3.0]
+
+    def test_second_order(self):
+        dataset = gas_rate(n=50)
+        differenced = difference_dataset(dataset, order=2)
+        assert differenced.num_timestamps == 48
+
+    def test_validation(self):
+        dataset = gas_rate(n=50)
+        with pytest.raises(DataError):
+            difference_dataset(dataset, order=0)
+        tiny = Dataset("t", np.array([[1.0], [2.0], [3.0]]), ("x",))
+        with pytest.raises(DataError):
+            difference_dataset(tiny, order=2)

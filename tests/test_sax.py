@@ -1,0 +1,271 @@
+"""Unit and property tests for the SAX substrate (PAA, breakpoints, encoder)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy import stats
+
+from repro.exceptions import ConfigError, DataError, EncodingError
+from repro.sax import (
+    SaxAlphabet,
+    SaxEncoder,
+    gaussian_breakpoints,
+    interval_expected_values,
+    interval_midpoints,
+    inverse_normal_cdf,
+    inverse_paa,
+    paa,
+)
+from repro.sax.paa import num_segments
+
+
+class TestPaa:
+    def test_exact_division(self):
+        x = np.array([1.0, 3.0, 5.0, 7.0])
+        assert paa(x, 2).tolist() == [2.0, 6.0]
+
+    def test_trailing_partial_segment(self):
+        x = np.array([1.0, 3.0, 10.0])
+        assert paa(x, 2).tolist() == [2.0, 10.0]
+
+    def test_segment_length_one_is_identity(self):
+        x = np.array([4.0, 2.0, 9.0])
+        assert paa(x, 1).tolist() == x.tolist()
+
+    def test_segment_longer_than_series_gives_global_mean(self):
+        x = np.array([2.0, 4.0])
+        assert paa(x, 10).tolist() == [3.0]
+
+    def test_inverse_paa_repeats_and_truncates(self):
+        recon = inverse_paa(np.array([1.0, 2.0]), 3, 5)
+        assert recon.tolist() == [1.0, 1.0, 1.0, 2.0, 2.0]
+
+    def test_round_trip_preserves_segment_means(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=30)
+        recon = inverse_paa(paa(x, 5), 5, 30)
+        assert np.allclose(paa(recon, 5), paa(x, 5))
+
+    def test_inverse_with_wrong_count_raises(self):
+        with pytest.raises(DataError):
+            inverse_paa(np.array([1.0]), 3, 10)
+
+    def test_2d_input_raises(self):
+        with pytest.raises(DataError):
+            paa(np.zeros((3, 2)), 2)
+
+    def test_bad_segment_length_raises(self):
+        with pytest.raises(DataError):
+            paa(np.zeros(4), 0)
+
+    def test_num_segments_ceiling(self):
+        assert num_segments(10, 3) == 4
+        assert num_segments(9, 3) == 3
+
+
+class TestInverseNormalCdf:
+    def test_median(self):
+        assert inverse_normal_cdf(0.5) == pytest.approx(0.0, abs=1e-12)
+
+    def test_matches_scipy_across_range(self):
+        for p in np.linspace(0.001, 0.999, 199):
+            assert inverse_normal_cdf(float(p)) == pytest.approx(
+                stats.norm.ppf(p), abs=1e-10
+            )
+
+    def test_extreme_tails_match_scipy(self):
+        for p in (1e-12, 1e-8, 1 - 1e-8):
+            assert inverse_normal_cdf(p) == pytest.approx(
+                stats.norm.ppf(p), rel=1e-9
+            )
+
+    def test_symmetry(self):
+        assert inverse_normal_cdf(0.2) == pytest.approx(-inverse_normal_cdf(0.8))
+
+    def test_domain_enforced(self):
+        for p in (0.0, 1.0, -0.1, 1.1):
+            with pytest.raises(DataError):
+                inverse_normal_cdf(p)
+
+
+class TestBreakpoints:
+    def test_count(self):
+        assert gaussian_breakpoints(5).size == 4
+
+    def test_classic_sax_table_for_alphabet_4(self):
+        # Lin & Keogh's published table: (-0.67, 0, 0.67).
+        bps = gaussian_breakpoints(4)
+        assert bps == pytest.approx([-0.6745, 0.0, 0.6745], abs=1e-4)
+
+    def test_equiprobability(self):
+        bps = gaussian_breakpoints(7)
+        probs = np.diff(np.concatenate(([0.0], stats.norm.cdf(bps), [1.0])))
+        assert np.allclose(probs, 1.0 / 7.0, atol=1e-12)
+
+    def test_monotone_increasing(self):
+        bps = gaussian_breakpoints(20)
+        assert (np.diff(bps) > 0).all()
+
+    def test_midpoints_lie_between_breakpoints(self):
+        a = 6
+        bps = gaussian_breakpoints(a)
+        mids = interval_midpoints(a)
+        edges = np.concatenate(([-np.inf], bps, [np.inf]))
+        for i in range(a):
+            assert edges[i] < mids[i] <= edges[i + 1]
+
+    def test_expected_values_are_interval_means(self):
+        a = 5
+        levels = interval_expected_values(a)
+        # Monte-Carlo check of the truncated-normal conditional mean.
+        rng = np.random.default_rng(1)
+        z = rng.normal(size=400_000)
+        idx = np.searchsorted(gaussian_breakpoints(a), z)
+        for i in range(a):
+            assert levels[i] == pytest.approx(z[idx == i].mean(), abs=0.01)
+
+    def test_alphabet_too_small_raises(self):
+        with pytest.raises(DataError):
+            gaussian_breakpoints(1)
+
+
+class TestSaxAlphabet:
+    def test_alphabetical_symbols(self):
+        assert SaxAlphabet.alphabetical(5).symbols == ("a", "b", "c", "d", "e")
+
+    def test_digital_symbols(self):
+        assert SaxAlphabet.digital(5).symbols == ("0", "1", "2", "3", "4")
+
+    def test_digital_capped_at_ten(self):
+        """The reason Table IX has N/A for digital SAX at alphabet size 20."""
+        SaxAlphabet.digital(10)
+        with pytest.raises(ConfigError):
+            SaxAlphabet.digital(20)
+
+    def test_alphabetical_capped_at_26(self):
+        with pytest.raises(ConfigError):
+            SaxAlphabet.alphabetical(27)
+
+    def test_of_kind_dispatch(self):
+        assert SaxAlphabet.of_kind("digital", 5) == SaxAlphabet.digital(5)
+        assert SaxAlphabet.of_kind("alphabetical", 5) == SaxAlphabet.alphabetical(5)
+        with pytest.raises(ConfigError):
+            SaxAlphabet.of_kind("hex", 5)
+
+    def test_index_of_unknown_symbol_raises(self):
+        with pytest.raises(EncodingError):
+            SaxAlphabet.alphabetical(3).index_of("z")
+
+
+class TestSaxEncoder:
+    def _encoder(self, **kwargs):
+        defaults = dict(segment_length=3, alphabet=SaxAlphabet.alphabetical(5))
+        defaults.update(kwargs)
+        return SaxEncoder(**defaults)
+
+    def test_word_length_is_segment_count(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=31)
+        encoder = self._encoder().fit(x)
+        assert len(encoder.encode(x)) == encoder.segments_for(31) == 11
+
+    def test_symbols_come_from_alphabet(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=60)
+        encoder = self._encoder().fit(x)
+        assert set(encoder.encode(x)) <= set("abcde")
+
+    def test_roughly_equiprobable_on_gaussian_data(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=6000)
+        encoder = self._encoder(segment_length=1).fit(x)
+        word = encoder.encode(x)
+        counts = np.array([word.count(s) for s in "abcde"]) / len(word)
+        assert np.allclose(counts, 0.2, atol=0.03)
+
+    def test_monotone_series_maps_to_sorted_word(self):
+        x = np.linspace(-3.0, 3.0, 30)
+        encoder = self._encoder(segment_length=1).fit(x)
+        word = encoder.encode(x)
+        assert word == sorted(word)
+
+    def test_decode_length_and_units(self):
+        x = 100.0 + 10.0 * np.sin(np.linspace(0, 6, 45))
+        encoder = self._encoder().fit(x)
+        recon = encoder.decode(encoder.encode(x), n=45)
+        assert recon.shape == (45,)
+        # Reconstruction stays in the neighbourhood of the original units.
+        assert 60.0 < recon.mean() < 140.0
+
+    def test_reconstruction_error_shrinks_with_alphabet(self):
+        rng = np.random.default_rng(5)
+        x = np.sin(np.linspace(0, 20, 200)) + 0.05 * rng.normal(size=200)
+
+        def error(alphabet_size):
+            encoder = SaxEncoder(1, SaxAlphabet.alphabetical(alphabet_size)).fit(x)
+            recon = encoder.decode(encoder.encode(x), n=200)
+            return np.sqrt(np.mean((recon - x) ** 2))
+
+        assert error(20) < error(5) < error(2)
+
+    def test_expected_reconstruction_mode(self):
+        x = np.sin(np.linspace(0, 20, 100))
+        enc_mid = self._encoder(reconstruction="midpoint").fit(x)
+        enc_exp = self._encoder(reconstruction="expected").fit(x)
+        recon_mid = enc_mid.decode(enc_mid.encode(x), n=100)
+        recon_exp = enc_exp.decode(enc_exp.encode(x), n=100)
+        assert not np.allclose(recon_mid, recon_exp)
+
+    def test_unfitted_use_raises(self):
+        with pytest.raises(EncodingError):
+            self._encoder().encode(np.zeros(10))
+
+    def test_invalid_reconstruction_mode_raises(self):
+        with pytest.raises(ConfigError):
+            self._encoder(reconstruction="nearest")
+
+    def test_invalid_segment_length_raises(self):
+        with pytest.raises(ConfigError):
+            self._encoder(segment_length=0)
+
+    def test_decode_rejects_unknown_symbols(self):
+        encoder = self._encoder().fit(np.arange(10.0))
+        with pytest.raises(EncodingError):
+            encoder.decode(["z"], n=3)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=-100.0, max_value=100.0, allow_nan=False),
+        min_size=4,
+        max_size=80,
+    ),
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=2, max_value=12),
+)
+@settings(max_examples=60)
+def test_sax_round_trip_shape_property(xs, segment_length, alphabet_size):
+    x = np.asarray(xs)
+    encoder = SaxEncoder(segment_length, SaxAlphabet.alphabetical(alphabet_size))
+    encoder.fit(x)
+    word = encoder.encode(x)
+    assert len(word) == encoder.segments_for(x.size)
+    recon = encoder.decode(word, n=x.size)
+    assert recon.shape == x.shape
+    assert np.isfinite(recon).all()
+
+
+@given(st.integers(min_value=2, max_value=26))
+def test_breakpoints_symmetry_property(alphabet_size):
+    bps = gaussian_breakpoints(alphabet_size)
+    assert np.allclose(bps, -bps[::-1], atol=1e-9)
+
+
+@given(
+    st.floats(min_value=1e-6, max_value=1.0 - 1e-6),
+)
+def test_inverse_normal_cdf_inverts_cdf_property(p):
+    x = inverse_normal_cdf(p)
+    assert 0.5 * math.erfc(-x / math.sqrt(2)) == pytest.approx(p, abs=1e-9)

@@ -1,0 +1,206 @@
+"""Unit and property tests for repro.scaling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import ScalingError
+from repro.scaling import (
+    FixedDigitScaler,
+    MinMaxScaler,
+    MultivariateScaler,
+    PercentileScaler,
+    ZScoreScaler,
+)
+
+
+class TestFixedDigitScaler:
+    def test_codes_are_within_digit_budget(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(50.0, 10.0, size=200)
+        scaler = FixedDigitScaler(num_digits=3).fit(x)
+        codes = scaler.transform(x)
+        assert codes.dtype == np.int64
+        assert codes.min() >= 0
+        assert codes.max() <= 999
+
+    def test_round_trip_error_bounded_by_resolution(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-5.0, 5.0, size=300)
+        scaler = FixedDigitScaler(num_digits=3).fit(x)
+        recovered = scaler.inverse_transform(scaler.transform(x))
+        assert np.max(np.abs(recovered - x)) <= scaler.resolution / 2 + 1e-12
+
+    def test_more_digits_means_finer_resolution(self):
+        x = np.linspace(0.0, 1.0, 50)
+        r2 = FixedDigitScaler(num_digits=2).fit(x).resolution
+        r4 = FixedDigitScaler(num_digits=4).fit(x).resolution
+        assert r4 < r2 / 50
+
+    def test_constant_series_round_trips(self):
+        x = np.full(10, 42.0)
+        scaler = FixedDigitScaler(num_digits=3).fit(x)
+        recovered = scaler.inverse_transform(scaler.transform(x))
+        assert np.allclose(recovered, 42.0, atol=scaler.resolution)
+
+    def test_headroom_leaves_room_above_history(self):
+        x = np.linspace(0.0, 10.0, 100)
+        scaler = FixedDigitScaler(num_digits=3, headroom=0.2).fit(x)
+        # The max historical value should not map to the top code.
+        assert scaler.transform(np.array([10.0]))[0] < scaler.max_int
+
+    def test_out_of_span_values_clip(self):
+        x = np.linspace(0.0, 1.0, 10)
+        scaler = FixedDigitScaler(num_digits=2, headroom=0.0).fit(x)
+        assert scaler.transform(np.array([99.0]))[0] == scaler.max_int
+        assert scaler.transform(np.array([-99.0]))[0] == 0
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(ScalingError):
+            FixedDigitScaler().transform(np.ones(3))
+
+    def test_invalid_num_digits_raises(self):
+        with pytest.raises(ScalingError):
+            FixedDigitScaler(num_digits=0)
+
+    def test_negative_headroom_raises(self):
+        with pytest.raises(ScalingError):
+            FixedDigitScaler(headroom=-0.1)
+
+    def test_nan_input_raises(self):
+        with pytest.raises(ScalingError):
+            FixedDigitScaler().fit(np.array([1.0, np.nan]))
+
+    def test_2d_input_raises(self):
+        with pytest.raises(ScalingError):
+            FixedDigitScaler().fit(np.zeros((3, 2)))
+
+
+class TestPercentileScaler:
+    def test_llmtime_defaults_scale_to_unit_quantile(self):
+        rng = np.random.default_rng(2)
+        x = np.abs(rng.normal(size=1000)) * 7.0
+        scaler = PercentileScaler(alpha_quantile=0.99, beta_quantile=0.0).fit(x)
+        y = scaler.transform(x)
+        # 99% of offset values fall below 1 after scaling.
+        assert np.quantile(np.abs(y), 0.99) == pytest.approx(1.0, rel=1e-6)
+
+    def test_round_trip_exact(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(3.0, 2.0, size=100)
+        scaler = PercentileScaler().fit(x)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(x)), x)
+
+    def test_constant_series_does_not_divide_by_zero(self):
+        scaler = PercentileScaler().fit(np.full(5, 3.0))
+        assert np.isfinite(scaler.transform(np.full(5, 3.0))).all()
+
+    def test_invalid_quantiles_raise(self):
+        with pytest.raises(ScalingError):
+            PercentileScaler(alpha_quantile=0.0)
+        with pytest.raises(ScalingError):
+            PercentileScaler(beta_quantile=1.5)
+
+
+class TestZScoreScaler:
+    def test_standardises(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(5.0, 3.0, size=5000)
+        y = ZScoreScaler().fit_transform(x)
+        assert y.mean() == pytest.approx(0.0, abs=1e-9)
+        assert y.std() == pytest.approx(1.0, abs=1e-9)
+
+    def test_round_trip(self):
+        x = np.array([1.0, 2.0, 9.0])
+        scaler = ZScoreScaler().fit(x)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(x)), x)
+
+    def test_constant_series_guarded(self):
+        scaler = ZScoreScaler().fit(np.ones(4))
+        assert np.allclose(scaler.transform(np.ones(4)), 0.0)
+
+
+class TestMinMaxScaler:
+    def test_maps_to_unit_interval(self):
+        x = np.array([2.0, 4.0, 6.0])
+        y = MinMaxScaler().fit_transform(x)
+        assert y.min() == 0.0 and y.max() == 1.0
+
+    def test_round_trip(self):
+        x = np.array([-3.0, 0.0, 5.0])
+        scaler = MinMaxScaler().fit(x)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(x)), x)
+
+
+class TestMultivariateScaler:
+    def test_each_dimension_scaled_independently(self):
+        x = np.stack([np.linspace(0, 1, 50), np.linspace(100, 200, 50)], axis=1)
+        scaler = MultivariateScaler(lambda: FixedDigitScaler(num_digits=2)).fit(x)
+        codes = scaler.transform(x)
+        assert codes.shape == x.shape
+        # Both dimensions use the full code range despite different scales.
+        assert codes[:, 0].max() == codes[:, 1].max()
+
+    def test_round_trip_within_resolution(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(80, 3)) * np.array([1.0, 100.0, 0.01])
+        scaler = MultivariateScaler(lambda: FixedDigitScaler(num_digits=3)).fit(x)
+        recovered = scaler.inverse_transform(scaler.transform(x))
+        for i in range(3):
+            tol = scaler.scalers[i].resolution
+            assert np.max(np.abs(recovered[:, i] - x[:, i])) <= tol
+
+    def test_dimension_count_enforced(self):
+        x = np.zeros((10, 2))
+        scaler = MultivariateScaler(ZScoreScaler).fit(x)
+        with pytest.raises(ScalingError):
+            scaler.transform(np.zeros((10, 3)))
+
+    def test_use_before_fit_raises(self):
+        with pytest.raises(ScalingError):
+            MultivariateScaler(ZScoreScaler).transform(np.zeros((4, 2)))
+
+    def test_1d_input_raises(self):
+        with pytest.raises(ScalingError):
+            MultivariateScaler(ZScoreScaler).fit(np.zeros(5))
+
+
+series_strategy = st.lists(
+    st.floats(min_value=-1e5, max_value=1e5, allow_nan=False),
+    min_size=2,
+    max_size=100,
+)
+
+
+@given(series_strategy, st.integers(min_value=1, max_value=5))
+def test_fixed_digit_round_trip_property(xs, digits):
+    x = np.asarray(xs)
+    scaler = FixedDigitScaler(num_digits=digits).fit(x)
+    recovered = scaler.inverse_transform(scaler.transform(x))
+    assert np.max(np.abs(recovered - x)) <= scaler.resolution / 2 + 1e-9
+
+
+@given(series_strategy)
+def test_fixed_digit_codes_in_range_property(xs):
+    x = np.asarray(xs)
+    scaler = FixedDigitScaler(num_digits=3).fit(x)
+    codes = scaler.transform(x)
+    assert ((codes >= 0) & (codes <= 999)).all()
+
+
+@given(series_strategy)
+def test_zscore_round_trip_property(xs):
+    x = np.asarray(xs)
+    scaler = ZScoreScaler().fit(x)
+    recovered = scaler.inverse_transform(scaler.transform(x))
+    scale = max(1.0, np.max(np.abs(x)))
+    assert np.max(np.abs(recovered - x)) / scale < 1e-9
+
+
+@given(series_strategy)
+def test_fixed_digit_monotone_property(xs):
+    """Scaling preserves order: larger values never get smaller codes."""
+    x = np.asarray(xs)
+    scaler = FixedDigitScaler(num_digits=4).fit(x)
+    codes = scaler.transform(np.sort(x))
+    assert (np.diff(codes) >= 0).all()

@@ -1,0 +1,39 @@
+"""Tests for the seed-sensitivity experiment driver."""
+
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.experiments.sensitivity import seed_sensitivity_table
+
+
+class TestSeedSensitivity:
+    def test_generation_variance_table(self):
+        table = seed_sensitivity_table(
+            "multicast-di", num_seeds=3, num_samples=2, vary="generation"
+        )
+        assert [row[0] for row in table.rows] == ["mean", "std", "min", "max"]
+        for dim in ("GasRate", "CO2"):
+            assert table.cell("min", dim) <= table.cell("mean", dim)
+            assert table.cell("mean", dim) <= table.cell("max", dim)
+            assert table.cell("std", dim) >= 0.0
+
+    def test_dataset_variance_table(self):
+        table = seed_sensitivity_table(
+            "multicast-di", num_seeds=2, num_samples=2, vary="dataset"
+        )
+        assert table.cell("mean", "GasRate") > 0.0
+
+    def test_deterministic_method_has_zero_generation_variance(self):
+        table = seed_sensitivity_table("theta", num_seeds=3, vary="generation")
+        assert table.cell("std", "GasRate") == pytest.approx(0.0, abs=1e-12)
+        assert table.cell("std", "CO2") == pytest.approx(0.0, abs=1e-12)
+
+    def test_deterministic_method_still_varies_with_dataset(self):
+        table = seed_sensitivity_table("theta", num_seeds=3, vary="dataset")
+        assert table.cell("std", "GasRate") > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            seed_sensitivity_table(num_seeds=1)
+        with pytest.raises(ConfigError):
+            seed_sensitivity_table(vary="phase")
