@@ -26,7 +26,7 @@ from repro.encoding import (
     render_token_stream,
 )
 from repro.exceptions import ConfigError, DataError
-from repro.llm import PeriodicPatternConstraint, get_model
+from repro.llm import PeriodicPatternConstraint, child_seeds, get_model
 from repro.scaling import FixedDigitScaler
 
 __all__ = ["LLMTime", "LLMTimeConfig"]
@@ -113,12 +113,15 @@ class LLMTime:
         needed = horizon * tokens_per_step
         constraint = self._constraint()
         rng = np.random.default_rng(config.seed if seed is None else seed)
+        # Seeds are derived up front so per-sample draws stay deterministic
+        # even if a caller fans them out across worker threads.
+        seeds = child_seeds(rng, config.num_samples)
 
         sample_values = np.empty((config.num_samples, horizon))
         generated_total = 0
         for s in range(config.num_samples):
             result = model.generate(
-                prompt_ids, needed, np.random.default_rng(rng.integers(2**63)),
+                prompt_ids, needed, np.random.default_rng(seeds[s]),
                 constraint=constraint,
             )
             generated_total += len(result.tokens)

@@ -5,6 +5,7 @@ Usage (installed as ``repro-multicast``, or ``python -m repro.cli``)::
     repro-multicast forecast --dataset gas_rate --scheme di --samples 5
     repro-multicast forecast --csv mydata.csv --horizon 24 --output fcst.csv
     repro-multicast evaluate --dataset weather --methods multicast-di arima
+    repro-multicast batch --manifest jobs.json --workers 8 --metrics-out m.json
     repro-multicast table iv
     repro-multicast figure 2
     repro-multicast list
@@ -107,6 +108,8 @@ def build_parser() -> argparse.ArgumentParser:
     forecast.add_argument("--output", help="write the forecast to this CSV path")
     forecast.add_argument("--plot", action="store_true",
                           help="draw an ASCII overlay of dimension 0")
+    forecast.add_argument("--verbose", action="store_true",
+                          help="print the per-stage timing breakdown")
 
     evaluate = sub.add_parser("evaluate", help="score methods on a dataset")
     evaluate.add_argument("--dataset", choices=sorted(_DATASETS), default="gas_rate")
@@ -140,6 +143,26 @@ def build_parser() -> argparse.ArgumentParser:
     backtest.add_argument("--windows", type=int, default=3)
     backtest.add_argument("--samples", type=int, default=5)
     backtest.add_argument("--seed", type=int, default=0)
+    backtest.add_argument("--workers", type=int, default=0,
+                          help="serve windows through an engine with this "
+                               "many sample workers (0 = sequential)")
+
+    batch = sub.add_parser(
+        "batch", help="forecast many series/configs concurrently from a manifest"
+    )
+    batch.add_argument("--manifest", required=True,
+                       help="JSON manifest of forecast jobs (see docs/API.md)")
+    batch.add_argument("--workers", type=int, default=4,
+                       help="sample-draw worker threads")
+    batch.add_argument("--request-concurrency", type=int, default=2,
+                       help="requests in flight at once")
+    batch.add_argument("--repeat", type=int, default=1,
+                       help="run the whole batch this many times "
+                            "(later passes exercise the result cache)")
+    batch.add_argument("--no-cache", action="store_true",
+                       help="disable the content-addressed result cache")
+    batch.add_argument("--metrics-out",
+                       help="write the engine's metrics snapshot to this JSON path")
 
     sub.add_parser("list", help="list datasets, methods, and backend models")
     return parser
@@ -174,6 +197,12 @@ def _command_forecast(args) -> int:
           f"horizon {horizon}, scheme {args.scheme}, model {args.model}")
     print(f"tokens: prompt={output.prompt_tokens} generated={output.generated_tokens}"
           f"  simulated={output.simulated_seconds:.0f}s wall={output.wall_seconds:.2f}s")
+    if args.verbose:
+        total = output.wall_seconds or 1.0
+        print("stage timings:")
+        for stage, seconds in output.timings.items():
+            print(f"  {stage:<13} {seconds * 1000:9.2f} ms  "
+                  f"{seconds / total:6.1%}")
     if actual is not None:
         from repro.metrics import rmse
 
@@ -273,16 +302,69 @@ def _command_backtest(args) -> int:
     options = {}
     if args.method.startswith("multicast") or args.method == "llmtime":
         options["num_samples"] = args.samples
-    result = rolling_origin_evaluation(
-        args.method, dataset, horizon=args.horizon,
-        num_windows=args.windows, seed=args.seed, **options,
-    )
+    engine = None
+    if args.workers > 0:
+        from repro.serving import ForecastEngine
+
+        engine = ForecastEngine(num_workers=args.workers)
+    try:
+        result = rolling_origin_evaluation(
+            args.method, dataset, horizon=args.horizon,
+            num_windows=args.windows, seed=args.seed, engine=engine, **options,
+        )
+    finally:
+        if engine is not None:
+            engine.close()
     mean, std = result.mean_rmse(), result.std_rmse()
     print(f"{args.method} on {dataset.name}: {result.num_windows} windows "
           f"of {args.horizon} (origins {result.origins})")
     for name in dataset.dim_names:
         print(f"  RMSE[{name}] = {mean[name]:.4f} ± {std[name]:.4f}")
     return 0
+
+
+def _command_batch(args) -> int:
+    import json
+
+    from repro.exceptions import ConfigError
+    from repro.serving import ForecastCache, ForecastEngine, load_manifest
+
+    jobs = load_manifest(args.manifest)
+    requests = []
+    for job in jobs:
+        if job.csv is not None:
+            series = np.asarray(load_csv(job.csv).values)
+        elif job.dataset in _DATASETS:
+            series = np.asarray(_DATASETS[job.dataset]().values)
+        else:
+            raise ConfigError(
+                f"job {job.name!r}: unknown dataset {job.dataset!r}; "
+                f"available: {', '.join(sorted(_DATASETS))}"
+            )
+        requests.append(job.to_request(series))
+
+    cache = ForecastCache(max_entries=0) if args.no_cache else None
+    failed = 0
+    with ForecastEngine(
+        num_workers=args.workers,
+        cache=cache,
+        max_concurrent_requests=args.request_concurrency,
+    ) as engine:
+        for round_index in range(max(1, args.repeat)):
+            if args.repeat > 1:
+                print(f"pass {round_index + 1}/{args.repeat}:")
+            responses = engine.forecast_batch(requests)
+            for response in responses:
+                print(f"  {response.summary()}")
+            failed = sum(1 for r in responses if not r.ok)
+        stats = engine.cache.stats
+        print(f"jobs: {len(requests)}  failed: {failed}  "
+              f"cache: {stats['hits']} hits / {stats['misses']} misses")
+        if args.metrics_out:
+            with open(args.metrics_out, "w") as handle:
+                json.dump(engine.metrics_snapshot(), handle, indent=2)
+            print(f"metrics written to {args.metrics_out}")
+    return 1 if failed else 0
 
 
 _COMMANDS = {
@@ -292,6 +374,7 @@ _COMMANDS = {
     "figure": _command_figure,
     "plan": _command_plan,
     "backtest": _command_backtest,
+    "batch": _command_batch,
     "list": _command_list,
 }
 

@@ -2,7 +2,11 @@
 
 from repro.core.aggregation import AGGREGATION_METHODS, aggregate_samples
 from repro.core.config import MultiCastConfig, SaxConfig
-from repro.core.forecaster import MultiCastForecaster
+from repro.core.forecaster import (
+    MultiCastForecaster,
+    SampleRunner,
+    run_sequentially,
+)
 from repro.core.multiplex import (
     MULTIPLEX_SCHEMES,
     BlockInterleaver,
@@ -15,11 +19,16 @@ from repro.core.multiplex import (
 )
 from repro.core.output import ForecastOutput
 from repro.core.planning import ForecastPlan, plan_forecast
+from repro.core.timing import STAGES, StageClock
 
 __all__ = [
     "MultiCastConfig",
     "SaxConfig",
     "MultiCastForecaster",
+    "SampleRunner",
+    "run_sequentially",
+    "StageClock",
+    "STAGES",
     "ForecastOutput",
     "ForecastPlan",
     "plan_forecast",

@@ -21,7 +21,7 @@ values through the per-dimension encoder.
 
 from __future__ import annotations
 
-import time
+from collections.abc import Callable
 
 import numpy as np
 
@@ -29,21 +29,40 @@ from repro.core.aggregation import aggregate_samples
 from repro.core.config import MultiCastConfig
 from repro.core.multiplex import Multiplexer, SaxSymbolCodec, get_multiplexer
 from repro.core.output import ForecastOutput
+from repro.core.timing import StageClock
 from repro.decomposition import SeasonalAdjuster, estimate_period
 from repro.encoding import SEPARATOR, DigitCodec, digit_vocabulary, sax_vocabulary
 from repro.encoding.vocabulary import Vocabulary
-from repro.exceptions import DataError
+from repro.exceptions import DataError, GenerationError
 from repro.llm import (
     Constraint,
     PeriodicPatternConstraint,
     SetConstraint,
+    child_seeds,
     get_model,
 )
+from repro.llm.interface import GenerationResult
 from repro.sax.encoder import SaxEncoder
 from repro.sax.paa import num_segments
 from repro.scaling import FixedDigitScaler, MultivariateScaler
 
-__all__ = ["MultiCastForecaster"]
+__all__ = ["MultiCastForecaster", "SampleRunner", "SampleTask", "run_sequentially"]
+
+#: One deferred constrained sample draw; calling it performs the draw.
+SampleTask = Callable[[], GenerationResult]
+
+#: Executes a batch of sample tasks and returns their results *in task
+#: order*.  A runner may return ``None`` in place of a result to report a
+#: draw it abandoned (failed or timed out); the forecaster then aggregates
+#: the surviving samples and flags the output as partial.  Tasks are
+#: self-contained (each builds its own RNG from a precomputed seed), so a
+#: runner may execute them concurrently and in any order.
+SampleRunner = Callable[[list[SampleTask]], list[GenerationResult | None]]
+
+
+def run_sequentially(tasks: list[SampleTask]) -> list[GenerationResult | None]:
+    """The default sample runner: draw in order on the calling thread."""
+    return [task() for task in tasks]
 
 
 class MultiCastForecaster:
@@ -60,9 +79,15 @@ class MultiCastForecaster:
     True
     """
 
-    def __init__(self, config: MultiCastConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: MultiCastConfig | None = None,
+        *,
+        sample_runner: SampleRunner | None = None,
+    ) -> None:
         self.config = config or MultiCastConfig()
         self._multiplexer: Multiplexer = get_multiplexer(self.config.scheme)
+        self._sample_runner: SampleRunner = sample_runner or run_sequentially
 
     # -- public API -----------------------------------------------------------
 
@@ -82,17 +107,22 @@ class MultiCastForecaster:
         if horizon < 1:
             raise DataError(f"horizon must be >= 1, got {horizon}")
 
+        clock = StageClock()
         adjusters = None
         if self.config.deseasonalize is not None:
-            adjusters, values = self._seasonal_adjust(values)
+            with clock.stage("deseasonalize"):
+                adjusters, values = self._seasonal_adjust(values)
 
         if self.config.sax is None:
-            output = self._forecast_raw(values, horizon, seed)
+            output = self._forecast_raw(values, horizon, seed, clock)
         else:
-            output = self._forecast_sax(values, horizon, seed)
+            output = self._forecast_sax(values, horizon, seed, clock)
 
         if adjusters is not None:
-            self._seasonal_restore(output, adjusters)
+            with clock.stage("deseasonalize"):
+                self._seasonal_restore(output, adjusters)
+        output.timings = dict(clock.timings)
+        output.wall_seconds = clock.total
         return output
 
     # -- optional seasonal adjustment (extension, DESIGN.md §6) ----------------
@@ -160,25 +190,42 @@ class MultiCastForecaster:
     ) -> tuple[list[list[str]], int, float]:
         """Draw the configured number of continuations.
 
+        Each draw is packaged as a self-contained task carrying its own
+        precomputed child seed (so the configured runner may execute them
+        concurrently, in any order, or retry one from scratch, without
+        changing the result) and handed to the sample runner.  The runner
+        may return ``None`` for draws it abandoned; as long as at least one
+        survives, the forecast proceeds on the partial ensemble.
+
         Returns (decoded token streams, total generated tokens, simulated
-        seconds across all samples).
+        seconds across the completed samples).
         """
         config = self.config
         model = get_model(config.model, vocab_size=len(vocabulary))
         rng = np.random.default_rng(config.seed if seed is None else seed)
-        streams: list[list[str]] = []
-        generated = 0
-        for _ in range(config.num_samples):
-            result = model.generate(
-                prompt_ids,
-                tokens_needed,
-                np.random.default_rng(rng.integers(2**63)),
-                constraint=constraint,
-                temperature=config.temperature,
+        seeds = child_seeds(rng, config.num_samples)
+
+        def make_task(sample_seed: int) -> SampleTask:
+            def draw() -> GenerationResult:
+                return model.generate(
+                    prompt_ids,
+                    tokens_needed,
+                    np.random.default_rng(sample_seed),
+                    constraint=constraint,
+                    temperature=config.temperature,
+                )
+
+            return draw
+
+        results = self._sample_runner([make_task(s) for s in seeds])
+        completed = [r for r in results if r is not None]
+        if not completed:
+            raise GenerationError(
+                "every sample draw failed or was abandoned by the runner"
             )
-            generated += len(result.tokens)
-            streams.append(vocabulary.decode(result.tokens))
-        simulated = config.num_samples * model.cost.seconds(
+        streams = [vocabulary.decode(result.tokens) for result in completed]
+        generated = sum(len(result.tokens) for result in completed)
+        simulated = len(completed) * model.cost.seconds(
             len(prompt_ids), tokens_needed
         )
         return streams, generated, simulated
@@ -204,117 +251,134 @@ class MultiCastForecaster:
     # -- raw digit pipeline -----------------------------------------------------
 
     def _forecast_raw(
-        self, values: np.ndarray, horizon: int, seed: int | None
+        self, values: np.ndarray, horizon: int, seed: int | None, clock: StageClock
     ) -> ForecastOutput:
         config = self.config
-        started = time.perf_counter()
         n, d = values.shape
 
-        scaler = MultivariateScaler(
-            lambda: FixedDigitScaler(num_digits=config.num_digits)
-        ).fit(values)
-        codes = scaler.transform(values).astype(np.int64)
-        codes = self._truncate_rows(codes, config.num_digits)
+        with clock.stage("scale"):
+            scaler = MultivariateScaler(
+                lambda: FixedDigitScaler(num_digits=config.num_digits)
+            ).fit(values)
+            codes = scaler.transform(values).astype(np.int64)
+            codes = self._truncate_rows(codes, config.num_digits)
 
-        codec = DigitCodec(config.num_digits)
-        vocabulary = digit_vocabulary()
-        stream = self._multiplexer.mux(codes, codec) + [SEPARATOR]
-        prompt_ids = vocabulary.encode(stream)
-
-        tokens_needed = horizon * self._multiplexer.tokens_per_timestamp(
-            d, config.num_digits
-        )
-        constraint = self._constraint(vocabulary, "0123456789", d, config.num_digits)
-        streams, generated, simulated = self._run_samples(
-            vocabulary, prompt_ids, tokens_needed, constraint, seed
-        )
-
-        sample_values = np.empty((config.num_samples, horizon, d))
-        for s, tokens in enumerate(streams):
-            rows = self._multiplexer.demux(
-                tokens, d, codec, row_offset=codes.shape[0]
+        with clock.stage("multiplex"):
+            codec = DigitCodec(config.num_digits)
+            vocabulary = digit_vocabulary()
+            stream = self._multiplexer.mux(codes, codec) + [SEPARATOR]
+            prompt_ids = vocabulary.encode(stream)
+            tokens_needed = horizon * self._multiplexer.tokens_per_timestamp(
+                d, config.num_digits
             )
-            rows = self._fit_rows(
-                rows.astype(float), horizon, d, fallback=codes[-1].astype(float)
+            constraint = self._constraint(
+                vocabulary, "0123456789", d, config.num_digits
             )
-            sample_values[s] = scaler.inverse_transform(rows)
 
-        point = aggregate_samples(sample_values, config.aggregation)
+        with clock.stage("generate"):
+            streams, generated, simulated = self._run_samples(
+                vocabulary, prompt_ids, tokens_needed, constraint, seed
+            )
+
+        with clock.stage("demultiplex"):
+            sample_values = np.empty((len(streams), horizon, d))
+            for s, tokens in enumerate(streams):
+                rows = self._multiplexer.demux(
+                    tokens, d, codec, row_offset=codes.shape[0]
+                )
+                rows = self._fit_rows(
+                    rows.astype(float), horizon, d, fallback=codes[-1].astype(float)
+                )
+                sample_values[s] = scaler.inverse_transform(rows)
+
+        with clock.stage("aggregate"):
+            point = aggregate_samples(sample_values, config.aggregation)
         return ForecastOutput(
             values=point,
             samples=sample_values,
             prompt_tokens=len(prompt_ids),
             generated_tokens=generated,
             simulated_seconds=simulated,
-            wall_seconds=time.perf_counter() - started,
             model_name=config.model,
-            metadata={"method": f"multicast-{self._multiplexer.name}", "sax": False},
+            metadata={
+                "method": f"multicast-{self._multiplexer.name}",
+                "sax": False,
+                "requested_samples": config.num_samples,
+                "completed_samples": len(streams),
+            },
         )
 
     # -- SAX pipeline -------------------------------------------------------------
 
     def _forecast_sax(
-        self, values: np.ndarray, horizon: int, seed: int | None
+        self, values: np.ndarray, horizon: int, seed: int | None, clock: StageClock
     ) -> ForecastOutput:
         config = self.config
         sax = config.sax
-        started = time.perf_counter()
         n, d = values.shape
         alphabet = sax.alphabet()
 
-        encoders = []
-        words = []
-        for k in range(d):
-            encoder = SaxEncoder(
-                sax.segment_length, alphabet, reconstruction=sax.reconstruction
-            ).fit(values[:, k])
-            encoders.append(encoder)
-            words.append(encoder.encode(values[:, k]))
-
-        codec = SaxSymbolCodec(alphabet)
-        # Symbol indices per segment per dimension: the SAX "code matrix".
-        symbol_codes = np.asarray(
-            [[alphabet.index_of(s) for s in word] for word in words], dtype=np.int64
-        ).T
-        symbol_codes = self._truncate_rows(symbol_codes, width=1)
-
-        vocabulary = sax_vocabulary(alphabet.symbols)
-        stream = self._multiplexer.mux(symbol_codes, codec) + [SEPARATOR]
-        prompt_ids = vocabulary.encode(stream)
-
-        horizon_segments = num_segments(horizon, sax.segment_length)
-        tokens_needed = horizon_segments * self._multiplexer.tokens_per_timestamp(d, 1)
-        constraint = self._constraint(vocabulary, alphabet.symbols, d, 1)
-        streams, generated, simulated = self._run_samples(
-            vocabulary, prompt_ids, tokens_needed, constraint, seed
-        )
-
-        sample_values = np.empty((config.num_samples, horizon, d))
-        for s, tokens in enumerate(streams):
-            rows = self._multiplexer.demux(
-                tokens, d, codec, row_offset=symbol_codes.shape[0]
-            )
-            rows = self._fit_rows(
-                rows.astype(float),
-                horizon_segments,
-                d,
-                fallback=symbol_codes[-1].astype(float),
-            ).astype(int)
+        with clock.stage("scale"):
+            encoders = []
+            words = []
             for k in range(d):
-                symbols = [alphabet.symbols[i] for i in rows[:, k]]
-                decoded = encoders[k].decode(
-                    symbols, n=horizon_segments * sax.segment_length
-                )
-                sample_values[s, :, k] = decoded[:horizon]
+                encoder = SaxEncoder(
+                    sax.segment_length, alphabet, reconstruction=sax.reconstruction
+                ).fit(values[:, k])
+                encoders.append(encoder)
+                words.append(encoder.encode(values[:, k]))
 
-        point = aggregate_samples(sample_values, config.aggregation)
+            codec = SaxSymbolCodec(alphabet)
+            # Symbol indices per segment per dimension: the SAX "code matrix".
+            symbol_codes = np.asarray(
+                [[alphabet.index_of(s) for s in word] for word in words],
+                dtype=np.int64,
+            ).T
+            symbol_codes = self._truncate_rows(symbol_codes, width=1)
+
+        with clock.stage("multiplex"):
+            vocabulary = sax_vocabulary(alphabet.symbols)
+            stream = self._multiplexer.mux(symbol_codes, codec) + [SEPARATOR]
+            prompt_ids = vocabulary.encode(stream)
+
+            horizon_segments = num_segments(horizon, sax.segment_length)
+            tokens_needed = (
+                horizon_segments * self._multiplexer.tokens_per_timestamp(d, 1)
+            )
+            constraint = self._constraint(vocabulary, alphabet.symbols, d, 1)
+
+        with clock.stage("generate"):
+            streams, generated, simulated = self._run_samples(
+                vocabulary, prompt_ids, tokens_needed, constraint, seed
+            )
+
+        with clock.stage("demultiplex"):
+            sample_values = np.empty((len(streams), horizon, d))
+            for s, tokens in enumerate(streams):
+                rows = self._multiplexer.demux(
+                    tokens, d, codec, row_offset=symbol_codes.shape[0]
+                )
+                rows = self._fit_rows(
+                    rows.astype(float),
+                    horizon_segments,
+                    d,
+                    fallback=symbol_codes[-1].astype(float),
+                ).astype(int)
+                for k in range(d):
+                    symbols = [alphabet.symbols[i] for i in rows[:, k]]
+                    decoded = encoders[k].decode(
+                        symbols, n=horizon_segments * sax.segment_length
+                    )
+                    sample_values[s, :, k] = decoded[:horizon]
+
+        with clock.stage("aggregate"):
+            point = aggregate_samples(sample_values, config.aggregation)
         return ForecastOutput(
             values=point,
             samples=sample_values,
             prompt_tokens=len(prompt_ids),
             generated_tokens=generated,
             simulated_seconds=simulated,
-            wall_seconds=time.perf_counter() - started,
             model_name=config.model,
             metadata={
                 "method": f"multicast-{self._multiplexer.name}",
@@ -322,5 +386,7 @@ class MultiCastForecaster:
                 "segment_length": sax.segment_length,
                 "alphabet_size": sax.alphabet_size,
                 "alphabet_kind": sax.alphabet_kind,
+                "requested_samples": config.num_samples,
+                "completed_samples": len(streams),
             },
         )

@@ -36,9 +36,15 @@ class ForecastOutput:
     simulated_seconds:
         Token-count-based inference time under the backend's cost model.
     wall_seconds:
-        Real elapsed time in this process.
+        Real elapsed time in this process.  The forecaster populates this
+        from ``timings`` (it is their sum), so the two never disagree.
     model_name:
         The backend preset that produced the forecast.
+    timings:
+        Per-stage wall seconds (``scale``, ``multiplex``, ``generate``,
+        ``demultiplex``, ``aggregate``, plus optional stages such as
+        ``deseasonalize``), as recorded by
+        :class:`~repro.core.timing.StageClock`.
     """
 
     values: np.ndarray
@@ -49,6 +55,7 @@ class ForecastOutput:
     wall_seconds: float = 0.0
     model_name: str = ""
     metadata: dict = field(default_factory=dict)
+    timings: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self.values = np.asarray(self.values, dtype=float)

@@ -1,0 +1,50 @@
+"""Per-stage wall-clock accounting for the forecast pipeline.
+
+The paper's execution-time tables treat a forecast as one opaque number;
+operating the pipeline as a service needs to know *where* the time goes
+(scale → multiplex → generate → demultiplex → aggregate), both to populate
+:attr:`~repro.core.output.ForecastOutput.timings` and to feed the serving
+layer's latency histograms.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = ["StageClock", "STAGES"]
+
+#: Canonical pipeline stages, in execution order.  Optional stages (e.g.
+#: ``deseasonalize``) may appear in a clock as well; these five always do.
+STAGES = ("scale", "multiplex", "generate", "demultiplex", "aggregate")
+
+
+class StageClock:
+    """Accumulates elapsed seconds per named pipeline stage.
+
+    Re-entering a stage adds to its total, so a stage split across two code
+    paths (e.g. ``deseasonalize`` before and after generation) reports one
+    combined number.
+    """
+
+    def __init__(self) -> None:
+        self.timings: dict[str, float] = {}
+
+    @contextmanager
+    def stage(self, name: str):
+        """Context manager timing one block under ``name``."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self.timings[name] = self.timings.get(name, 0.0) + elapsed
+
+    @property
+    def total(self) -> float:
+        """Sum of all recorded stage durations."""
+        return float(sum(self.timings.values()))
+
+    def __repr__(self) -> str:
+        spans = ", ".join(f"{k}={v:.4f}s" for k, v in self.timings.items())
+        return f"StageClock({spans})"

@@ -22,7 +22,11 @@ from repro.llm.constraints import (
     PeriodicPatternConstraint,
     SetConstraint,
 )
-from repro.llm.sampling import sample_from_distribution
+from repro.llm.sampling import (
+    child_generators,
+    child_seeds,
+    sample_from_distribution,
+)
 from repro.llm.ctw import CTWLanguageModel
 from repro.llm.ppm import PPMLanguageModel
 from repro.llm.ngram import NgramBackoffLM, UniformLM
@@ -45,6 +49,8 @@ __all__ = [
     "SetConstraint",
     "PeriodicPatternConstraint",
     "sample_from_distribution",
+    "child_seeds",
+    "child_generators",
     "PPMLanguageModel",
     "CTWLanguageModel",
     "NgramBackoffLM",

@@ -5,6 +5,14 @@ mask), temperature, top-k, then top-p (nucleus), renormalising after each
 filter.  If masking leaves no probability mass, sampling falls back to a
 uniform distribution over the admissible ids — the constrained equivalent of
 an untrained model, never an error.
+
+Thread-safety: nothing in this module touches NumPy's legacy global RNG
+(``np.random.seed``/``np.random.rand``); every draw goes through an explicit
+``numpy.random.Generator`` owned by the caller.  Callers that fan sample
+draws out across worker threads must give each worker its *own* generator —
+:func:`child_seeds` derives a deterministic, order-independent seed per
+worker from one base generator so parallel execution reproduces sequential
+execution exactly.
 """
 
 from __future__ import annotations
@@ -15,7 +23,28 @@ import numpy as np
 
 from repro.exceptions import GenerationError
 
-__all__ = ["sample_from_distribution"]
+__all__ = ["sample_from_distribution", "child_seeds", "child_generators"]
+
+
+def child_seeds(rng: np.random.Generator, n: int) -> list[int]:
+    """Derive ``n`` independent child seeds from one base generator.
+
+    The seeds are drawn sequentially *up front*, so work parameterised by
+    them can execute in any order (or concurrently) and still be
+    deterministic under the base seed.  This is the same derivation the
+    sequential pipeline has always used (one ``integers(2**63)`` per
+    sample), just hoisted out of the draw loop.
+    """
+    if n < 0:
+        raise GenerationError(f"cannot derive {n} child seeds")
+    return [int(rng.integers(2**63)) for _ in range(n)]
+
+
+def child_generators(
+    rng: np.random.Generator, n: int
+) -> list[np.random.Generator]:
+    """``n`` independent generators, one per worker/sample (see child_seeds)."""
+    return [np.random.default_rng(seed) for seed in child_seeds(rng, n)]
 
 
 def sample_from_distribution(

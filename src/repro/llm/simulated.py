@@ -17,6 +17,7 @@ New presets can be added with :func:`register_model`.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
@@ -43,13 +44,22 @@ __all__ = [
 
 @dataclass(frozen=True)
 class ModelSpec:
-    """Recipe for constructing a named simulated model."""
+    """Recipe for constructing a named simulated model.
+
+    ``realtime_scale`` optionally converts the cost model's *simulated*
+    seconds into real ones: each :meth:`SimulatedLLM.generate` call sleeps
+    ``cost.seconds(...) * realtime_scale`` after sampling, emulating the
+    latency of a remote inference API.  The sleep releases the GIL, so this
+    is what makes thread-pooled serving benchmarks representative of hosted
+    backends; 0 (the default) keeps generation as fast as the substrate.
+    """
 
     name: str
     factory: Callable[[int], LanguageModel]
     temperature: float = 1.0
     top_p: float | None = None
     cost: TokenCostModel = field(default_factory=TokenCostModel)
+    realtime_scale: float = 0.0
     description: str = ""
 
 
@@ -88,7 +98,7 @@ class SimulatedLLM:
         forecasting).
         """
         model = self.spec.factory(self.vocab_size)
-        return model.generate(
+        result = model.generate(
             context,
             max_new_tokens,
             rng,
@@ -96,6 +106,12 @@ class SimulatedLLM:
             temperature=self.spec.temperature if temperature is None else temperature,
             top_p=self.spec.top_p,
         )
+        if self.spec.realtime_scale > 0.0:
+            time.sleep(
+                self.spec.cost.seconds(len(context), len(result.tokens))
+                * self.spec.realtime_scale
+            )
+        return result
 
     def sequence_nll(
         self, tokens: Sequence[int], context: Sequence[int] = ()

@@ -1,0 +1,130 @@
+"""Content-addressed LRU cache of forecast outputs.
+
+A forecast is a pure function of (history values, configuration, horizon,
+seed), so repeated requests — backtest windows re-run with new settings
+elsewhere, dashboard refreshes, retried jobs — can be answered from memory.
+Keys are SHA-256 digests of the exact input bytes, making collisions
+practically impossible and the cache safe to share between configs.
+
+Entries are copied on the way in and out: callers may freely mutate a
+returned :class:`~repro.core.output.ForecastOutput` (e.g. seasonal
+restoration does) without corrupting the cached value.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.core.config import MultiCastConfig
+from repro.core.output import ForecastOutput
+from repro.exceptions import ConfigError
+
+__all__ = ["ForecastCache", "forecast_digest"]
+
+
+def forecast_digest(
+    history: np.ndarray,
+    config: MultiCastConfig,
+    horizon: int,
+    seed: int | None = None,
+) -> str:
+    """SHA-256 hex digest identifying one forecast computation.
+
+    ``config`` is a frozen dataclass whose ``repr`` lists every field, so
+    two configs hash equal exactly when every pipeline-relevant setting is
+    equal.  The effective seed (request override or config default) is part
+    of the key because sampling is seed-deterministic.
+    """
+    values = np.ascontiguousarray(np.asarray(history, dtype=float))
+    effective_seed = config.seed if seed is None else seed
+    digest = hashlib.sha256()
+    digest.update(str(values.shape).encode())
+    digest.update(values.tobytes())
+    digest.update(repr(config).encode())
+    digest.update(str(int(horizon)).encode())
+    digest.update(str(int(effective_seed)).encode())
+    return digest.hexdigest()
+
+
+class ForecastCache:
+    """Thread-safe LRU mapping digest → :class:`ForecastOutput`.
+
+    ``max_entries=0`` builds a disabled cache (every ``get`` misses, every
+    ``put`` is dropped) so callers can turn caching off without branching.
+    """
+
+    def __init__(self, max_entries: int = 128) -> None:
+        if max_entries < 0:
+            raise ConfigError(f"max_entries must be >= 0, got {max_entries}")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, ForecastOutput] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_entries > 0
+
+    def get(self, key: str) -> ForecastOutput | None:
+        """The cached output for ``key`` (a private copy), or None."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return copy.deepcopy(entry)
+
+    def put(self, key: str, output: ForecastOutput) -> None:
+        """Store a private copy of ``output``, evicting the LRU entry if full."""
+        if not self.enabled:
+            return
+        entry = copy.deepcopy(output)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = entry
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    @property
+    def stats(self) -> dict:
+        """Hit/miss/eviction accounting since construction."""
+        with self._lock:
+            lookups = self._hits + self._misses
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "hit_rate": self._hits / lookups if lookups else 0.0,
+            }
+
+    def __repr__(self) -> str:
+        stats = self.stats
+        return (
+            f"ForecastCache(entries={stats['entries']}/{self.max_entries}, "
+            f"hits={stats['hits']}, misses={stats['misses']})"
+        )

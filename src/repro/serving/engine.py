@@ -1,0 +1,282 @@
+"""The concurrent forecast engine.
+
+The engine turns :class:`MultiCastForecaster` — a single-threaded library
+object — into a service: requests are accepted concurrently, each request's
+``num_samples`` independent constrained continuations fan out across a
+shared thread pool (they are embarrassingly parallel: the paper medians
+i.i.d. draws, LLMTime-style), and the serving policies (result cache,
+deadline, retry, partial-ensemble degradation) wrap the pipeline without
+touching its numerics.
+
+Determinism is preserved end to end: the forecaster derives one child seed
+per sample *before* dispatch, every draw builds its own
+``numpy.random.Generator`` from that seed, and results are reassembled in
+sample order — so an engine forecast is bit-identical to a sequential
+``MultiCastForecaster.forecast`` under the same seed (a property the test
+suite asserts).
+
+Two distinct pools are used — one for requests, one for sample draws — so a
+saturated request pool can never starve the sample pool (the classic nested
+thread-pool deadlock).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Iterable
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+
+from repro.core.forecaster import MultiCastForecaster, SampleTask
+from repro.exceptions import ConfigError, GenerationError, ReproError
+from repro.llm.interface import GenerationResult
+from repro.serving.cache import ForecastCache, forecast_digest
+from repro.serving.metrics import MetricsRegistry
+from repro.serving.policy import Deadline, RetryPolicy
+from repro.serving.request import ForecastRequest, ForecastResponse
+
+__all__ = ["ForecastEngine"]
+
+
+class _RequestState:
+    """Per-request bookkeeping shared across sample workers."""
+
+    def __init__(self, deadline: Deadline) -> None:
+        self.deadline = deadline
+        self.max_attempts = 1
+        self._lock = threading.Lock()
+
+    def record_attempts(self, attempts: int) -> None:
+        with self._lock:
+            self.max_attempts = max(self.max_attempts, attempts)
+
+
+class ForecastEngine:
+    """Thread-pooled forecast service over the MultiCast pipeline.
+
+    Parameters
+    ----------
+    num_workers:
+        Sample-draw pool size.  Each request's draws share this pool, so
+        several small requests interleave instead of queueing whole.
+    cache:
+        Result cache; defaults to a 128-entry LRU.  Pass
+        ``ForecastCache(max_entries=0)`` to disable caching entirely.
+    retry:
+        Per-sample-draw retry policy for transient
+        :class:`~repro.exceptions.GenerationError` failures.
+    metrics:
+        Metrics registry; defaults to a fresh private one, exposed as
+        ``engine.metrics``.
+    max_concurrent_requests:
+        Request-orchestration pool size used by :meth:`submit` /
+        :meth:`forecast_batch`.
+
+    Example
+    -------
+    >>> from repro.serving import ForecastEngine, ForecastRequest
+    >>> with ForecastEngine(num_workers=4) as engine:
+    ...     response = engine.forecast(ForecastRequest(history, horizon=8))
+    """
+
+    def __init__(
+        self,
+        num_workers: int = 4,
+        *,
+        cache: ForecastCache | None = None,
+        retry: RetryPolicy | None = None,
+        metrics: MetricsRegistry | None = None,
+        max_concurrent_requests: int = 2,
+        sleep=time.sleep,
+    ) -> None:
+        if num_workers < 1:
+            raise ConfigError(f"num_workers must be >= 1, got {num_workers}")
+        if max_concurrent_requests < 1:
+            raise ConfigError(
+                f"max_concurrent_requests must be >= 1, "
+                f"got {max_concurrent_requests}"
+            )
+        self.cache = ForecastCache() if cache is None else cache
+        self.retry = retry or RetryPolicy()
+        self.metrics = metrics or MetricsRegistry()
+        self._sleep = sleep
+        self._samples = ThreadPoolExecutor(
+            max_workers=num_workers, thread_name_prefix="mc-sample"
+        )
+        self._requests = ThreadPoolExecutor(
+            max_workers=max_concurrent_requests, thread_name_prefix="mc-request"
+        )
+        self._closed = False
+
+    # -- public API -----------------------------------------------------------
+
+    def forecast(self, request: ForecastRequest) -> ForecastResponse:
+        """Serve one request on the calling thread (draws still fan out)."""
+        self._check_open()
+        return self._execute(request)
+
+    def submit(self, request: ForecastRequest) -> Future:
+        """Enqueue a request; returns a Future of :class:`ForecastResponse`."""
+        self._check_open()
+        return self._requests.submit(self._execute, request)
+
+    def forecast_batch(
+        self, requests: Iterable[ForecastRequest]
+    ) -> list[ForecastResponse]:
+        """Serve many requests concurrently; responses in request order.
+
+        Never raises for an individual request — failures come back as
+        error responses, so one bad series cannot sink a batch.
+        """
+        futures = [self.submit(request) for request in requests]
+        return [future.result() for future in futures]
+
+    def metrics_snapshot(self) -> dict:
+        """Current metrics, including live cache statistics."""
+        snapshot = self.metrics.snapshot()
+        snapshot["cache"] = {"type": "cache", **self.cache.stats}
+        return snapshot
+
+    def close(self) -> None:
+        """Shut both pools down; in-flight work completes first."""
+        if not self._closed:
+            self._closed = True
+            self._requests.shutdown(wait=True)
+            self._samples.shutdown(wait=True)
+
+    def __enter__(self) -> ForecastEngine:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- request execution ----------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ConfigError("engine is closed")
+
+    def _execute(self, request: ForecastRequest) -> ForecastResponse:
+        started = time.perf_counter()
+        self.metrics.counter("requests_total").inc()
+
+        key = forecast_digest(
+            request.history, request.config, request.horizon, request.seed
+        )
+        if request.use_cache and self.cache.enabled:
+            cached = self.cache.get(key)
+            if cached is not None:
+                wall = time.perf_counter() - started
+                self.metrics.counter("cache_hits").inc()
+                self.metrics.histogram("request_seconds").observe(wall)
+                return ForecastResponse(
+                    request, output=cached, cache_hit=True, wall_seconds=wall
+                )
+            self.metrics.counter("cache_misses").inc()
+
+        deadline = Deadline(request.deadline_seconds)
+        state = _RequestState(deadline)
+        forecaster = MultiCastForecaster(
+            request.config, sample_runner=self._make_runner(state)
+        )
+
+        self.metrics.gauge("inflight_requests").add(1)
+        try:
+            output = forecaster.forecast(
+                request.history, request.horizon, seed=request.seed
+            )
+        except ReproError as error:
+            wall = time.perf_counter() - started
+            message = str(error)
+            if deadline.expired:
+                self.metrics.counter("requests_deadline_exceeded").inc()
+                message = (
+                    f"deadline of {request.deadline_seconds}s exceeded "
+                    f"({message})"
+                )
+            self.metrics.counter("requests_failed").inc()
+            return ForecastResponse(
+                request,
+                error=message,
+                attempts=state.max_attempts,
+                wall_seconds=wall,
+            )
+        finally:
+            self.metrics.gauge("inflight_requests").add(-1)
+
+        wall = time.perf_counter() - started
+        requested = output.metadata.get("requested_samples", request.config.num_samples)
+        completed = output.metadata.get("completed_samples", requested)
+        partial = completed < requested
+        if partial:
+            self.metrics.counter("requests_partial").inc()
+        elif request.use_cache:
+            # Partial ensembles are never cached: a retry may do better.
+            self.cache.put(key, output)
+
+        self.metrics.histogram("request_seconds").observe(wall)
+        for stage, seconds in output.timings.items():
+            self.metrics.histogram(f"stage_{stage}_seconds").observe(seconds)
+
+        return ForecastResponse(
+            request,
+            output=output,
+            partial=partial,
+            attempts=state.max_attempts,
+            wall_seconds=wall,
+        )
+
+    # -- sample fan-out -------------------------------------------------------
+
+    def _make_runner(self, state: _RequestState):
+        """Build the per-request sample runner handed to the forecaster.
+
+        Tasks go to the shared sample pool; each is wrapped in the retry
+        policy.  Gathering honours the request deadline: draws that are
+        still pending when it expires are abandoned (reported as ``None``),
+        which downstream becomes a partial-ensemble forecast — or, when
+        nothing finished in time, a deadline error.
+        """
+
+        def runner(
+            tasks: list[SampleTask],
+        ) -> list[GenerationResult | None]:
+            futures = [
+                self._samples.submit(self._draw_with_retry, task, state)
+                for task in tasks
+            ]
+            results: list[GenerationResult | None] = []
+            for future in futures:
+                try:
+                    results.append(future.result(timeout=state.deadline.remaining()))
+                except FutureTimeoutError:
+                    future.cancel()
+                    self.metrics.counter("samples_abandoned").inc()
+                    results.append(None)
+                except GenerationError:
+                    self.metrics.counter("samples_failed").inc()
+                    results.append(None)
+            return results
+
+        return runner
+
+    def _draw_with_retry(
+        self, task: SampleTask, state: _RequestState
+    ) -> GenerationResult:
+        def on_retry(attempt: int, error: Exception) -> None:
+            del attempt, error
+            self.metrics.counter("sample_retries").inc()
+
+        try:
+            result, attempts = self.retry.run(
+                task,
+                deadline=state.deadline,
+                sleep=self._sleep,
+                on_retry=on_retry,
+            )
+        except GenerationError:
+            state.record_attempts(self.retry.max_attempts)
+            raise
+        state.record_attempts(attempts)
+        return result

@@ -1,0 +1,124 @@
+"""Request/response envelopes for the forecast service.
+
+A :class:`ForecastRequest` is everything the engine needs to produce one
+forecast — the series, the pipeline configuration, the horizon — plus the
+serving-level contract: an optional per-request deadline and cache opt-out.
+A :class:`ForecastResponse` wraps the resulting
+:class:`~repro.core.output.ForecastOutput` with serving outcomes (cache hit,
+partial degradation, retry count, error) so batch callers can triage without
+exception handling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import MultiCastConfig
+from repro.core.output import ForecastOutput
+from repro.exceptions import ConfigError, ReproError
+
+__all__ = ["ForecastRequest", "ForecastResponse"]
+
+
+@dataclass
+class ForecastRequest:
+    """One unit of serving work.
+
+    Attributes
+    ----------
+    history:
+        ``(n,)`` or ``(n, d)`` float array of observed values.
+    horizon:
+        Steps to forecast past the end of the history.
+    config:
+        Full pipeline configuration (scheme, samples, SAX, model, ...).
+    seed:
+        Optional override of ``config.seed`` for this request.
+    deadline_seconds:
+        Wall-clock budget.  Sample draws that have not finished when it
+        expires are abandoned; if at least one finished, the response
+        carries a partial-ensemble forecast flagged ``partial=True``.
+    use_cache:
+        Set False to bypass the engine's result cache (both lookup and
+        store) for this request.
+    name:
+        Caller-chosen label, echoed in the response (batch manifests use it).
+    """
+
+    history: np.ndarray
+    horizon: int
+    config: MultiCastConfig = field(default_factory=MultiCastConfig)
+    seed: int | None = None
+    deadline_seconds: float | None = None
+    use_cache: bool = True
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.history = np.asarray(self.history, dtype=float)
+        if self.horizon < 1:
+            raise ConfigError(f"horizon must be >= 1, got {self.horizon}")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ConfigError(
+                f"deadline_seconds must be > 0, got {self.deadline_seconds}"
+            )
+
+    @property
+    def effective_seed(self) -> int:
+        return self.config.seed if self.seed is None else self.seed
+
+
+@dataclass
+class ForecastResponse:
+    """Outcome of serving one :class:`ForecastRequest`.
+
+    ``output`` is None exactly when ``error`` is set.  ``partial`` marks a
+    gracefully degraded forecast aggregated from fewer than the requested
+    number of samples (some draws failed or ran past the deadline).
+    """
+
+    request: ForecastRequest
+    output: ForecastOutput | None = None
+    error: str | None = None
+    cache_hit: bool = False
+    partial: bool = False
+    attempts: int = 1
+    wall_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.output is not None
+
+    @property
+    def name(self) -> str:
+        return self.request.name
+
+    @property
+    def values(self) -> np.ndarray:
+        """The point forecast; raises if the request failed."""
+        if self.output is None:
+            raise ReproError(
+                f"request {self.request.name or '<unnamed>'} failed: {self.error}"
+            )
+        return self.output.values
+
+    def summary(self) -> str:
+        """One status line for logs and the batch CLI."""
+        label = self.request.name or "request"
+        if not self.ok:
+            return f"{label}: ERROR {self.error}"
+        flags = []
+        if self.cache_hit:
+            flags.append("cached")
+        if self.partial:
+            completed = self.output.metadata.get("completed_samples", "?")
+            requested = self.output.metadata.get("requested_samples", "?")
+            flags.append(f"partial {completed}/{requested}")
+        if self.attempts > 1:
+            flags.append(f"{self.attempts} attempts")
+        suffix = f" [{', '.join(flags)}]" if flags else ""
+        return (
+            f"{label}: ok horizon={self.output.horizon} "
+            f"dims={self.output.num_dims} wall={self.wall_seconds:.3f}s{suffix}"
+        )

@@ -18,7 +18,7 @@ import numpy as np
 from repro.core.config import MultiCastConfig
 from repro.encoding import parse_token_stream
 from repro.exceptions import DataError
-from repro.llm import PeriodicPatternConstraint, get_model
+from repro.llm import PeriodicPatternConstraint, child_seeds, get_model
 from repro.scaling import FixedDigitScaler
 from repro.tasks._serialize import TOKENS_PER_STEP, serialize_series
 
@@ -57,12 +57,13 @@ def _generate_fill(
     ]
     constraint = PeriodicPatternConstraint(pattern)
     needed = length * TOKENS_PER_STEP(serialized.codec.num_digits)
+    seeds = child_seeds(rng, config.num_samples)
     samples = np.empty((config.num_samples, length))
     for s in range(config.num_samples):
         result = model.generate(
             serialized.ids,
             needed,
-            np.random.default_rng(rng.integers(2**63)),
+            np.random.default_rng(seeds[s]),
             constraint=constraint,
             # Infill decodes conservatively: the gap is anchored on both
             # sides, so exploration only hurts.

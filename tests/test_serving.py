@@ -1,0 +1,442 @@
+"""Tests for the serving subsystem: engine, cache, policy, and metrics.
+
+The flaky/slow backend models follow the injection pattern of
+``test_failure_injection.py``: adversarial specs registered into the model
+registry, exercised through the full pipeline.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import MultiCastConfig, MultiCastForecaster, SaxConfig
+from repro.data import synthetic_multivariate
+from repro.exceptions import ConfigError, GenerationError
+from repro.llm import ModelSpec, TokenCostModel, register_model
+from repro.llm.ppm import PPMLanguageModel
+from repro.serving import (
+    Deadline,
+    ForecastCache,
+    ForecastEngine,
+    ForecastRequest,
+    MetricsRegistry,
+    RetryPolicy,
+    forecast_digest,
+)
+
+HISTORY = synthetic_multivariate(n=100, num_dims=2, seed=0).values
+
+
+def _output(config=None, horizon=5, seed=0):
+    config = config or MultiCastConfig(num_samples=2, seed=seed)
+    return MultiCastForecaster(config).forecast(HISTORY, horizon)
+
+
+class _FlakyPPM(PPMLanguageModel):
+    """Fails the first ``fail_first`` reset() calls (shared counter), then works."""
+
+    failures = {"remaining": 0}
+    lock = threading.Lock()
+
+    def reset(self, context):
+        with self.lock:
+            if self.failures["remaining"] > 0:
+                self.failures["remaining"] -= 1
+                raise GenerationError("transient upstream failure")
+        super().reset(context)
+
+
+class _SlowPPM(PPMLanguageModel):
+    """Sleeps before ingesting the prompt — a draw that blows the deadline."""
+
+    delay = 0.3
+
+    def reset(self, context):
+        time.sleep(self.delay)
+        super().reset(context)
+
+
+def _register(name, factory):
+    register_model(
+        ModelSpec(name=name, factory=factory, cost=TokenCostModel(0.1)),
+        overwrite=True,
+    )
+
+
+class TestForecastCache:
+    def test_hit_returns_equal_output_and_counts(self):
+        cache = ForecastCache(max_entries=4)
+        output = _output()
+        key = forecast_digest(HISTORY, MultiCastConfig(num_samples=2), 5)
+        assert cache.get(key) is None  # miss
+        cache.put(key, output)
+        hit = cache.get(key)
+        assert hit is not None
+        assert np.array_equal(hit.values, output.values)
+        stats = cache.stats
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+
+    def test_returned_entry_is_a_private_copy(self):
+        cache = ForecastCache()
+        output = _output()
+        cache.put("k", output)
+        first = cache.get("k")
+        first.values[:] = -999.0
+        second = cache.get("k")
+        assert not np.array_equal(first.values, second.values)
+
+    def test_lru_eviction_order(self):
+        cache = ForecastCache(max_entries=2)
+        output = _output()
+        cache.put("a", output)
+        cache.put("b", output)
+        assert cache.get("a") is not None  # refresh a → b is now LRU
+        cache.put("c", output)
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        assert cache.stats["evictions"] == 1
+
+    def test_disabled_cache_never_stores(self):
+        cache = ForecastCache(max_entries=0)
+        assert not cache.enabled
+        cache.put("k", _output())
+        assert cache.get("k") is None
+        assert len(cache) == 0
+
+    def test_digest_sensitivity(self):
+        config = MultiCastConfig(num_samples=2)
+        base = forecast_digest(HISTORY, config, 5)
+        assert forecast_digest(HISTORY, config, 5) == base
+        assert forecast_digest(HISTORY, config, 6) != base
+        assert forecast_digest(HISTORY * 1.0001, config, 5) != base
+        assert forecast_digest(HISTORY, MultiCastConfig(num_samples=3), 5) != base
+        assert forecast_digest(HISTORY, config, 5, seed=1) != base
+        # seed override equal to the config seed is the same computation
+        assert forecast_digest(HISTORY, config, 5, seed=config.seed) == base
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ConfigError):
+            ForecastCache(max_entries=-1)
+
+
+class TestRetryPolicy:
+    def test_delays_are_exponential_and_capped(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.1, multiplier=2.0,
+                             max_delay=0.3)
+        assert list(policy.delays()) == pytest.approx([0.1, 0.2, 0.3, 0.3])
+
+    def test_retry_then_succeed(self):
+        calls = {"n": 0}
+        slept = []
+
+        def task():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise GenerationError("flaky")
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=3, base_delay=0.01)
+        result, attempts = policy.run(task, sleep=slept.append)
+        assert result == "ok" and attempts == 3
+        assert slept == pytest.approx([0.01, 0.02])
+
+    def test_exhaustion_raises_last_error(self):
+        def task():
+            raise GenerationError("always down")
+
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0)
+        with pytest.raises(GenerationError, match="always down"):
+            policy.run(task, sleep=lambda s: None)
+
+    def test_non_generation_errors_propagate_immediately(self):
+        calls = {"n": 0}
+
+        def task():
+            calls["n"] += 1
+            raise ValueError("logic bug")
+
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=3).run(task, sleep=lambda s: None)
+        assert calls["n"] == 1
+
+    def test_expired_deadline_stops_retrying(self):
+        deadline = Deadline(10.0, clock=iter([0.0, 20.0, 20.0, 20.0]).__next__)
+        with pytest.raises(GenerationError):
+            RetryPolicy(max_attempts=5).run(
+                lambda: (_ for _ in ()).throw(GenerationError("x")),
+                deadline=deadline,
+                sleep=lambda s: None,
+            )
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ConfigError):
+            Deadline(0.0)
+
+
+class TestMetrics:
+    def test_counter_and_gauge(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        registry.counter("hits").inc(2)
+        registry.gauge("inflight").add(3)
+        registry.gauge("inflight").add(-1)
+        assert registry.counter("hits").value == 3
+        assert registry.gauge("inflight").value == 2
+        with pytest.raises(ConfigError):
+            registry.counter("hits").inc(-1)
+
+    def test_histogram_quantiles_are_exact(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency")
+        for value in range(1, 101):  # 1..100
+            histogram.observe(float(value))
+        assert histogram.count == 100
+        assert histogram.mean == pytest.approx(50.5)
+        assert histogram.quantile(0.0) == 1.0
+        assert histogram.quantile(1.0) == 100.0
+        assert histogram.quantile(0.5) == pytest.approx(50.5)
+        snapshot = histogram.snapshot()
+        assert snapshot["p50"] == pytest.approx(50.5)
+        assert snapshot["p95"] == pytest.approx(95.05)
+        assert snapshot["p99"] == pytest.approx(99.01)
+        assert snapshot["min"] == 1.0 and snapshot["max"] == 100.0
+
+    def test_histogram_window_bounds_memory(self):
+        histogram = MetricsRegistry().histogram("w")
+        for value in range(10000):
+            histogram.observe(float(value))
+        assert histogram.count == 10000  # lifetime count survives the window
+        assert histogram.quantile(0.0) >= 10000 - 4096  # window dropped old obs
+
+    def test_timer_observes_elapsed(self):
+        registry = MetricsRegistry()
+        with registry.timer("span_seconds"):
+            time.sleep(0.01)
+        assert registry.histogram("span_seconds").count == 1
+        assert registry.histogram("span_seconds").mean >= 0.009
+
+    def test_kind_conflicts_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ConfigError):
+            registry.gauge("x")
+
+    def test_json_snapshot_round_trips(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.histogram("b").observe(1.0)
+        parsed = json.loads(registry.to_json())
+        assert parsed["a"]["value"] == 1
+        assert parsed["b"]["count"] == 1
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("scheme", ["di", "vc"])
+    def test_parallel_matches_sequential_exactly(self, scheme):
+        """The headline determinism property: engine fan-out is bit-identical
+        to sequential MultiCastForecaster.forecast under a fixed seed."""
+        config = MultiCastConfig(scheme=scheme, num_samples=5, seed=42)
+        sequential = MultiCastForecaster(config).forecast(HISTORY, 7)
+        with ForecastEngine(num_workers=4) as engine:
+            served = engine.forecast(ForecastRequest(HISTORY, 7, config=config))
+        assert served.ok and not served.partial
+        assert np.array_equal(served.output.values, sequential.values)
+        assert np.array_equal(served.output.samples, sequential.samples)
+
+    def test_sax_and_seed_override_equivalence(self):
+        config = MultiCastConfig(num_samples=4, sax=SaxConfig(), seed=0)
+        sequential = MultiCastForecaster(config).forecast(HISTORY, 9, seed=5)
+        with ForecastEngine(num_workers=3) as engine:
+            served = engine.forecast(
+                ForecastRequest(HISTORY, 9, config=config, seed=5)
+            )
+        assert np.array_equal(served.output.samples, sequential.samples)
+
+
+class TestEngineServing:
+    def test_cache_hit_on_repeat_and_isolation_between_configs(self):
+        with ForecastEngine(num_workers=2) as engine:
+            request = ForecastRequest(
+                HISTORY, 5, config=MultiCastConfig(num_samples=2)
+            )
+            first = engine.forecast(request)
+            second = engine.forecast(request)
+            other = engine.forecast(
+                ForecastRequest(HISTORY, 5, config=MultiCastConfig(num_samples=3))
+            )
+        assert not first.cache_hit and second.cache_hit and not other.cache_hit
+        assert np.array_equal(first.output.values, second.output.values)
+        assert engine.metrics.counter("cache_hits").value == 1
+
+    def test_use_cache_false_bypasses(self):
+        with ForecastEngine(num_workers=2) as engine:
+            request = ForecastRequest(
+                HISTORY, 5, config=MultiCastConfig(num_samples=2), use_cache=False
+            )
+            engine.forecast(request)
+            repeat = engine.forecast(request)
+        assert not repeat.cache_hit
+
+    def test_batch_preserves_order_and_isolates_failures(self):
+        good = MultiCastConfig(num_samples=2)
+        requests = [
+            ForecastRequest(HISTORY, 4, config=good, name="ok-1"),
+            ForecastRequest(np.zeros((10, 2)), 4, config=good, name="bad-nan"),
+            ForecastRequest(HISTORY, 4, config=good, name="ok-2"),
+        ]
+        requests[1].history = np.full((10, 2), np.nan)
+        with ForecastEngine(num_workers=2) as engine:
+            responses = engine.forecast_batch(requests)
+        assert [r.name for r in responses] == ["ok-1", "bad-nan", "ok-2"]
+        assert responses[0].ok and responses[2].ok
+        assert not responses[1].ok and "NaN" in responses[1].error
+
+    def test_retry_then_succeed_with_flaky_model(self):
+        _register("serving-flaky", lambda v: _FlakyPPM(v, max_order=3))
+        _FlakyPPM.failures["remaining"] = 2
+        config = MultiCastConfig(num_samples=3, model="serving-flaky", seed=0)
+        with ForecastEngine(
+            num_workers=2, retry=RetryPolicy(max_attempts=3, base_delay=0.001)
+        ) as engine:
+            response = engine.forecast(ForecastRequest(HISTORY, 4, config=config))
+            assert response.ok and not response.partial
+            assert response.attempts >= 2
+            assert engine.metrics.counter("sample_retries").value >= 2
+
+    def test_permanent_failure_yields_error_response(self):
+        _register("serving-flaky", lambda v: _FlakyPPM(v, max_order=3))
+        _FlakyPPM.failures["remaining"] = 10**9
+        config = MultiCastConfig(num_samples=2, model="serving-flaky")
+        with ForecastEngine(
+            num_workers=2, retry=RetryPolicy(max_attempts=2, base_delay=0.0)
+        ) as engine:
+            response = engine.forecast(ForecastRequest(HISTORY, 4, config=config))
+            assert not response.ok
+            assert response.output is None and response.error
+            assert engine.metrics.counter("requests_failed").value == 1
+        _FlakyPPM.failures["remaining"] = 0
+
+    def test_deadline_expiry_degrades_to_partial_ensemble(self):
+        _register("serving-slow", lambda v: _SlowPPM(v, max_order=3))
+        config = MultiCastConfig(num_samples=3, model="serving-slow", seed=0)
+        # One worker serialises the slow draws: the first (~0.3 s) finishes
+        # inside the 0.45 s deadline, the remaining two are abandoned.
+        with ForecastEngine(num_workers=1, cache=ForecastCache(0)) as engine:
+            response = engine.forecast(
+                ForecastRequest(HISTORY, 4, config=config, deadline_seconds=0.45)
+            )
+            assert response.ok and response.partial
+            assert response.output.metadata["completed_samples"] < 3
+            assert response.output.values.shape == (4, 2)
+            assert np.isfinite(response.output.values).all()
+            assert engine.metrics.counter("samples_abandoned").value >= 1
+            assert engine.metrics.counter("requests_partial").value == 1
+
+    def test_deadline_with_no_completed_samples_is_an_error(self):
+        _register("serving-slow", lambda v: _SlowPPM(v, max_order=3))
+        config = MultiCastConfig(num_samples=2, model="serving-slow", seed=1)
+        with ForecastEngine(num_workers=1, cache=ForecastCache(0)) as engine:
+            response = engine.forecast(
+                ForecastRequest(HISTORY, 4, config=config, deadline_seconds=0.05)
+            )
+            assert not response.ok
+            assert "deadline" in response.error
+            assert engine.metrics.counter("requests_deadline_exceeded").value == 1
+
+    def test_partial_results_are_not_cached(self):
+        _register("serving-slow", lambda v: _SlowPPM(v, max_order=3))
+        config = MultiCastConfig(num_samples=3, model="serving-slow", seed=0)
+        with ForecastEngine(num_workers=1) as engine:
+            first = engine.forecast(
+                ForecastRequest(HISTORY, 4, config=config, deadline_seconds=0.45)
+            )
+            assert first.partial
+            assert len(engine.cache) == 0
+
+    def test_metrics_snapshot_includes_stages_and_cache(self):
+        with ForecastEngine(num_workers=2) as engine:
+            engine.forecast(
+                ForecastRequest(HISTORY, 4, config=MultiCastConfig(num_samples=2))
+            )
+            snapshot = engine.metrics_snapshot()
+        assert snapshot["requests_total"]["value"] == 1
+        assert snapshot["stage_generate_seconds"]["count"] == 1
+        for quantile in ("p50", "p95", "p99"):
+            assert quantile in snapshot["request_seconds"]
+        assert snapshot["cache"]["misses"] == 1
+
+    def test_closed_engine_rejects_work(self):
+        engine = ForecastEngine(num_workers=1)
+        engine.close()
+        with pytest.raises(ConfigError):
+            engine.forecast(ForecastRequest(HISTORY, 4))
+
+    def test_request_validation(self):
+        with pytest.raises(ConfigError):
+            ForecastRequest(HISTORY, 0)
+        with pytest.raises(ConfigError):
+            ForecastRequest(HISTORY, 5, deadline_seconds=0.0)
+        with pytest.raises(ConfigError):
+            ForecastEngine(num_workers=0)
+
+
+class TestBacktestThroughEngine:
+    def test_engine_backtest_matches_sequential(self):
+        from repro.evaluation import rolling_origin_evaluation
+
+        dataset = synthetic_multivariate(n=120, num_dims=2, seed=3)
+        sequential = rolling_origin_evaluation(
+            "multicast-di", dataset, horizon=8, num_windows=2, num_samples=2
+        )
+        with ForecastEngine(num_workers=3) as engine:
+            served = rolling_origin_evaluation(
+                "multicast-di", dataset, horizon=8, num_windows=2,
+                num_samples=2, engine=engine,
+            )
+            # A second run over the same windows is answered from cache.
+            rerun = rolling_origin_evaluation(
+                "multicast-di", dataset, horizon=8, num_windows=2,
+                num_samples=2, engine=engine,
+            )
+            assert engine.metrics.counter("cache_hits").value == 2
+        assert served.window_rmse == sequential.window_rmse
+        assert rerun.window_rmse == sequential.window_rmse
+
+    def test_non_multicast_method_ignores_engine(self):
+        from repro.evaluation import rolling_origin_evaluation
+
+        dataset = synthetic_multivariate(n=100, num_dims=1, seed=4)
+        with ForecastEngine(num_workers=1) as engine:
+            result = rolling_origin_evaluation(
+                "naive", dataset, horizon=5, num_windows=2, engine=engine
+            )
+            assert engine.metrics.counter("requests_total").value == 0
+        assert result.num_windows == 2
+
+
+class TestForecasterTimings:
+    def test_timings_cover_all_stages_and_sum_to_wall(self):
+        output = _output()
+        for stage in ("scale", "multiplex", "generate", "demultiplex", "aggregate"):
+            assert stage in output.timings
+            assert output.timings[stage] >= 0.0
+        assert output.wall_seconds == pytest.approx(sum(output.timings.values()))
+
+    def test_deseasonalize_stage_appears_when_enabled(self):
+        config = MultiCastConfig(num_samples=2, deseasonalize=12)
+        t = np.arange(120.0)
+        history = np.stack(
+            [np.sin(2 * np.pi * t / 12) + 5, np.cos(2 * np.pi * t / 12) + 5],
+            axis=1,
+        )
+        output = MultiCastForecaster(config).forecast(history, 6)
+        assert "deseasonalize" in output.timings
