@@ -4,8 +4,11 @@ Usage (installed as ``repro-multicast``, or ``python -m repro.cli``)::
 
     repro-multicast forecast --dataset gas_rate --scheme di --samples 5
     repro-multicast forecast --csv mydata.csv --horizon 24 --output fcst.csv
+    repro-multicast forecast --dataset gas_rate --trace
     repro-multicast evaluate --dataset weather --methods multicast-di arima
     repro-multicast batch --manifest jobs.json --workers 8 --metrics-out m.json
+    repro-multicast batch --manifest jobs.json --ledger runs.jsonl --trace
+    repro-multicast ledger summarize runs.jsonl
     repro-multicast table iv
     repro-multicast figure 2
     repro-multicast list
@@ -110,6 +113,8 @@ def build_parser() -> argparse.ArgumentParser:
                           help="draw an ASCII overlay of dimension 0")
     forecast.add_argument("--verbose", action="store_true",
                           help="print the per-stage timing breakdown")
+    forecast.add_argument("--trace", action="store_true",
+                          help="print the hierarchical span tree of the run")
 
     evaluate = sub.add_parser("evaluate", help="score methods on a dataset")
     evaluate.add_argument("--dataset", choices=sorted(_DATASETS), default="gas_rate")
@@ -163,6 +168,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable the content-addressed result cache")
     batch.add_argument("--metrics-out",
                        help="write the engine's metrics snapshot to this JSON path")
+    batch.add_argument("--ledger",
+                       help="append one JSONL run-ledger record per request "
+                            "to this path (see docs/OBSERVABILITY.md)")
+    batch.add_argument("--trace", action="store_true",
+                       help="trace every request; with --ledger, records "
+                            "carry full span trees")
+
+    ledger = sub.add_parser(
+        "ledger", help="inspect run-ledger files written by batch --ledger"
+    )
+    ledger_sub = ledger.add_subparsers(dest="ledger_command", required=True)
+    summarize = ledger_sub.add_parser(
+        "summarize", help="aggregate a ledger into outcome counts and latency"
+    )
+    summarize.add_argument("file", help="path to a .jsonl run ledger")
+    summarize.add_argument("--json", action="store_true",
+                           help="emit the summary as JSON instead of text")
 
     sub.add_parser("list", help="list datasets, methods, and backend models")
     return parser
@@ -191,7 +213,12 @@ def _command_forecast(args) -> int:
     else:
         history, actual = np.asarray(dataset.values), None
         horizon = args.horizon
-    output = MultiCastForecaster(config).forecast(history, horizon)
+    tracer = None
+    if args.trace:
+        from repro.observability import SpanCollector, Tracer
+
+        tracer = Tracer(SpanCollector())
+    output = MultiCastForecaster(config, tracer=tracer).forecast(history, horizon)
 
     print(f"{dataset.name}: {dataset.num_dims} dims, history {len(history)}, "
           f"horizon {horizon}, scheme {args.scheme}, model {args.model}")
@@ -203,6 +230,12 @@ def _command_forecast(args) -> int:
         for stage, seconds in output.timings.items():
             print(f"  {stage:<13} {seconds * 1000:9.2f} ms  "
                   f"{seconds / total:6.1%}")
+    if tracer is not None:
+        from repro.observability import render_span_tree
+
+        print("trace:")
+        for root in tracer.collector.drain():
+            print(render_span_tree(root))
     if actual is not None:
         from repro.metrics import rmse
 
@@ -344,11 +377,18 @@ def _command_batch(args) -> int:
         requests.append(job.to_request(series))
 
     cache = ForecastCache(max_entries=0) if args.no_cache else None
+    tracer = None
+    if args.trace:
+        from repro.observability import SpanCollector, Tracer
+
+        tracer = Tracer(SpanCollector())
     failed = 0
     with ForecastEngine(
         num_workers=args.workers,
         cache=cache,
         max_concurrent_requests=args.request_concurrency,
+        tracer=tracer,
+        ledger=args.ledger,
     ) as engine:
         for round_index in range(max(1, args.repeat)):
             if args.repeat > 1:
@@ -364,7 +404,23 @@ def _command_batch(args) -> int:
             with open(args.metrics_out, "w") as handle:
                 json.dump(engine.metrics_snapshot(), handle, indent=2)
             print(f"metrics written to {args.metrics_out}")
+        if args.ledger:
+            print(f"ledger: {engine.ledger.records_written} records "
+                  f"appended to {args.ledger}")
     return 1 if failed else 0
+
+
+def _command_ledger(args) -> int:
+    import json
+
+    from repro.observability import summarize_ledger
+
+    summary = summarize_ledger(args.file)
+    if args.json:
+        print(json.dumps(summary.to_dict(), indent=2))
+    else:
+        print(summary.format())
+    return 0
 
 
 _COMMANDS = {
@@ -375,6 +431,7 @@ _COMMANDS = {
     "plan": _command_plan,
     "backtest": _command_backtest,
     "batch": _command_batch,
+    "ledger": _command_ledger,
     "list": _command_list,
 }
 

@@ -21,6 +21,7 @@ values through the per-dimension encoder.
 
 from __future__ import annotations
 
+import itertools
 from collections.abc import Callable
 
 import numpy as np
@@ -42,6 +43,7 @@ from repro.llm import (
     get_model,
 )
 from repro.llm.interface import GenerationResult
+from repro.observability.spans import NULL_TRACER
 from repro.sax.encoder import SaxEncoder
 from repro.sax.paa import num_segments
 from repro.scaling import FixedDigitScaler, MultivariateScaler
@@ -84,17 +86,32 @@ class MultiCastForecaster:
         config: MultiCastConfig | None = None,
         *,
         sample_runner: SampleRunner | None = None,
+        tracer=None,
     ) -> None:
         self.config = config or MultiCastConfig()
         self._multiplexer: Multiplexer = get_multiplexer(self.config.scheme)
         self._sample_runner: SampleRunner = sample_runner or run_sequentially
+        self._tracer = NULL_TRACER if tracer is None else tracer
 
     # -- public API -----------------------------------------------------------
 
     def forecast(
-        self, history: np.ndarray, horizon: int, seed: int | None = None
+        self,
+        history: np.ndarray,
+        horizon: int,
+        seed: int | None = None,
+        tracer=None,
     ) -> ForecastOutput:
-        """Forecast ``horizon`` steps past the end of a ``(n, d)`` history."""
+        """Forecast ``horizon`` steps past the end of a ``(n, d)`` history.
+
+        ``tracer`` (defaulting to the constructor's, defaulting to the
+        no-op :data:`~repro.observability.NULL_TRACER`) receives one
+        ``forecast`` root span per call with a ``stage:*`` child per
+        pipeline stage and a ``sample_draw`` child per generation attempt.
+        The root span's duration is *defined* as the sum of its stage
+        spans — exactly :attr:`ForecastOutput.wall_seconds` — so the
+        rendered trace and the flat ``timings`` dict never disagree.
+        """
         values = np.asarray(history, dtype=float)
         if values.ndim == 1:
             values = values[:, None]
@@ -107,22 +124,40 @@ class MultiCastForecaster:
         if horizon < 1:
             raise DataError(f"horizon must be >= 1, got {horizon}")
 
-        clock = StageClock()
-        adjusters = None
-        if self.config.deseasonalize is not None:
-            with clock.stage("deseasonalize"):
-                adjusters, values = self._seasonal_adjust(values)
+        tracer = self._tracer if tracer is None else tracer
+        with tracer.span(
+            "forecast",
+            scheme=self._multiplexer.name,
+            sax=self.config.sax is not None,
+            model=self.config.model,
+            horizon=int(horizon),
+            dims=int(values.shape[1]),
+            seed=int(self.config.seed if seed is None else seed),
+        ) as root:
+            clock = StageClock(tracer)
+            adjusters = None
+            if self.config.deseasonalize is not None:
+                with clock.stage("deseasonalize"):
+                    adjusters, values = self._seasonal_adjust(values)
 
-        if self.config.sax is None:
-            output = self._forecast_raw(values, horizon, seed, clock)
-        else:
-            output = self._forecast_sax(values, horizon, seed, clock)
+            if self.config.sax is None:
+                output = self._forecast_raw(values, horizon, seed, clock, tracer)
+            else:
+                output = self._forecast_sax(values, horizon, seed, clock, tracer)
 
-        if adjusters is not None:
-            with clock.stage("deseasonalize"):
-                self._seasonal_restore(output, adjusters)
-        output.timings = dict(clock.timings)
-        output.wall_seconds = clock.total
+            if adjusters is not None:
+                with clock.stage("deseasonalize"):
+                    self._seasonal_restore(output, adjusters)
+            output.timings = dict(clock.timings)
+            output.wall_seconds = clock.total
+            if root.is_recording:
+                root.set_attribute(
+                    "completed_samples", output.metadata.get("completed_samples")
+                )
+                root.set_attribute("generated_tokens", output.generated_tokens)
+                root.set_attribute("wall_seconds", round(clock.total, 9))
+                root.finish(at=root.start_time + clock.total)
+        output.assert_timing_invariant()
         return output
 
     # -- optional seasonal adjustment (extension, DESIGN.md §6) ----------------
@@ -187,6 +222,8 @@ class MultiCastForecaster:
         tokens_needed: int,
         constraint: Constraint,
         seed: int | None,
+        tracer=NULL_TRACER,
+        parent=None,
     ) -> tuple[list[list[str]], int, float]:
         """Draw the configured number of continuations.
 
@@ -197,6 +234,12 @@ class MultiCastForecaster:
         may return ``None`` for draws it abandoned; as long as at least one
         survives, the forecast proceeds on the partial ensemble.
 
+        Every *invocation* of a task opens a ``sample_draw`` span attached
+        to ``parent`` (the ``stage:generate`` span) — tasks may run on
+        pool threads, so the parent is bound explicitly rather than taken
+        from the ambient stack.  A retried draw shows up as a second
+        ``sample_draw`` span with ``attempt=2``.
+
         Returns (decoded token streams, total generated tokens, simulated
         seconds across the completed samples).
         """
@@ -205,19 +248,33 @@ class MultiCastForecaster:
         rng = np.random.default_rng(config.seed if seed is None else seed)
         seeds = child_seeds(rng, config.num_samples)
 
-        def make_task(sample_seed: int) -> SampleTask:
+        def make_task(index: int, sample_seed: int) -> SampleTask:
+            attempts = itertools.count(1)
+
             def draw() -> GenerationResult:
-                return model.generate(
-                    prompt_ids,
-                    tokens_needed,
-                    np.random.default_rng(sample_seed),
-                    constraint=constraint,
-                    temperature=config.temperature,
-                )
+                with tracer.span(
+                    "sample_draw",
+                    parent=parent,
+                    sample_index=index,
+                    seed=int(sample_seed),
+                    attempt=next(attempts),
+                ) as span:
+                    result = model.generate(
+                        prompt_ids,
+                        tokens_needed,
+                        np.random.default_rng(sample_seed),
+                        constraint=constraint,
+                        temperature=config.temperature,
+                        tracer=tracer,
+                    )
+                    span.set_attribute("tokens_generated", len(result.tokens))
+                    return result
 
             return draw
 
-        results = self._sample_runner([make_task(s) for s in seeds])
+        results = self._sample_runner(
+            [make_task(i, s) for i, s in enumerate(seeds)]
+        )
         completed = [r for r in results if r is not None]
         if not completed:
             raise GenerationError(
@@ -251,7 +308,12 @@ class MultiCastForecaster:
     # -- raw digit pipeline -----------------------------------------------------
 
     def _forecast_raw(
-        self, values: np.ndarray, horizon: int, seed: int | None, clock: StageClock
+        self,
+        values: np.ndarray,
+        horizon: int,
+        seed: int | None,
+        clock: StageClock,
+        tracer=NULL_TRACER,
     ) -> ForecastOutput:
         config = self.config
         n, d = values.shape
@@ -263,7 +325,7 @@ class MultiCastForecaster:
             codes = scaler.transform(values).astype(np.int64)
             codes = self._truncate_rows(codes, config.num_digits)
 
-        with clock.stage("multiplex"):
+        with clock.stage("multiplex") as mux_span:
             codec = DigitCodec(config.num_digits)
             vocabulary = digit_vocabulary()
             stream = self._multiplexer.mux(codes, codec) + [SEPARATOR]
@@ -274,10 +336,13 @@ class MultiCastForecaster:
             constraint = self._constraint(
                 vocabulary, "0123456789", d, config.num_digits
             )
+            mux_span.set_attribute("prompt_tokens", len(prompt_ids))
+            mux_span.set_attribute("tokens_needed", tokens_needed)
 
-        with clock.stage("generate"):
+        with clock.stage("generate") as generate_span:
             streams, generated, simulated = self._run_samples(
-                vocabulary, prompt_ids, tokens_needed, constraint, seed
+                vocabulary, prompt_ids, tokens_needed, constraint, seed,
+                tracer, generate_span,
             )
 
         with clock.stage("demultiplex"):
@@ -311,7 +376,12 @@ class MultiCastForecaster:
     # -- SAX pipeline -------------------------------------------------------------
 
     def _forecast_sax(
-        self, values: np.ndarray, horizon: int, seed: int | None, clock: StageClock
+        self,
+        values: np.ndarray,
+        horizon: int,
+        seed: int | None,
+        clock: StageClock,
+        tracer=NULL_TRACER,
     ) -> ForecastOutput:
         config = self.config
         sax = config.sax
@@ -336,7 +406,7 @@ class MultiCastForecaster:
             ).T
             symbol_codes = self._truncate_rows(symbol_codes, width=1)
 
-        with clock.stage("multiplex"):
+        with clock.stage("multiplex") as mux_span:
             vocabulary = sax_vocabulary(alphabet.symbols)
             stream = self._multiplexer.mux(symbol_codes, codec) + [SEPARATOR]
             prompt_ids = vocabulary.encode(stream)
@@ -346,10 +416,13 @@ class MultiCastForecaster:
                 horizon_segments * self._multiplexer.tokens_per_timestamp(d, 1)
             )
             constraint = self._constraint(vocabulary, alphabet.symbols, d, 1)
+            mux_span.set_attribute("prompt_tokens", len(prompt_ids))
+            mux_span.set_attribute("tokens_needed", tokens_needed)
 
-        with clock.stage("generate"):
+        with clock.stage("generate") as generate_span:
             streams, generated, simulated = self._run_samples(
-                vocabulary, prompt_ids, tokens_needed, constraint, seed
+                vocabulary, prompt_ids, tokens_needed, constraint, seed,
+                tracer, generate_span,
             )
 
         with clock.stage("demultiplex"):

@@ -37,7 +37,9 @@ class ForecastOutput:
         Token-count-based inference time under the backend's cost model.
     wall_seconds:
         Real elapsed time in this process.  The forecaster populates this
-        from ``timings`` (it is their sum), so the two never disagree.
+        from ``timings`` (it is their sum), so the two never disagree —
+        with or without tracing; :meth:`assert_timing_invariant` enforces
+        the contract on every forecast.
     model_name:
         The backend preset that produced the forecast.
     timings:
@@ -84,6 +86,26 @@ class ForecastOutput:
     def total_tokens(self) -> int:
         """Prompt plus generated tokens — the hosted-API billing quantity."""
         return self.prompt_tokens + self.generated_tokens
+
+    def assert_timing_invariant(self, tolerance: float = 1e-9) -> None:
+        """Enforce the documented contract ``wall_seconds == sum(timings)``.
+
+        The forecaster repairs rather than raises when the drift is within
+        ``tolerance`` (float-summation noise); a larger disagreement means
+        a stage ran outside the clock and is a genuine bug, surfaced as
+        :class:`~repro.exceptions.DataError`.  Outputs with no recorded
+        timings (hand-built, e.g. by baselines) are exempt.
+        """
+        if not self.timings:
+            return
+        stage_total = float(sum(self.timings.values()))
+        drift = abs(self.wall_seconds - stage_total)
+        if drift > tolerance:
+            raise DataError(
+                f"wall_seconds={self.wall_seconds!r} disagrees with the "
+                f"stage-timing sum {stage_total!r} by {drift:.3g}s"
+            )
+        self.wall_seconds = stage_total
 
     def dimension(self, index: int) -> np.ndarray:
         """Point forecast of one dimension as a 1-D array."""

@@ -5,12 +5,24 @@ operating the pipeline as a service needs to know *where* the time goes
 (scale → multiplex → generate → demultiplex → aggregate), both to populate
 :attr:`~repro.core.output.ForecastOutput.timings` and to feed the serving
 layer's latency histograms.
+
+:class:`StageClock` is the bridge between that flat ``timings`` dict and
+the hierarchical tracing layer (:mod:`repro.observability`): every
+``stage(...)`` block opens a ``stage:<name>`` span on the clock's tracer
+*and* accumulates the same duration into ``timings``, from one shared
+measurement — so under tracing, each ``timings`` entry exactly equals the
+summed duration of its stage spans, and ``wall_seconds`` (their sum)
+exactly equals the rendered trace's root duration.  With the default
+:data:`~repro.observability.NULL_TRACER` the span side costs nothing and
+the clock behaves as the plain accumulator it always was.
 """
 
 from __future__ import annotations
 
 import time
 from contextlib import contextmanager
+
+from repro.observability.spans import NULL_TRACER
 
 __all__ = ["StageClock", "STAGES"]
 
@@ -25,20 +37,37 @@ class StageClock:
     Re-entering a stage adds to its total, so a stage split across two code
     paths (e.g. ``deseasonalize`` before and after generation) reports one
     combined number.
+
+    ``tracer`` mirrors every stage as a ``stage:<name>`` span (attached to
+    the tracer's ambient parent); the block receives the span, so call
+    sites can attach attributes (``span.set_attribute("prompt_tokens",
+    n)``) without separate plumbing.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, tracer=None) -> None:
         self.timings: dict[str, float] = {}
+        self._tracer = NULL_TRACER if tracer is None else tracer
 
     @contextmanager
-    def stage(self, name: str):
-        """Context manager timing one block under ``name``."""
-        started = time.perf_counter()
-        try:
-            yield
-        finally:
-            elapsed = time.perf_counter() - started
-            self.timings[name] = self.timings.get(name, 0.0) + elapsed
+    def stage(self, name: str, **attributes):
+        """Context manager timing one block under ``name``.
+
+        Yields the stage's span (a no-op span when tracing is disabled).
+        The accumulated duration and the span's duration come from the
+        same measurement, so the two accountings never disagree.
+        """
+        with self._tracer.span(f"stage:{name}", **attributes) as span:
+            started = time.perf_counter()
+            try:
+                yield span
+            finally:
+                ended = time.perf_counter()
+                if span.is_recording:
+                    span.finish(at=ended)
+                    elapsed = span.duration
+                else:
+                    elapsed = ended - started
+                self.timings[name] = self.timings.get(name, 0.0) + elapsed
 
     @property
     def total(self) -> float:

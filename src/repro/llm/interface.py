@@ -18,6 +18,7 @@ import numpy as np
 from repro.exceptions import GenerationError
 from repro.llm.constraints import Constraint
 from repro.llm.sampling import sample_from_distribution
+from repro.observability.spans import NULL_TRACER
 
 __all__ = ["LanguageModel", "GenerationResult"]
 
@@ -79,32 +80,43 @@ class LanguageModel(ABC):
         temperature: float = 1.0,
         top_k: int | None = None,
         top_p: float | None = None,
+        tracer=None,
     ) -> GenerationResult:
         """Sample a constrained continuation of ``context``.
 
         ``constraint`` restricts the admissible ids at each generated
         position (position 0 = first new token), reproducing the paper's
         "model's output is limited to producing only digits and commas".
+
+        ``tracer`` splits the draw into an ``llm:ingest`` span (prompt →
+        in-context structure; cost scales with context length) and an
+        ``llm:decode`` span (the constrained sampling loop; cost scales
+        with ``max_new_tokens``) — the two phases whose balance shifts
+        between raw-digit and SAX pipelines.
         """
         if max_new_tokens < 0:
             raise GenerationError(f"max_new_tokens must be >= 0, got {max_new_tokens}")
-        self.reset(context)
+        tracer = NULL_TRACER if tracer is None else tracer
+        with tracer.span("llm:ingest", context_tokens=len(context)):
+            self.reset(context)
         tokens: list[int] = []
         log_probs: list[float] = []
-        for position in range(max_new_tokens):
-            probs = self.next_distribution()
-            allowed = constraint.allowed_at(position) if constraint else None
-            token, prob = sample_from_distribution(
-                probs,
-                rng,
-                temperature=temperature,
-                top_k=top_k,
-                top_p=top_p,
-                allowed_ids=allowed,
-            )
-            tokens.append(token)
-            log_probs.append(float(np.log(max(prob, 1e-300))))
-            self.advance(token)
+        with tracer.span("llm:decode", max_new_tokens=max_new_tokens) as span:
+            for position in range(max_new_tokens):
+                probs = self.next_distribution()
+                allowed = constraint.allowed_at(position) if constraint else None
+                token, prob = sample_from_distribution(
+                    probs,
+                    rng,
+                    temperature=temperature,
+                    top_k=top_k,
+                    top_p=top_p,
+                    allowed_ids=allowed,
+                )
+                tokens.append(token)
+                log_probs.append(float(np.log(max(prob, 1e-300))))
+                self.advance(token)
+            span.set_attribute("tokens_generated", len(tokens))
         return GenerationResult(tokens=tokens, log_probs=log_probs)
 
     def sequence_nll(

@@ -32,6 +32,7 @@ from repro.llm.ngram import NgramBackoffLM, UniformLM
 from repro.llm.ppm import PPMLanguageModel
 from repro.llm.recency import RecencyPPMLanguageModel
 from repro.llm.wrappers import ShiftBiasedLM
+from repro.observability.spans import NULL_TRACER
 
 __all__ = [
     "SimulatedLLM",
@@ -90,27 +91,41 @@ class SimulatedLLM:
         rng: np.random.Generator,
         constraint: Constraint | None = None,
         temperature: float | None = None,
+        tracer=None,
     ) -> GenerationResult:
         """One constrained sample of ``max_new_tokens`` continuation tokens.
 
         ``temperature`` overrides the preset's sampling temperature for this
         call (tasks like imputation decode more conservatively than
-        forecasting).
+        forecasting).  ``tracer`` wraps the call in an ``llm:generate``
+        span (naming the backend preset) with the base model's
+        ``llm:ingest`` / ``llm:decode`` phases nested beneath it.
         """
         model = self.spec.factory(self.vocab_size)
-        result = model.generate(
-            context,
-            max_new_tokens,
-            rng,
-            constraint=constraint,
-            temperature=self.spec.temperature if temperature is None else temperature,
-            top_p=self.spec.top_p,
-        )
-        if self.spec.realtime_scale > 0.0:
-            time.sleep(
-                self.spec.cost.seconds(len(context), len(result.tokens))
-                * self.spec.realtime_scale
+        tracer = NULL_TRACER if tracer is None else tracer
+        with tracer.span(
+            "llm:generate",
+            model=self.name,
+            context_tokens=len(context),
+            max_new_tokens=max_new_tokens,
+        ) as span:
+            result = model.generate(
+                context,
+                max_new_tokens,
+                rng,
+                constraint=constraint,
+                temperature=(
+                    self.spec.temperature if temperature is None else temperature
+                ),
+                top_p=self.spec.top_p,
+                tracer=tracer,
             )
+            if self.spec.realtime_scale > 0.0:
+                time.sleep(
+                    self.spec.cost.seconds(len(context), len(result.tokens))
+                    * self.spec.realtime_scale
+                )
+            span.set_attribute("tokens_generated", len(result.tokens))
         return result
 
     def sequence_nll(

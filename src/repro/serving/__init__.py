@@ -14,6 +14,11 @@ more things, each a module here:
 * :mod:`~repro.serving.metrics` — :class:`MetricsRegistry` with counters,
   gauges, and p50/p95/p99 latency histograms, exportable as JSON.
 
+Observability plugs in from :mod:`repro.observability`: build the engine
+with ``tracer=`` for per-request span trees (``response.trace``) and
+``ledger=`` for an append-only JSONL run ledger, summarised by
+``repro-multicast ledger summarize``.
+
 Entry points: the ``repro-multicast batch`` CLI subcommand runs a manifest
 of jobs through one engine, and
 :func:`repro.evaluation.rolling_origin_evaluation` accepts an ``engine=`` to

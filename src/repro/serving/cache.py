@@ -70,6 +70,7 @@ class ForecastCache:
 
     @property
     def enabled(self) -> bool:
+        """False for a zero-capacity cache (stores and lookups are no-ops)."""
         return self.max_entries > 0
 
     def get(self, key: str) -> ForecastOutput | None:
@@ -97,6 +98,7 @@ class ForecastCache:
                 self._evictions += 1
 
     def clear(self) -> None:
+        """Drop every entry (hit/miss statistics are kept)."""
         with self._lock:
             self._entries.clear()
 

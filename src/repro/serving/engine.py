@@ -18,6 +18,15 @@ suite asserts).
 Two distinct pools are used — one for requests, one for sample draws — so a
 saturated request pool can never starve the sample pool (the classic nested
 thread-pool deadlock).
+
+Observability is opt-in and zero-cost when off: pass a
+:class:`~repro.observability.Tracer` to get one ``request`` span per served
+forecast (the pipeline's ``forecast``/``stage:*``/``sample_draw`` spans
+nest beneath it, across threads), and a
+:class:`~repro.observability.RunLedger` to append one JSONL record per
+forecast — config hash, seed, outcome ``ok|partial|failed``, latency,
+token counts, span tree — for post-hoc analysis with
+``repro-multicast ledger summarize``.
 """
 
 from __future__ import annotations
@@ -31,12 +40,21 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from repro.core.forecaster import MultiCastForecaster, SampleTask
 from repro.exceptions import ConfigError, GenerationError, ReproError
 from repro.llm.interface import GenerationResult
+from repro.observability.ledger import RunLedger
+from repro.observability.spans import NULL_TRACER, Span
 from repro.serving.cache import ForecastCache, forecast_digest
 from repro.serving.metrics import MetricsRegistry
 from repro.serving.policy import Deadline, RetryPolicy
 from repro.serving.request import ForecastRequest, ForecastResponse
 
 __all__ = ["ForecastEngine"]
+
+
+def _outcome(response: ForecastResponse) -> str:
+    """Terminal state of a served request: ``ok``, ``partial``, or ``failed``."""
+    if not response.ok:
+        return "failed"
+    return "partial" if response.partial else "ok"
 
 
 class _RequestState:
@@ -72,6 +90,15 @@ class ForecastEngine:
     max_concurrent_requests:
         Request-orchestration pool size used by :meth:`submit` /
         :meth:`forecast_batch`.
+    tracer:
+        Optional :class:`~repro.observability.Tracer`; defaults to the
+        no-op tracer (zero overhead, bit-identical results).  When set,
+        every request's span tree is attached to its response as
+        ``response.trace``.
+    ledger:
+        Optional :class:`~repro.observability.RunLedger` (or a path,
+        coerced to one); when set, one JSONL record is appended per served
+        request — including cache hits and failures.
 
     Example
     -------
@@ -88,6 +115,8 @@ class ForecastEngine:
         retry: RetryPolicy | None = None,
         metrics: MetricsRegistry | None = None,
         max_concurrent_requests: int = 2,
+        tracer=None,
+        ledger: RunLedger | str | None = None,
         sleep=time.sleep,
     ) -> None:
         if num_workers < 1:
@@ -100,6 +129,11 @@ class ForecastEngine:
         self.cache = ForecastCache() if cache is None else cache
         self.retry = retry or RetryPolicy()
         self.metrics = metrics or MetricsRegistry()
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        if ledger is None or isinstance(ledger, RunLedger):
+            self.ledger = ledger
+        else:
+            self.ledger = RunLedger(ledger)
         self._sleep = sleep
         self._samples = ThreadPoolExecutor(
             max_workers=num_workers, thread_name_prefix="mc-sample"
@@ -158,12 +192,32 @@ class ForecastEngine:
             raise ConfigError("engine is closed")
 
     def _execute(self, request: ForecastRequest) -> ForecastResponse:
-        started = time.perf_counter()
-        self.metrics.counter("requests_total").inc()
-
         key = forecast_digest(
             request.history, request.config, request.horizon, request.seed
         )
+        with self.tracer.span(
+            "request",
+            request_name=request.name or "",
+            scheme=request.config.scheme,
+            horizon=int(request.horizon),
+            seed=int(request.effective_seed),
+        ) as span:
+            response = self._serve(request, key, span)
+            if span.is_recording:
+                span.set_attribute("cache_hit", response.cache_hit)
+                span.set_attribute("outcome", _outcome(response))
+                span.set_attribute("attempts", response.attempts)
+                response.trace = span
+        if self.ledger is not None:
+            self.ledger.append(self._ledger_record(request, response, key, span))
+        return response
+
+    def _serve(
+        self, request: ForecastRequest, key: str, span: Span
+    ) -> ForecastResponse:
+        started = time.perf_counter()
+        self.metrics.counter("requests_total").inc()
+
         if request.use_cache and self.cache.enabled:
             cached = self.cache.get(key)
             if cached is not None:
@@ -178,7 +232,9 @@ class ForecastEngine:
         deadline = Deadline(request.deadline_seconds)
         state = _RequestState(deadline)
         forecaster = MultiCastForecaster(
-            request.config, sample_runner=self._make_runner(state)
+            request.config,
+            sample_runner=self._make_runner(state),
+            tracer=self.tracer,
         )
 
         self.metrics.gauge("inflight_requests").add(1)
@@ -196,6 +252,9 @@ class ForecastEngine:
                     f"({message})"
                 )
             self.metrics.counter("requests_failed").inc()
+            if span.is_recording:
+                span.set_attribute("deadline_remaining", deadline.remaining())
+                span.set_attribute("error", message)
             return ForecastResponse(
                 request,
                 error=message,
@@ -219,6 +278,8 @@ class ForecastEngine:
         for stage, seconds in output.timings.items():
             self.metrics.histogram(f"stage_{stage}_seconds").observe(seconds)
 
+        if span.is_recording:
+            span.set_attribute("deadline_remaining", deadline.remaining())
         return ForecastResponse(
             request,
             output=output,
@@ -226,6 +287,51 @@ class ForecastEngine:
             attempts=state.max_attempts,
             wall_seconds=wall,
         )
+
+    def _ledger_record(
+        self,
+        request: ForecastRequest,
+        response: ForecastResponse,
+        key: str,
+        span: Span,
+    ) -> dict:
+        """One self-contained JSONL record for the run ledger.
+
+        The ``metrics`` field is a compact counter snapshot at record time
+        (request totals, cache hits, failures) — enough to cross-check a
+        ``ledger summarize`` report against a ``--metrics-out`` dump.
+        """
+        output = response.output
+        record = {
+            "unix_time": round(time.time(), 3),
+            "name": request.name,
+            "outcome": _outcome(response),
+            "config_hash": key,
+            "seed": int(request.effective_seed),
+            "scheme": request.config.scheme,
+            "sax": request.config.sax is not None,
+            "model": request.config.model,
+            "horizon": int(request.horizon),
+            "cache_hit": response.cache_hit,
+            "partial": response.partial,
+            "attempts": response.attempts,
+            "error": response.error,
+            "wall_seconds": round(response.wall_seconds, 9),
+            "prompt_tokens": output.prompt_tokens if output else 0,
+            "generated_tokens": output.generated_tokens if output else 0,
+            "timings": (
+                {k: round(v, 9) for k, v in output.timings.items()}
+                if output
+                else {}
+            ),
+            "spans": span.to_dict() if span.is_recording else None,
+            "metrics": {
+                name: instrument["value"]
+                for name, instrument in self.metrics.snapshot().items()
+                if instrument.get("type") == "counter"
+            },
+        }
+        return record
 
     # -- sample fan-out -------------------------------------------------------
 

@@ -32,6 +32,7 @@ class Counter:
         self._value = 0.0
 
     def inc(self, amount: float = 1.0) -> None:
+        """Increase the count; negative increments are rejected."""
         if amount < 0:
             raise ConfigError(f"counters only go up; got increment {amount}")
         with self._lock:
@@ -39,10 +40,12 @@ class Counter:
 
     @property
     def value(self) -> float:
+        """The current count."""
         with self._lock:
             return self._value
 
     def snapshot(self) -> dict:
+        """Exportable state: ``{"type": "counter", "value": ...}``."""
         return {"type": "counter", "value": self.value}
 
 
@@ -54,19 +57,23 @@ class Gauge:
         self._value = 0.0
 
     def set(self, value: float) -> None:
+        """Replace the gauge value."""
         with self._lock:
             self._value = float(value)
 
     def add(self, amount: float) -> None:
+        """Shift the gauge by ``amount`` (negative to decrement)."""
         with self._lock:
             self._value += amount
 
     @property
     def value(self) -> float:
+        """The current level."""
         with self._lock:
             return self._value
 
     def snapshot(self) -> dict:
+        """Exportable state: ``{"type": "gauge", "value": ...}``."""
         return {"type": "gauge", "value": self.value}
 
 
@@ -90,6 +97,7 @@ class Histogram:
         self._max = float("-inf")
 
     def observe(self, value: float) -> None:
+        """Record one observation (e.g. a request latency in seconds)."""
         value = float(value)
         with self._lock:
             self._values.append(value)
@@ -102,16 +110,19 @@ class Histogram:
 
     @property
     def count(self) -> int:
+        """Lifetime number of observations (not bounded by the window)."""
         with self._lock:
             return self._count
 
     @property
     def total(self) -> float:
+        """Lifetime sum of observations."""
         with self._lock:
             return self._total
 
     @property
     def mean(self) -> float:
+        """Lifetime mean observation (0 when empty)."""
         with self._lock:
             return self._total / self._count if self._count else 0.0
 
@@ -125,6 +136,7 @@ class Histogram:
             return float(np.quantile(np.asarray(self._values), q))
 
     def snapshot(self) -> dict:
+        """Count/total/mean/min/max plus exact p50/p95/p99 quantiles."""
         with self._lock:
             values = np.asarray(self._values) if self._values else None
             out = {
@@ -169,12 +181,15 @@ class MetricsRegistry:
             return instrument
 
     def counter(self, name: str) -> Counter:
+        """Get or create the named counter."""
         return self._get_or_create(name, Counter)
 
     def gauge(self, name: str) -> Gauge:
+        """Get or create the named gauge."""
         return self._get_or_create(name, Gauge)
 
     def histogram(self, name: str) -> Histogram:
+        """Get or create the named histogram."""
         return self._get_or_create(name, Histogram)
 
     @contextmanager
@@ -194,6 +209,7 @@ class MetricsRegistry:
         return {name: inst.snapshot() for name, inst in sorted(instruments.items())}
 
     def to_json(self, indent: int | None = 2) -> str:
+        """The full snapshot serialised as JSON (the ``--metrics-out`` dump)."""
         return json.dumps(self.snapshot(), indent=indent)
 
     def __contains__(self, name: str) -> bool:

@@ -35,9 +35,11 @@ class Deadline:
 
     @property
     def unbounded(self) -> bool:
+        """True when no time budget was set."""
         return self.seconds is None
 
     def elapsed(self) -> float:
+        """Seconds since the deadline started."""
         return self._clock() - self._started
 
     def remaining(self) -> float | None:
@@ -48,6 +50,7 @@ class Deadline:
 
     @property
     def expired(self) -> bool:
+        """True once the budget has been used up."""
         return self.seconds is not None and self.elapsed() >= self.seconds
 
     def __repr__(self) -> str:

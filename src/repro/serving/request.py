@@ -66,6 +66,7 @@ class ForecastRequest:
 
     @property
     def effective_seed(self) -> int:
+        """The per-request seed override, falling back to the config seed."""
         return self.config.seed if self.seed is None else self.seed
 
 
@@ -76,6 +77,11 @@ class ForecastResponse:
     ``output`` is None exactly when ``error`` is set.  ``partial`` marks a
     gracefully degraded forecast aggregated from fewer than the requested
     number of samples (some draws failed or ran past the deadline).
+
+    ``trace`` carries the request's finished
+    :class:`~repro.observability.Span` tree when the engine was built with
+    a real tracer (None otherwise) — render it with
+    :func:`~repro.observability.render_span_tree`.
     """
 
     request: ForecastRequest
@@ -85,13 +91,16 @@ class ForecastResponse:
     partial: bool = False
     attempts: int = 1
     wall_seconds: float = 0.0
+    trace: object | None = None
 
     @property
     def ok(self) -> bool:
+        """True when the request produced a forecast (possibly partial)."""
         return self.error is None and self.output is not None
 
     @property
     def name(self) -> str:
+        """The originating request's label."""
         return self.request.name
 
     @property
