@@ -22,6 +22,7 @@ values through the per-dimension encoder.
 from __future__ import annotations
 
 import itertools
+import threading
 from collections.abc import Callable
 
 import numpy as np
@@ -43,6 +44,8 @@ from repro.llm import (
     get_model,
 )
 from repro.llm.interface import GenerationResult
+from repro.llm.simulated import PrefilledSession, SimulatedLLM
+from repro.llm.state_cache import IngestStateCache
 from repro.observability.spans import NULL_TRACER
 from repro.sax.encoder import SaxEncoder
 from repro.sax.paa import num_segments
@@ -67,6 +70,39 @@ def run_sequentially(tasks: list[SampleTask]) -> list[GenerationResult | None]:
     return [task() for task in tasks]
 
 
+class _SharedPrefill:
+    """One lazy prompt ingest shared by every sample draw of a request.
+
+    The first draw that asks for the session performs the prefill (under
+    its own ``sample_draw`` span, so a failed ingest fails only that draw
+    and is retried with it); every later draw — possibly on another pool
+    thread — receives the same frozen session and just forks it.
+    """
+
+    def __init__(
+        self,
+        model: SimulatedLLM,
+        prompt_ids: list[int],
+        state_cache: IngestStateCache | None,
+    ) -> None:
+        self._model = model
+        self._prompt_ids = prompt_ids
+        self._state_cache = state_cache
+        self._lock = threading.Lock()
+        self.session: PrefilledSession | None = None
+
+    def acquire(self, tracer) -> PrefilledSession:
+        """The shared session, prefilling under ``tracer`` if not yet done."""
+        with self._lock:
+            if self.session is None:
+                self.session = self._model.prefill(
+                    self._prompt_ids,
+                    tracer=tracer,
+                    state_cache=self._state_cache,
+                )
+            return self.session
+
+
 class MultiCastForecaster:
     """Zero-shot multivariate forecaster driven by a (simulated) LLM.
 
@@ -79,6 +115,14 @@ class MultiCastForecaster:
     >>> output = forecaster.forecast(history, horizon=len(future))
     >>> output.values.shape == future.shape
     True
+
+    By default the prompt is ingested once per request and every sample
+    draw forks the prefilled model (``share_prefill=True``); passing an
+    :class:`~repro.llm.state_cache.IngestStateCache` additionally reuses
+    prefilled state *across* requests (exact repeats fork it, extended
+    histories advance only the new suffix).  Neither changes outputs:
+    under a fixed seed, results are bit-identical to re-ingesting per
+    draw (``share_prefill=False``, the legacy path kept for A/B tests).
     """
 
     def __init__(
@@ -87,11 +131,15 @@ class MultiCastForecaster:
         *,
         sample_runner: SampleRunner | None = None,
         tracer=None,
+        state_cache: IngestStateCache | None = None,
+        share_prefill: bool = True,
     ) -> None:
         self.config = config or MultiCastConfig()
         self._multiplexer: Multiplexer = get_multiplexer(self.config.scheme)
         self._sample_runner: SampleRunner = sample_runner or run_sequentially
         self._tracer = NULL_TRACER if tracer is None else tracer
+        self._state_cache = state_cache
+        self._share_prefill = share_prefill
 
     # -- public API -----------------------------------------------------------
 
@@ -224,7 +272,7 @@ class MultiCastForecaster:
         seed: int | None,
         tracer=NULL_TRACER,
         parent=None,
-    ) -> tuple[list[list[str]], int, float]:
+    ) -> tuple[list[list[str]], int, float, dict]:
         """Draw the configured number of continuations.
 
         Each draw is packaged as a self-contained task carrying its own
@@ -234,6 +282,13 @@ class MultiCastForecaster:
         may return ``None`` for draws it abandoned; as long as at least one
         survives, the forecast proceeds on the partial ensemble.
 
+        The prompt is ingested *once*: the first draw to run prefills the
+        model (through the ingest-state cache if one is attached) and every
+        draw forks that shared state, so its ``llm:generate`` span carries
+        ``ingest="fork"`` and only the ingesting draw nests an
+        ``llm:ingest`` span.  Draws still sample with their own seeds, so
+        outputs match the per-draw re-ingest path bit for bit.
+
         Every *invocation* of a task opens a ``sample_draw`` span attached
         to ``parent`` (the ``stage:generate`` span) — tasks may run on
         pool threads, so the parent is bound explicitly rather than taken
@@ -241,12 +296,20 @@ class MultiCastForecaster:
         ``sample_draw`` span with ``attempt=2``.
 
         Returns (decoded token streams, total generated tokens, simulated
-        seconds across the completed samples).
+        seconds, ingest info dict).  Simulated seconds charge the prompt
+        ingest once plus decode per completed sample — a deterministic
+        model of the shared-prefill execution, independent of cache state
+        so that cached and uncached runs report identical costs.
         """
         config = self.config
         model = get_model(config.model, vocab_size=len(vocabulary))
         rng = np.random.default_rng(config.seed if seed is None else seed)
         seeds = child_seeds(rng, config.num_samples)
+        prefill = (
+            _SharedPrefill(model, prompt_ids, self._state_cache)
+            if self._share_prefill
+            else None
+        )
 
         def make_task(index: int, sample_seed: int) -> SampleTask:
             attempts = itertools.count(1)
@@ -259,6 +322,7 @@ class MultiCastForecaster:
                     seed=int(sample_seed),
                     attempt=next(attempts),
                 ) as span:
+                    session = prefill.acquire(tracer) if prefill else None
                     result = model.generate(
                         prompt_ids,
                         tokens_needed,
@@ -266,6 +330,7 @@ class MultiCastForecaster:
                         constraint=constraint,
                         temperature=config.temperature,
                         tracer=tracer,
+                        session=session,
                     )
                     span.set_attribute("tokens_generated", len(result.tokens))
                     return result
@@ -282,10 +347,19 @@ class MultiCastForecaster:
             )
         streams = [vocabulary.decode(result.tokens) for result in completed]
         generated = sum(len(result.tokens) for result in completed)
-        simulated = len(completed) * model.cost.seconds(
-            len(prompt_ids), tokens_needed
+        simulated = model.cost.seconds(len(prompt_ids), 0) + sum(
+            model.cost.seconds(0, len(result.tokens)) for result in completed
         )
-        return streams, generated, simulated
+        session = prefill.session if prefill else None
+        ingest_info = {
+            "ingest": session.outcome if session else "per-draw",
+            "ingested_tokens": (
+                session.ingested_tokens
+                if session
+                else len(completed) * len(prompt_ids)
+            ),
+        }
+        return streams, generated, simulated, ingest_info
 
     def _truncate_rows(self, matrix: np.ndarray, width: int) -> np.ndarray:
         """Keep only the most recent rows whose stream fits the prompt budget."""
@@ -340,7 +414,7 @@ class MultiCastForecaster:
             mux_span.set_attribute("tokens_needed", tokens_needed)
 
         with clock.stage("generate") as generate_span:
-            streams, generated, simulated = self._run_samples(
+            streams, generated, simulated, ingest_info = self._run_samples(
                 vocabulary, prompt_ids, tokens_needed, constraint, seed,
                 tracer, generate_span,
             )
@@ -370,6 +444,7 @@ class MultiCastForecaster:
                 "sax": False,
                 "requested_samples": config.num_samples,
                 "completed_samples": len(streams),
+                **ingest_info,
             },
         )
 
@@ -420,7 +495,7 @@ class MultiCastForecaster:
             mux_span.set_attribute("tokens_needed", tokens_needed)
 
         with clock.stage("generate") as generate_span:
-            streams, generated, simulated = self._run_samples(
+            streams, generated, simulated, ingest_info = self._run_samples(
                 vocabulary, prompt_ids, tokens_needed, constraint, seed,
                 tracer, generate_span,
             )
@@ -461,5 +536,6 @@ class MultiCastForecaster:
                 "alphabet_kind": sax.alphabet_kind,
                 "requested_samples": config.num_samples,
                 "completed_samples": len(streams),
+                **ingest_info,
             },
         )

@@ -81,8 +81,11 @@ def plan_forecast(
     prompt_tokens = rows * per_row  # rows * per_row - 1 stream + 1 trailing sep
     generated_per_sample = steps * per_row
 
-    simulated = config.num_samples * spec.cost.seconds(
-        prompt_tokens, generated_per_sample
+    # Simulated execution ingests the prompt once (shared prefill) and pays
+    # decode per sample; billing (usd / total_tokens) still charges the
+    # prompt per sample, since a hosted API re-sends it on every call.
+    simulated = spec.cost.seconds(prompt_tokens, 0) + config.num_samples * (
+        spec.cost.seconds(0, generated_per_sample)
     )
     usd = config.num_samples * spec.cost.dollars(
         prompt_tokens, generated_per_sample

@@ -71,6 +71,7 @@ def rolling_origin_evaluation(
     min_history: int | None = None,
     seed: int = 0,
     engine=None,
+    state_cache=None,
     **options,
 ) -> BacktestResult:
     """Evaluate ``method`` at ``num_windows`` successive forecast origins.
@@ -84,6 +85,13 @@ def rolling_origin_evaluation(
     MultiCast methods: all windows are submitted at once and served
     concurrently, with results memoized in the engine's cache.  Other
     methods ignore it and run sequentially as before.
+
+    ``state_cache`` (an :class:`~repro.llm.state_cache.IngestStateCache`)
+    is honoured for sequential MultiCast windows: because origins ascend
+    and each window's prompt extends the previous one's, window ``k+1``
+    forks window ``k``'s cached ingest state and advances only the new
+    suffix — O(Δ) instead of O(n) prefill per window.  Engine-served
+    backtests use the engine's own ingest cache instead.
     """
     if horizon < 1:
         raise ConfigError(f"horizon must be >= 1, got {horizon}")
@@ -113,11 +121,14 @@ def rolling_origin_evaluation(
             engine, method, dataset, origins, horizon, seed, options
         )
     else:
+        run_options = dict(options)
+        if state_cache is not None and method in _ENGINE_METHODS:
+            run_options["state_cache"] = state_cache
         forecasts = []
         for window_index, origin in enumerate(origins):
             history = np.asarray(dataset.values[:origin])
             output = run_method(
-                method, history, horizon, seed=seed + window_index, **options
+                method, history, horizon, seed=seed + window_index, **run_options
             )
             forecasts.append(
                 output if isinstance(output, np.ndarray) else output.values

@@ -72,9 +72,11 @@ class EvalResult:
 def _multicast_forecast(scheme):
     def run(history, horizon, seed, **options):
         sax_options = options.pop("sax", None)
+        state_cache = options.pop("state_cache", None)
         sax = SaxConfig(**sax_options) if isinstance(sax_options, dict) else sax_options
         config = MultiCastConfig(scheme=scheme, sax=sax, seed=seed, **options)
-        return MultiCastForecaster(config).forecast(history, horizon)
+        forecaster = MultiCastForecaster(config, state_cache=state_cache)
+        return forecaster.forecast(history, horizon)
 
     return run
 

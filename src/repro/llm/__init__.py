@@ -14,6 +14,13 @@ models over the same constrained token vocabulary (see DESIGN.md, section 2):
 
 Generation is token-by-token with a hard vocabulary constraint, exactly like
 LLMTime's logit mask restricting output to ``[0-9,]``.
+
+Prompt ingest is deterministic, so it is shared rather than repeated:
+``LanguageModel.fork()`` snapshots in-context state, ``SimulatedLLM.prefill``
+ingests a prompt once per request, and
+:class:`~repro.llm.state_cache.IngestStateCache` reuses (and incrementally
+extends) prefilled state across requests — the substrate's analogue of
+KV-cache prefix reuse.
 """
 
 from repro.llm.interface import GenerationResult, LanguageModel
@@ -36,11 +43,13 @@ from repro.llm.cost import TokenCostModel
 from repro.llm.perplexity import bits_per_token, rank_models_by_perplexity
 from repro.llm.simulated import (
     ModelSpec,
+    PrefilledSession,
     SimulatedLLM,
     available_models,
     get_model,
     register_model,
 )
+from repro.llm.state_cache import IngestLookup, IngestStateCache
 
 __all__ = [
     "LanguageModel",
@@ -62,6 +71,9 @@ __all__ = [
     "rank_models_by_perplexity",
     "SimulatedLLM",
     "ModelSpec",
+    "PrefilledSession",
+    "IngestLookup",
+    "IngestStateCache",
     "get_model",
     "register_model",
     "available_models",

@@ -40,6 +40,7 @@ class SetConstraint(Constraint):
         self._ids = ids
 
     def allowed_at(self, position: int) -> frozenset[int]:
+        """The fixed admissible set, independent of ``position``."""
         return self._ids
 
     def __repr__(self) -> str:
@@ -76,9 +77,11 @@ class PeriodicPatternConstraint(Constraint):
 
     @property
     def period(self) -> int:
+        """Length of one grammar cycle in tokens."""
         return len(self._pattern)
 
     def allowed_at(self, position: int) -> frozenset[int]:
+        """The pattern slot for ``position``, shifted by the phase."""
         if position < 0:
             raise ConfigError(f"position must be >= 0, got {position}")
         return self._pattern[(position + self._phase) % len(self._pattern)]

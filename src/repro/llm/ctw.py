@@ -66,6 +66,16 @@ class _Node:
         """Posterior weight of 'stop splitting here' vs 'defer to children'."""
         return math.exp(min(0.0, _LOG_HALF + self.log_pe - self.log_pw))
 
+    def clone(self) -> "_Node":
+        """An independent copy of this node's counts and log-probabilities."""
+        fresh = _Node.__new__(_Node)
+        fresh.counts = self.counts.copy()
+        fresh.total = self.total
+        fresh.log_pe = self.log_pe
+        fresh.log_pw = self.log_pw
+        fresh.children_log_pw = self.children_log_pw
+        return fresh
+
 
 class CTWLanguageModel(LanguageModel):
     """Context Tree Weighting over a dense corpus-id vocabulary.
@@ -91,11 +101,27 @@ class CTWLanguageModel(LanguageModel):
     # -- session protocol ---------------------------------------------------
 
     def reset(self, context: Sequence[int]) -> None:
+        """Rebuild the context tree from scratch and ingest ``context``."""
         self._root = _Node(self.vocab_size)
         self._nodes = {}
         self._history = []
         for token in context:
             self.advance(int(token))
+
+    def fork(self) -> "CTWLanguageModel":
+        """Structure-aware deep copy of the whole node tree.
+
+        Copies one ``_Node`` per *distinct* context seen — typically far
+        fewer than the ``n · depth`` bottom-up updates a re-ingest pays on
+        the repetitive token streams forecasting produces.
+        """
+        if type(self) is not CTWLanguageModel:
+            return super().fork()
+        fresh = CTWLanguageModel(self.vocab_size, depth=self.depth)
+        fresh._root = self._root.clone()
+        fresh._nodes = {key: node.clone() for key, node in self._nodes.items()}
+        fresh._history = list(self._history)
+        return fresh
 
     def _path_nodes(self) -> list[tuple[tuple[int, ...], _Node]]:
         """Nodes on the current context path, root (depth 0) first.
@@ -121,6 +147,7 @@ class CTWLanguageModel(LanguageModel):
         return path
 
     def advance(self, token: int) -> None:
+        """Observe ``token``: bottom-up KT and weighted-probability update."""
         self._check_token(token)
         path = self._path_nodes()
         # Bottom-up: update KT estimates and re-mix the weighted probs.

@@ -9,6 +9,7 @@ space, autoregressive constrained sampling, and sequence log-likelihoods.
 
 from __future__ import annotations
 
+import copy
 from abc import ABC, abstractmethod
 from collections.abc import Sequence
 from dataclasses import dataclass, field
@@ -32,6 +33,7 @@ class GenerationResult:
 
     @property
     def total_log_prob(self) -> float:
+        """Sum of the per-token sampling log-probabilities."""
         return float(sum(self.log_probs))
 
     def __len__(self) -> int:
@@ -65,6 +67,24 @@ class LanguageModel(ABC):
     def advance(self, token: int) -> None:
         """Append ``token`` to the session and update internal structure."""
 
+    def fork(self) -> "LanguageModel":
+        """A deep, independent copy of the current in-context state.
+
+        Ingest is deterministic, so ``fork()`` after ingesting a prompt
+        yields a model whose :meth:`next_distribution` and sampling
+        behaviour are bit-identical to a fresh :meth:`reset` on the same
+        prompt — without re-paying the O(n · order) ingest cost.  Mutating
+        the fork (via :meth:`advance` / :meth:`generate`) never leaks back
+        into the parent, and forking a frozen parent is thread-safe (it
+        only reads), which is what lets one shared prefill serve a whole
+        sample ensemble concurrently.
+
+        The default implementation is a :func:`copy.deepcopy`; concrete
+        models override it with structure-aware copies that are much
+        faster than re-ingesting the prompt.
+        """
+        return copy.deepcopy(self)
+
     def _check_token(self, token: int) -> None:
         if not 0 <= token < self.vocab_size:
             raise GenerationError(
@@ -97,8 +117,45 @@ class LanguageModel(ABC):
         if max_new_tokens < 0:
             raise GenerationError(f"max_new_tokens must be >= 0, got {max_new_tokens}")
         tracer = NULL_TRACER if tracer is None else tracer
-        with tracer.span("llm:ingest", context_tokens=len(context)):
+        with tracer.span(
+            "llm:ingest",
+            context_tokens=len(context),
+            ingested_tokens=len(context),
+            ingest="miss",
+        ):
             self.reset(context)
+        return self.decode(
+            max_new_tokens,
+            rng,
+            constraint=constraint,
+            temperature=temperature,
+            top_k=top_k,
+            top_p=top_p,
+            tracer=tracer,
+        )
+
+    def decode(
+        self,
+        max_new_tokens: int,
+        rng: np.random.Generator,
+        constraint: Constraint | None = None,
+        temperature: float = 1.0,
+        top_k: int | None = None,
+        top_p: float | None = None,
+        tracer=None,
+    ) -> GenerationResult:
+        """Sample ``max_new_tokens`` from the *current* session state.
+
+        This is :meth:`generate` without the ingest phase: the session must
+        already be conditioned (by :meth:`reset`, :meth:`advance`, or by
+        :meth:`fork`-ing a prefilled model).  The fork-after-prefill hot
+        path ingests a prompt once and calls ``decode`` on a fresh fork per
+        sample, which is bit-identical to a full :meth:`generate` per
+        sample under the same RNG state.
+        """
+        if max_new_tokens < 0:
+            raise GenerationError(f"max_new_tokens must be >= 0, got {max_new_tokens}")
+        tracer = NULL_TRACER if tracer is None else tracer
         tokens: list[int] = []
         log_probs: list[float] = []
         with tracer.span("llm:decode", max_new_tokens=max_new_tokens) as span:

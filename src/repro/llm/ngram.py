@@ -51,6 +51,7 @@ class NgramBackoffLM(LanguageModel):
         self._history: list[int] = []
 
     def reset(self, context: Sequence[int]) -> None:
+        """Drop all counts and ingest ``context``."""
         self._tables = [
             defaultdict(lambda: np.zeros(self.vocab_size, dtype=float))
             for _ in range(self.order + 1)
@@ -59,7 +60,23 @@ class NgramBackoffLM(LanguageModel):
         for token in context:
             self.advance(int(token))
 
+    def fork(self) -> "NgramBackoffLM":
+        """Structure-aware deep copy; per-suffix count arrays are copied."""
+        if type(self) is not NgramBackoffLM:
+            return super().fork()
+        fresh = NgramBackoffLM(self.vocab_size, order=self.order, alpha=self.alpha)
+        fresh._tables = [
+            defaultdict(
+                lambda: np.zeros(self.vocab_size, dtype=float),
+                ((suffix, counts.copy()) for suffix, counts in table.items()),
+            )
+            for table in self._tables
+        ]
+        fresh._history = list(self._history)
+        return fresh
+
     def advance(self, token: int) -> None:
+        """Count ``token`` under every suffix order ending here."""
         self._check_token(token)
         history = self._history
         n = len(history)
@@ -69,6 +86,7 @@ class NgramBackoffLM(LanguageModel):
         history.append(token)
 
     def next_distribution(self) -> np.ndarray:
+        """Jelinek–Mercer interpolation from order 0 up to the top order."""
         history = self._history
         n = len(history)
         # Order 0 with a uniform additive prior.
@@ -87,11 +105,20 @@ class UniformLM(LanguageModel):
     """Assigns equal probability to every token, regardless of context."""
 
     def reset(self, context: Sequence[int]) -> None:
+        """Validate the context; a uniform model keeps no state."""
         for token in context:
             self._check_token(int(token))
 
+    def fork(self) -> "UniformLM":
+        """Stateless model: a fork is just a fresh instance."""
+        if type(self) is not UniformLM:
+            return super().fork()
+        return UniformLM(self.vocab_size)
+
     def advance(self, token: int) -> None:
+        """Validate the token; nothing to update."""
         self._check_token(token)
 
     def next_distribution(self) -> np.ndarray:
+        """The constant ``1 / vocab_size`` vector."""
         return np.full(self.vocab_size, 1.0 / self.vocab_size)

@@ -25,7 +25,6 @@ full benchmark sweeps fast.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from collections.abc import Sequence
 
 import numpy as np
@@ -37,19 +36,52 @@ __all__ = ["PPMLanguageModel"]
 
 
 class _ContextCounts:
-    """Continuation counts for one context order: suffix-tuple -> counts."""
+    """Continuation counts for one context order: suffix-tuple -> counts.
 
-    __slots__ = ("table",)
+    Cloning is copy-on-write: a clone shares the parent's per-suffix count
+    dicts and copies one only when it is first mutated afterwards.  That
+    makes :meth:`clone` a single C-level shallow dict copy — O(1) per entry
+    instead of O(tokens) — which is what keeps fork-after-prefill cheap,
+    while a decode that advances ``m`` tokens privatises only the ``m ×
+    max_order`` entries it actually touches.  ``_owned`` is ``None`` until
+    the first clone (never-forked models skip the ownership check entirely)
+    and afterwards holds the suffixes whose count dicts this instance owns.
+    """
+
+    __slots__ = ("table", "_owned")
 
     def __init__(self) -> None:
-        self.table: dict[tuple[int, ...], dict[int, int]] = defaultdict(dict)
+        self.table: dict[tuple[int, ...], dict[int, int]] = {}
+        self._owned: set[tuple[int, ...]] | None = None
 
     def observe(self, suffix: tuple[int, ...], token: int) -> None:
-        counts = self.table[suffix]
+        table = self.table
+        counts = table.get(suffix)
+        owned = self._owned
+        if counts is None:
+            counts = table[suffix] = {}
+            if owned is not None:
+                owned.add(suffix)
+        elif owned is not None and suffix not in owned:
+            counts = table[suffix] = dict(counts)
+            owned.add(suffix)
         counts[token] = counts.get(token, 0) + 1
 
     def get(self, suffix: tuple[int, ...]) -> dict[int, int] | None:
         return self.table.get(suffix)
+
+    def clone(self) -> "_ContextCounts":
+        """An independent copy sharing count dicts until either side writes.
+
+        Both parent and clone drop ownership of every shared entry, so
+        mutation on *either* side privatises before writing — the two never
+        observe each other's updates.
+        """
+        fresh = _ContextCounts()
+        fresh.table = dict(self.table)
+        fresh._owned = set()
+        self._owned = set()
+        return fresh
 
 
 class PPMLanguageModel(LanguageModel):
@@ -89,13 +121,37 @@ class PPMLanguageModel(LanguageModel):
     # -- session protocol ---------------------------------------------------
 
     def reset(self, context: Sequence[int]) -> None:
+        """Rebuild the context index from scratch and ingest ``context``."""
         self._orders = [_ContextCounts() for _ in range(self.max_order + 1)]
         self._zero_counts = np.zeros(self.vocab_size, dtype=float)
         self._history = []
         for token in context:
             self.advance(int(token))
 
+    def fork(self) -> "PPMLanguageModel":
+        """Copy-on-write fork: per-order tables share counts until written.
+
+        Orders of magnitude faster than re-ingesting the prompt (one
+        shallow dict copy per order instead of per-token Python suffix
+        updates), and observationally independent — writes on either side
+        privatise the touched entry first, so the continuation counts of
+        parent and fork never influence each other.  Subclasses keep the
+        base deepcopy (their extra state is unknown here).
+        """
+        if type(self) is not PPMLanguageModel:
+            return super().fork()
+        fresh = PPMLanguageModel(
+            self.vocab_size,
+            max_order=self.max_order,
+            uniform_floor=self.uniform_floor,
+        )
+        fresh._orders = [order.clone() for order in self._orders]
+        fresh._zero_counts = self._zero_counts.copy()
+        fresh._history = list(self._history)
+        return fresh
+
     def advance(self, token: int) -> None:
+        """Record ``token``'s continuation at every suffix order."""
         self._check_token(token)
         history = self._history
         n = len(history)
@@ -107,6 +163,7 @@ class PPMLanguageModel(LanguageModel):
         history.append(token)
 
     def next_distribution(self) -> np.ndarray:
+        """PPM-C escape cascade from the longest matching suffix down."""
         history = self._history
         n = len(history)
         result = np.zeros(self.vocab_size, dtype=float)

@@ -15,7 +15,6 @@ decay in lazily on update and on read.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from collections.abc import Sequence
 
 import numpy as np
@@ -41,6 +40,58 @@ class _DecayedCell:
 
     def value(self, now: int, gamma: float) -> float:
         return self.weight * gamma ** (now - self.touched)
+
+    def clone(self) -> "_DecayedCell":
+        cell = _DecayedCell()
+        cell.weight = self.weight
+        cell.touched = self.touched
+        return cell
+
+
+class _DecayedCounts:
+    """Decayed cells for one context order: suffix-tuple -> token -> cell.
+
+    Cloning is copy-on-write, mirroring the plain PPM tables: a clone
+    shares the parent's per-suffix cell dicts and privatises one (cloning
+    its handful of cells) only when it is first written afterwards, so
+    forking is a single shallow dict copy per order.  ``_owned`` is
+    ``None`` until the first clone and afterwards holds the suffixes whose
+    cell dicts this instance owns.
+    """
+
+    __slots__ = ("table", "_owned")
+
+    def __init__(self) -> None:
+        self.table: dict[tuple[int, ...], dict[int, _DecayedCell]] = {}
+        self._owned: set[tuple[int, ...]] | None = None
+
+    def cells_for_write(self, suffix: tuple[int, ...]) -> dict[int, _DecayedCell]:
+        """The suffix's cell dict, privatised if it is still shared."""
+        table = self.table
+        cells = table.get(suffix)
+        owned = self._owned
+        if cells is None:
+            cells = table[suffix] = {}
+            if owned is not None:
+                owned.add(suffix)
+        elif owned is not None and suffix not in owned:
+            cells = table[suffix] = {
+                token: cell.clone() for token, cell in cells.items()
+            }
+            owned.add(suffix)
+        return cells
+
+    def get(self, suffix: tuple[int, ...]) -> dict[int, _DecayedCell] | None:
+        """Read-only view of the suffix's cells (may be shared — no bumps)."""
+        return self.table.get(suffix)
+
+    def clone(self) -> "_DecayedCounts":
+        """A copy sharing cell dicts until either side writes to one."""
+        fresh = _DecayedCounts()
+        fresh.table = dict(self.table)
+        fresh._owned = set()
+        self._owned = set()
+        return fresh
 
 
 class RecencyPPMLanguageModel(LanguageModel):
@@ -75,24 +126,44 @@ class RecencyPPMLanguageModel(LanguageModel):
         self.halflife = halflife
         self.uniform_floor = uniform_floor
         self._gamma = 0.5 ** (1.0 / halflife)
-        self._tables: list[dict[tuple[int, ...], dict[int, _DecayedCell]]] = []
+        self._tables: list[_DecayedCounts] = []
         self._history: list[int] = []
 
     def reset(self, context: Sequence[int]) -> None:
-        self._tables = [
-            defaultdict(dict) for _ in range(self.max_order + 1)
-        ]
+        """Drop all decayed counts and ingest ``context``."""
+        self._tables = [_DecayedCounts() for _ in range(self.max_order + 1)]
         self._history = []
         for token in context:
             self.advance(int(token))
 
+    def fork(self) -> "RecencyPPMLanguageModel":
+        """Copy-on-write fork: decayed cells are shared until written.
+
+        One shallow dict copy per order; a later bump on either side
+        privatises just the touched suffix's cells, so parent and fork
+        never observe each other's decay updates.  Subclasses keep the
+        base deepcopy (their extra state is unknown here).
+        """
+        if type(self) is not RecencyPPMLanguageModel:
+            return super().fork()
+        fresh = RecencyPPMLanguageModel(
+            self.vocab_size,
+            max_order=self.max_order,
+            halflife=self.halflife,
+            uniform_floor=self.uniform_floor,
+        )
+        fresh._tables = [table.clone() for table in self._tables]
+        fresh._history = list(self._history)
+        return fresh
+
     def advance(self, token: int) -> None:
+        """Bump the decayed continuation weight at every suffix order."""
         self._check_token(token)
         history = self._history
         n = len(history)
         for k in range(min(self.max_order, n) + 1):
             suffix = tuple(history[n - k :]) if k else ()
-            cells = self._tables[k][suffix]
+            cells = self._tables[k].cells_for_write(suffix)
             cell = cells.get(token)
             if cell is None:
                 cell = _DecayedCell()
@@ -101,6 +172,7 @@ class RecencyPPMLanguageModel(LanguageModel):
         history.append(token)
 
     def next_distribution(self) -> np.ndarray:
+        """PPM-C escape cascade over decayed (recency-weighted) counts."""
         history = self._history
         now = len(history)
         result = np.zeros(self.vocab_size, dtype=float)

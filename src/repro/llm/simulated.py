@@ -13,6 +13,12 @@ library selects models by name exactly as the paper selects LLaMA2 or Phi-2:
 * ``"uniform-sim"`` — no model at all (control).
 
 New presets can be added with :func:`register_model`.
+
+Prompt ingest is shared, not repeated: :meth:`SimulatedLLM.prefill` builds
+(or fetches from an :class:`~repro.llm.state_cache.IngestStateCache`) a
+:class:`PrefilledSession`, and :meth:`SimulatedLLM.generate` accepts that
+session to fork-and-decode instead of re-ingesting the prompt — the
+substrate's equivalent of KV-cache prefix reuse.
 """
 
 from __future__ import annotations
@@ -23,20 +29,22 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.exceptions import ConfigError
+from repro.exceptions import ConfigError, GenerationError
 from repro.llm.constraints import Constraint
 from repro.llm.cost import TokenCostModel
-from repro.llm.interface import GenerationResult, LanguageModel
 from repro.llm.ctw import CTWLanguageModel
+from repro.llm.interface import GenerationResult, LanguageModel
 from repro.llm.ngram import NgramBackoffLM, UniformLM
 from repro.llm.ppm import PPMLanguageModel
 from repro.llm.recency import RecencyPPMLanguageModel
+from repro.llm.state_cache import IngestStateCache
 from repro.llm.wrappers import ShiftBiasedLM
 from repro.observability.spans import NULL_TRACER
 
 __all__ = [
     "SimulatedLLM",
     "ModelSpec",
+    "PrefilledSession",
     "register_model",
     "get_model",
     "available_models",
@@ -53,6 +61,9 @@ class ModelSpec:
     latency of a remote inference API.  The sleep releases the GIL, so this
     is what makes thread-pooled serving benchmarks representative of hosted
     backends; 0 (the default) keeps generation as fast as the substrate.
+    Ingest latency is charged where ingest happens: a prefill that reuses a
+    cached state only sleeps for the tokens it actually ingested, and a
+    generate call given a session sleeps for its decode tokens only.
     """
 
     name: str
@@ -64,25 +75,119 @@ class ModelSpec:
     description: str = ""
 
 
+@dataclass
+class PrefilledSession:
+    """A prompt ingested once, ready to be forked per sample draw.
+
+    Attributes
+    ----------
+    model:
+        The prefilled in-context model.  **Frozen by contract** — consumers
+        must :meth:`~repro.llm.interface.LanguageModel.fork` it before
+        decoding, which is what makes one session safely shareable across
+        every draw of an ensemble (and across threads).
+    context:
+        The prompt tokens the session is conditioned on.
+    ingested_tokens:
+        How many of those tokens this prefill actually ingested (0 on an
+        exact cache hit, the suffix length on an incremental extension,
+        ``len(context)`` on a miss).
+    outcome:
+        ``"fork"``, ``"extend"`` or ``"miss"`` — where the state came from.
+    """
+
+    model: LanguageModel
+    context: tuple[int, ...]
+    ingested_tokens: int
+    outcome: str
+
+
 class SimulatedLLM:
     """A named backend model: in-context LM + sampling profile + cost model.
 
-    The object is stateless across calls — every :meth:`generate` builds a
-    fresh in-context model from the prompt, mirroring how a zero-shot API
-    call carries no state between requests.
+    The object carries no decode state across calls — each :meth:`generate`
+    conditions on exactly the prompt it is given, mirroring how a zero-shot
+    API call carries no state between requests.  What *can* persist is the
+    deterministic ingest work: pass ``state_cache`` (or a ``session`` from
+    :meth:`prefill`) to reuse previously built in-context structure.
     """
 
-    def __init__(self, spec: ModelSpec, vocab_size: int) -> None:
+    def __init__(
+        self,
+        spec: ModelSpec,
+        vocab_size: int,
+        state_cache: IngestStateCache | None = None,
+    ) -> None:
         self.spec = spec
         self.vocab_size = vocab_size
+        self.state_cache = state_cache
 
     @property
     def name(self) -> str:
+        """The registry preset name (e.g. ``"llama2-7b-sim"``)."""
         return self.spec.name
 
     @property
     def cost(self) -> TokenCostModel:
+        """The preset's simulated-seconds cost model."""
         return self.spec.cost
+
+    def _sleep(self, prompt_tokens: int, generated_tokens: int) -> None:
+        if self.spec.realtime_scale > 0.0:
+            time.sleep(
+                self.spec.cost.seconds(prompt_tokens, generated_tokens)
+                * self.spec.realtime_scale
+            )
+
+    def prefill(
+        self,
+        context: Sequence[int],
+        tracer=None,
+        state_cache: IngestStateCache | None = None,
+    ) -> PrefilledSession:
+        """Ingest ``context`` once, reusing cached state where possible.
+
+        With a cache (the ``state_cache`` argument, falling back to the
+        instance's), an exact hit skips ingest entirely (outcome
+        ``"fork"``), a strict-prefix hit forks the cached state and
+        advances only the new suffix (``"extend"``), and a miss ingests in
+        full; the resulting state is deposited back for future calls.
+        Emits one ``llm:ingest`` span whose ``ingest`` attribute records
+        the outcome and whose ``ingested_tokens`` records the work actually
+        done — which is also all the realtime latency charged.
+        """
+        tracer = NULL_TRACER if tracer is None else tracer
+        cache = self.state_cache if state_cache is None else state_cache
+        prompt = tuple(int(t) for t in context)
+        lookup = None
+        if cache is not None and cache.enabled:
+            lookup = cache.get(self.name, self.vocab_size, prompt)
+        outcome = "miss" if lookup is None else lookup.outcome
+        with tracer.span(
+            "llm:ingest",
+            context_tokens=len(prompt),
+            ingest=outcome,
+        ) as span:
+            if lookup is not None and lookup.outcome == "fork":
+                model = lookup.model
+                ingested = 0
+            elif lookup is not None and lookup.outcome == "extend":
+                model = lookup.model  # already a private fork
+                for token in prompt[lookup.matched :]:
+                    model.advance(token)
+                ingested = len(prompt) - lookup.matched
+                cache.put(self.name, self.vocab_size, prompt, model)
+            else:
+                model = self.spec.factory(self.vocab_size)
+                model.reset(prompt)
+                ingested = len(prompt)
+                if cache is not None:
+                    cache.put(self.name, self.vocab_size, prompt, model)
+            span.set_attribute("ingested_tokens", ingested)
+            self._sleep(ingested, 0)
+        return PrefilledSession(
+            model=model, context=prompt, ingested_tokens=ingested, outcome=outcome
+        )
 
     def generate(
         self,
@@ -92,39 +197,69 @@ class SimulatedLLM:
         constraint: Constraint | None = None,
         temperature: float | None = None,
         tracer=None,
+        session: PrefilledSession | None = None,
     ) -> GenerationResult:
         """One constrained sample of ``max_new_tokens`` continuation tokens.
 
         ``temperature`` overrides the preset's sampling temperature for this
         call (tasks like imputation decode more conservatively than
         forecasting).  ``tracer`` wraps the call in an ``llm:generate``
-        span (naming the backend preset) with the base model's
-        ``llm:ingest`` / ``llm:decode`` phases nested beneath it.
+        span (naming the backend preset) with the ``llm:ingest`` /
+        ``llm:decode`` phases nested beneath it.
+
+        ``session`` — a :class:`PrefilledSession` from :meth:`prefill` for
+        the *same* prompt — switches to the fork-after-prefill hot path:
+        the prefilled state is forked and decoded without re-ingesting, the
+        span carries ``ingest="fork"`` in place of a nested ``llm:ingest``,
+        and realtime latency covers only the decoded tokens.  Outputs are
+        bit-identical to the re-ingest path under the same RNG state.
         """
-        model = self.spec.factory(self.vocab_size)
         tracer = NULL_TRACER if tracer is None else tracer
-        with tracer.span(
-            "llm:generate",
-            model=self.name,
-            context_tokens=len(context),
-            max_new_tokens=max_new_tokens,
-        ) as span:
-            result = model.generate(
-                context,
-                max_new_tokens,
-                rng,
-                constraint=constraint,
-                temperature=(
-                    self.spec.temperature if temperature is None else temperature
-                ),
-                top_p=self.spec.top_p,
-                tracer=tracer,
+        if session is not None and session.context != tuple(
+            int(t) for t in context
+        ):
+            raise GenerationError(
+                "prefilled session does not match the generate() context"
             )
-            if self.spec.realtime_scale > 0.0:
-                time.sleep(
-                    self.spec.cost.seconds(len(context), len(result.tokens))
-                    * self.spec.realtime_scale
+        attrs = {
+            "model": self.name,
+            "context_tokens": len(context),
+            "max_new_tokens": max_new_tokens,
+        }
+        if session is not None:
+            attrs["ingest"] = "fork"
+        with tracer.span("llm:generate", **attrs) as span:
+            if session is not None:
+                if max_new_tokens < 0:
+                    raise GenerationError(
+                        f"max_new_tokens must be >= 0, got {max_new_tokens}"
+                    )
+                model = session.model.fork()
+                result = model.decode(
+                    max_new_tokens,
+                    rng,
+                    constraint=constraint,
+                    temperature=(
+                        self.spec.temperature if temperature is None else temperature
+                    ),
+                    top_p=self.spec.top_p,
+                    tracer=tracer,
                 )
+                self._sleep(0, len(result.tokens))
+            else:
+                model = self.spec.factory(self.vocab_size)
+                result = model.generate(
+                    context,
+                    max_new_tokens,
+                    rng,
+                    constraint=constraint,
+                    temperature=(
+                        self.spec.temperature if temperature is None else temperature
+                    ),
+                    top_p=self.spec.top_p,
+                    tracer=tracer,
+                )
+                self._sleep(len(context), len(result.tokens))
             span.set_attribute("tokens_generated", len(result.tokens))
         return result
 
@@ -149,14 +284,20 @@ def register_model(spec: ModelSpec, overwrite: bool = False) -> None:
     _REGISTRY[spec.name] = spec
 
 
-def get_model(name: str, vocab_size: int) -> SimulatedLLM:
-    """Instantiate a registered preset for a given vocabulary size."""
+def get_model(
+    name: str, vocab_size: int, state_cache: IngestStateCache | None = None
+) -> SimulatedLLM:
+    """Instantiate a registered preset for a given vocabulary size.
+
+    ``state_cache`` attaches a shared ingest-state cache so the instance's
+    :meth:`~SimulatedLLM.prefill` calls reuse prompt state across requests.
+    """
     try:
         spec = _REGISTRY[name]
     except KeyError:
         known = ", ".join(sorted(_REGISTRY))
         raise ConfigError(f"unknown model {name!r}; available: {known}") from None
-    return SimulatedLLM(spec, vocab_size)
+    return SimulatedLLM(spec, vocab_size, state_cache=state_cache)
 
 
 def available_models() -> list[str]:

@@ -1,0 +1,211 @@
+"""Shared-prefix ingest-state cache: prefill once, fork forever after.
+
+Prompt ingest — :meth:`~repro.llm.interface.LanguageModel.reset` — is the
+substrate's analogue of LLM prefill: O(n · order) dictionary updates that
+are re-paid from scratch on every call even though ingest is deterministic
+and prompts repeat heavily in practice (every sample of an ensemble shares
+one prompt; rolling-origin backtest windows and dashboard refreshes extend
+each other).  Real serving stacks eliminate exactly this redundancy with
+KV-cache / prefix reuse; this module is the in-context-model version.
+
+An :class:`IngestStateCache` maps ``(model preset, vocab size, prompt
+tokens)`` to a *prefilled* :class:`~repro.llm.interface.LanguageModel`.
+Lookups resolve three ways:
+
+* **fork** — the exact prompt is cached: callers fork the stored state and
+  skip ingest entirely (O(state) instead of O(n · order) Python updates);
+* **extend** — a cached prompt is a strict *prefix* of the new one (the
+  rolling-origin case): the stored state is forked and only the suffix is
+  advanced, turning O(n) prefill into O(Δ);
+* **miss** — nothing usable is cached: the caller ingests in full and
+  deposits the result for the next request.
+
+Entries are LRU-evicted by total *token* count (not entry count), since a
+prefilled state's memory footprint scales with its prompt length.
+
+Thread-safety contract: cached models are **frozen** — :meth:`get` hands
+back the shared instance (or a private fork for the extend case) and every
+consumer must :meth:`~repro.llm.interface.LanguageModel.fork` before
+mutating; :meth:`put` takes ownership of the deposited model, which the
+caller must not advance afterwards.  :class:`~repro.llm.simulated.
+SimulatedLLM.prefill` implements this discipline for you.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigError
+from repro.llm.interface import LanguageModel
+
+__all__ = ["IngestLookup", "IngestStateCache"]
+
+
+@dataclass
+class IngestLookup:
+    """Outcome of one cache lookup.
+
+    Attributes
+    ----------
+    model:
+        A prefilled model covering ``matched`` prompt tokens, or ``None``
+        on a miss.  For ``outcome == "fork"`` this is the *shared* cached
+        instance — fork before mutating.  For ``"extend"`` it is a private
+        fork the caller may advance (and should deposit back via ``put``).
+    matched:
+        Number of leading prompt tokens the returned state already covers.
+    outcome:
+        ``"fork"`` (exact hit), ``"extend"`` (strict-prefix hit) or
+        ``"miss"``.
+    """
+
+    model: LanguageModel | None
+    matched: int
+    outcome: str
+
+
+class IngestStateCache:
+    """Thread-safe LRU of prefilled in-context models, bounded by tokens.
+
+    Parameters
+    ----------
+    max_tokens:
+        Total prompt-token budget across all entries; least-recently-used
+        entries are evicted once the budget is exceeded.  ``0`` builds a
+        disabled cache (every ``get`` misses, every ``put`` is dropped), so
+        callers can switch caching off without branching.
+    """
+
+    def __init__(self, max_tokens: int = 262_144) -> None:
+        if max_tokens < 0:
+            raise ConfigError(f"max_tokens must be >= 0, got {max_tokens}")
+        self.max_tokens = max_tokens
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, LanguageModel] = OrderedDict()
+        self._total_tokens = 0
+        self._hits = 0
+        self._extends = 0
+        self._misses = 0
+        self._evictions = 0
+        self._tokens_saved = 0
+
+    @property
+    def enabled(self) -> bool:
+        """False for a zero-budget cache (stores and lookups are no-ops)."""
+        return self.max_tokens > 0
+
+    @staticmethod
+    def _key(model_name: str, vocab_size: int, tokens: tuple) -> tuple:
+        return (model_name, int(vocab_size), tokens)
+
+    def get(
+        self, model_name: str, vocab_size: int, tokens: Sequence[int]
+    ) -> IngestLookup:
+        """Resolve a prompt against the cache.
+
+        Prefers an exact match (``"fork"``); otherwise the *longest* cached
+        strict prefix under the same ``(model_name, vocab_size)`` namespace
+        (``"extend"``, returning a private fork prefilled to ``matched``
+        tokens); otherwise a ``"miss"``.
+        """
+        prompt = tuple(int(t) for t in tokens)
+        namespace = (model_name, int(vocab_size))
+        with self._lock:
+            if not self.enabled:
+                self._misses += 1
+                return IngestLookup(model=None, matched=0, outcome="miss")
+            exact = self._entries.get(self._key(model_name, vocab_size, prompt))
+            if exact is not None:
+                self._entries.move_to_end(
+                    self._key(model_name, vocab_size, prompt)
+                )
+                self._hits += 1
+                self._tokens_saved += len(prompt)
+                return IngestLookup(model=exact, matched=len(prompt), outcome="fork")
+            best_key = None
+            best_length = 0
+            for key in self._entries:
+                cached_tokens = key[2]
+                if (
+                    key[:2] == namespace
+                    and best_length < len(cached_tokens) < len(prompt)
+                    and prompt[: len(cached_tokens)] == cached_tokens
+                ):
+                    best_key, best_length = key, len(cached_tokens)
+            if best_key is None:
+                self._misses += 1
+                return IngestLookup(model=None, matched=0, outcome="miss")
+            self._entries.move_to_end(best_key)
+            parent = self._entries[best_key]
+            self._extends += 1
+            self._tokens_saved += best_length
+        # Fork outside the lock: cached entries are frozen, so concurrent
+        # forks are pure reads, and fork cost must not serialise readers.
+        return IngestLookup(model=parent.fork(), matched=best_length, outcome="extend")
+
+    def put(
+        self,
+        model_name: str,
+        vocab_size: int,
+        tokens: Sequence[int],
+        model: LanguageModel,
+    ) -> None:
+        """Deposit a prefilled model, taking ownership of it.
+
+        The caller must not mutate ``model`` afterwards (fork it instead).
+        Prompts longer than the whole budget are not cached at all.
+        """
+        prompt = tuple(int(t) for t in tokens)
+        if not self.enabled or len(prompt) > self.max_tokens:
+            return
+        key = self._key(model_name, vocab_size, prompt)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = model
+                return
+            self._entries[key] = model
+            self._total_tokens += len(prompt)
+            while self._total_tokens > self.max_tokens:
+                evicted_key, _ = self._entries.popitem(last=False)
+                self._total_tokens -= len(evicted_key[2])
+                self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (hit/extend/miss statistics are kept)."""
+        with self._lock:
+            self._entries.clear()
+            self._total_tokens = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def stats(self) -> dict:
+        """Lookup/eviction accounting plus the prefill tokens saved."""
+        with self._lock:
+            lookups = self._hits + self._extends + self._misses
+            return {
+                "entries": len(self._entries),
+                "total_tokens": self._total_tokens,
+                "max_tokens": self.max_tokens,
+                "hits": self._hits,
+                "extends": self._extends,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "tokens_saved": self._tokens_saved,
+                "hit_rate": (self._hits + self._extends) / lookups if lookups else 0.0,
+            }
+
+    def __repr__(self) -> str:
+        stats = self.stats
+        return (
+            f"IngestStateCache(entries={stats['entries']}, "
+            f"tokens={stats['total_tokens']}/{self.max_tokens}, "
+            f"hits={stats['hits']}, extends={stats['extends']}, "
+            f"misses={stats['misses']})"
+        )

@@ -54,12 +54,25 @@ class ShiftBiasedLM(LanguageModel):
         self.shift_steps = shift_steps
 
     def reset(self, context: Sequence[int]) -> None:
+        """Delegate ingest to the wrapped model."""
         self.base.reset(context)
 
+    def fork(self) -> "ShiftBiasedLM":
+        """Fork the wrapped model and re-wrap it with the same bias."""
+        if type(self) is not ShiftBiasedLM:
+            return super().fork()
+        return ShiftBiasedLM(
+            self.base.fork(),
+            shift_weight=self.shift_weight,
+            shift_steps=self.shift_steps,
+        )
+
     def advance(self, token: int) -> None:
+        """Delegate the observation to the wrapped model."""
         self.base.advance(token)
 
     def next_distribution(self) -> np.ndarray:
+        """The wrapped distribution with mass leaned one value step upward."""
         probs = self.base.next_distribution().copy()
         last_value = self.vocab_size - 2  # ids [0, last_value] are values
         if last_value < 1:

@@ -40,6 +40,7 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from repro.core.forecaster import MultiCastForecaster, SampleTask
 from repro.exceptions import ConfigError, GenerationError, ReproError
 from repro.llm.interface import GenerationResult
+from repro.llm.state_cache import IngestStateCache
 from repro.observability.ledger import RunLedger
 from repro.observability.spans import NULL_TRACER, Span
 from repro.serving.cache import ForecastCache, forecast_digest
@@ -81,6 +82,14 @@ class ForecastEngine:
     cache:
         Result cache; defaults to a 128-entry LRU.  Pass
         ``ForecastCache(max_entries=0)`` to disable caching entirely.
+    ingest_cache:
+        Shared :class:`~repro.llm.state_cache.IngestStateCache` reusing
+        prompt-ingest state across requests: repeated prompts fork a cached
+        prefill, extended histories (rolling windows) advance only the new
+        suffix.  Defaults to an enabled cache; pass
+        ``IngestStateCache(max_tokens=0)`` to disable.  Unlike the result
+        cache it never short-circuits sampling, so it also accelerates
+        requests with different seeds over the same prompt.
     retry:
         Per-sample-draw retry policy for transient
         :class:`~repro.exceptions.GenerationError` failures.
@@ -112,6 +121,7 @@ class ForecastEngine:
         num_workers: int = 4,
         *,
         cache: ForecastCache | None = None,
+        ingest_cache: IngestStateCache | None = None,
         retry: RetryPolicy | None = None,
         metrics: MetricsRegistry | None = None,
         max_concurrent_requests: int = 2,
@@ -127,6 +137,9 @@ class ForecastEngine:
                 f"got {max_concurrent_requests}"
             )
         self.cache = ForecastCache() if cache is None else cache
+        self.ingest_cache = (
+            IngestStateCache() if ingest_cache is None else ingest_cache
+        )
         self.retry = retry or RetryPolicy()
         self.metrics = metrics or MetricsRegistry()
         self.tracer = NULL_TRACER if tracer is None else tracer
@@ -170,6 +183,7 @@ class ForecastEngine:
         """Current metrics, including live cache statistics."""
         snapshot = self.metrics.snapshot()
         snapshot["cache"] = {"type": "cache", **self.cache.stats}
+        snapshot["ingest_cache"] = {"type": "cache", **self.ingest_cache.stats}
         return snapshot
 
     def close(self) -> None:
@@ -235,6 +249,7 @@ class ForecastEngine:
             request.config,
             sample_runner=self._make_runner(state),
             tracer=self.tracer,
+            state_cache=self.ingest_cache,
         )
 
         self.metrics.gauge("inflight_requests").add(1)
@@ -265,6 +280,15 @@ class ForecastEngine:
             self.metrics.gauge("inflight_requests").add(-1)
 
         wall = time.perf_counter() - started
+        ingest = output.metadata.get("ingest")
+        if ingest == "fork":
+            self.metrics.counter("ingest_cache_hits").inc()
+        elif ingest == "extend":
+            self.metrics.counter("ingest_cache_extends").inc()
+        elif ingest == "miss":
+            self.metrics.counter("ingest_cache_misses").inc()
+        if span.is_recording and ingest is not None:
+            span.set_attribute("ingest", ingest)
         requested = output.metadata.get("requested_samples", request.config.num_samples)
         completed = output.metadata.get("completed_samples", requested)
         partial = completed < requested
@@ -319,6 +343,7 @@ class ForecastEngine:
             "wall_seconds": round(response.wall_seconds, 9),
             "prompt_tokens": output.prompt_tokens if output else 0,
             "generated_tokens": output.generated_tokens if output else 0,
+            "ingest": output.metadata.get("ingest") if output else None,
             "timings": (
                 {k: round(v, 9) for k, v in output.timings.items()}
                 if output

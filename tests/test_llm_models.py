@@ -179,3 +179,103 @@ def test_ppm_nll_finite_property(tokens):
     nll = model.sequence_nll(tokens[3:], context=tokens[:3])
     assert np.isfinite(nll).all()
     assert (nll >= 0).all()
+
+
+# -- fork() semantics ---------------------------------------------------------
+
+_FORK_CONTEXT = [0, 1, 2, 3, 1, 2, 0, 1, 2, 3, 3, 2, 1, 0] * 6
+
+
+def _preset_models():
+    from repro.llm import available_models, get_model
+
+    return [get_model(name, vocab_size=5) for name in available_models()]
+
+
+class TestFork:
+    """fork() must be indistinguishable from a fresh reset — for every
+    registered preset's underlying model — and strictly isolated."""
+
+    @pytest.mark.parametrize(
+        "llm", _preset_models(), ids=lambda llm: llm.name
+    )
+    def test_fork_matches_fresh_reset_distribution(self, llm):
+        parent = llm.spec.factory(llm.vocab_size)
+        parent.reset(_FORK_CONTEXT)
+        fork = parent.fork()
+        fresh = llm.spec.factory(llm.vocab_size)
+        fresh.reset(_FORK_CONTEXT)
+        np.testing.assert_array_equal(
+            fork.next_distribution(), fresh.next_distribution()
+        )
+
+    @pytest.mark.parametrize(
+        "llm", _preset_models(), ids=lambda llm: llm.name
+    )
+    def test_fork_decode_stream_is_bit_identical_to_generate(self, llm):
+        parent = llm.spec.factory(llm.vocab_size)
+        parent.reset(_FORK_CONTEXT)
+        forked = parent.fork().decode(12, np.random.default_rng(7))
+        fresh = llm.spec.factory(llm.vocab_size)
+        full = fresh.generate(_FORK_CONTEXT, 12, np.random.default_rng(7))
+        assert forked.tokens == full.tokens
+        assert forked.log_probs == full.log_probs
+
+    @pytest.mark.parametrize(
+        "llm", _preset_models(), ids=lambda llm: llm.name
+    )
+    def test_mutating_the_fork_never_leaks_into_the_parent(self, llm):
+        parent = llm.spec.factory(llm.vocab_size)
+        parent.reset(_FORK_CONTEXT)
+        before = parent.next_distribution().copy()
+        fork = parent.fork()
+        fork.decode(30, np.random.default_rng(3))
+        for token in [4, 4, 4, 0, 0, 0]:
+            fork.advance(token)
+        np.testing.assert_array_equal(parent.next_distribution(), before)
+
+    @pytest.mark.parametrize(
+        "llm", _preset_models(), ids=lambda llm: llm.name
+    )
+    def test_mutating_the_parent_never_leaks_into_the_fork(self, llm):
+        parent = llm.spec.factory(llm.vocab_size)
+        parent.reset(_FORK_CONTEXT)
+        fork = parent.fork()
+        before = fork.next_distribution().copy()
+        for token in [4, 0, 4, 0]:
+            parent.advance(token)
+        np.testing.assert_array_equal(fork.next_distribution(), before)
+
+    def test_shiftbiased_fork_does_not_share_the_inner_model(self):
+        from repro.llm import ShiftBiasedLM
+
+        parent = ShiftBiasedLM(PPMLanguageModel(5, max_order=3))
+        parent.reset(_FORK_CONTEXT)
+        fork = parent.fork()
+        assert fork.base is not parent.base
+        assert fork.shift_weight == parent.shift_weight
+        assert fork.shift_steps == parent.shift_steps
+
+    def test_ctw_fork_does_not_share_nodes(self):
+        from repro.llm import CTWLanguageModel
+
+        parent = CTWLanguageModel(5, depth=4)
+        parent.reset(_FORK_CONTEXT)
+        fork = parent.fork()
+        assert fork._root is not parent._root
+        assert not (
+            set(id(n) for n in fork._nodes.values())
+            & set(id(n) for n in parent._nodes.values())
+        )
+
+    def test_subclasses_fall_back_to_deepcopy_and_keep_their_type(self):
+        class Tagged(PPMLanguageModel):
+            tag = "subclass-state"
+
+        parent = Tagged(5, max_order=3)
+        parent.reset(_FORK_CONTEXT)
+        fork = parent.fork()
+        assert type(fork) is Tagged and fork.tag == "subclass-state"
+        np.testing.assert_array_equal(
+            fork.next_distribution(), parent.next_distribution()
+        )

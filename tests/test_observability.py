@@ -230,8 +230,36 @@ class TestForecastTracing:
             assert draw.attributes["tokens_generated"] > 0
             llm = draw.find("llm:generate")
             assert llm is not None
-            assert llm.find("llm:ingest") is not None
+            # Prompt ingest is shared: every draw forks the prefilled model.
+            assert llm.attributes["ingest"] == "fork"
+            assert llm.find("llm:ingest") is None
             assert llm.find("llm:decode") is not None
+        # Exactly one draw performed the shared prefill, as a sibling
+        # llm:ingest span under its sample_draw.
+        ingests = [d.find("llm:ingest") for d in draws]
+        ingests = [s for s in ingests if s is not None]
+        assert len(ingests) == 1
+        (ingest,) = ingests
+        assert ingest.attributes["ingest"] == "miss"  # no cache attached
+        assert (
+            ingest.attributes["ingested_tokens"]
+            == ingest.attributes["context_tokens"]
+        )
+
+    def test_ingest_span_reports_fork_on_cache_hit(self):
+        from repro.llm import IngestStateCache
+
+        cache = IngestStateCache()
+        config = MultiCastConfig(num_samples=2, seed=0)
+        MultiCastForecaster(config, state_cache=cache).forecast(HISTORY, 3)
+        collector = SpanCollector()
+        MultiCastForecaster(
+            config, tracer=Tracer(collector), state_cache=cache
+        ).forecast(HISTORY, 3)
+        (root,) = collector.drain()
+        ingest = root.find("llm:ingest")
+        assert ingest.attributes["ingest"] == "fork"
+        assert ingest.attributes["ingested_tokens"] == 0
 
     def test_multiplex_span_records_prompt_budget(self):
         collector = SpanCollector()

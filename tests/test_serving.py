@@ -49,13 +49,17 @@ class _FlakyPPM(PPMLanguageModel):
 
 
 class _SlowPPM(PPMLanguageModel):
-    """Sleeps before ingesting the prompt — a draw that blows the deadline."""
+    """Sleeps before decoding — every draw blows the deadline.
+
+    The delay sits in ``decode`` (not ``reset``) because prompt ingest is
+    shared across draws; deadline tests need each *draw* to be slow.
+    """
 
     delay = 0.3
 
-    def reset(self, context):
+    def decode(self, *args, **kwargs):
         time.sleep(self.delay)
-        super().reset(context)
+        return super().decode(*args, **kwargs)
 
 
 def _register(name, factory):

@@ -15,7 +15,7 @@ gap and the output names each one as ``path:line``.
 
 Usage::
 
-    python tools/check_docstrings.py src/repro/serving src/repro/observability
+    python tools/check_docstrings.py src/repro/serving src/repro/llm
 """
 
 from __future__ import annotations
@@ -26,7 +26,11 @@ from pathlib import Path
 
 #: Default coverage scope: the subsystems whose documentation this gate
 #: protects.  Paths are relative to the repository root.
-DEFAULT_TARGETS = ("src/repro/serving", "src/repro/observability")
+DEFAULT_TARGETS = (
+    "src/repro/serving",
+    "src/repro/observability",
+    "src/repro/llm",
+)
 
 
 def _is_public(name: str) -> bool:
