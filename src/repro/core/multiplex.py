@@ -19,9 +19,14 @@ extension:
   for how sensitive the model is to a fixed dimension order.
 
 Every multiplexer is an exact inverse pair: ``demux(mux(x)) == x`` for
-well-formed streams (a hypothesis property in the test-suite), and demux is
-lenient to truncated/malformed model output (partial trailing groups are
-completed conservatively, incomplete trailing timestamps dropped).
+well-formed streams (a hypothesis property in the test-suite, fuzzed further
+by :mod:`repro.fuzz`), and demux is lenient to truncated/malformed model
+output.  By default an incomplete *trailing* timestamp is dropped — a
+truncated final group carries only some dimensions, and guessing the missing
+cells would bias the last forecast row; callers that prefer a conservative
+completion (pad with the codec's mid/zero token) opt in with
+``pad_incomplete=True``.  Malformed *interior* groups (only possible with
+unconstrained generation) are still padded/truncated to keep row alignment.
 
 Multiplexers are codec-generic: a cell codec renders one value as a fixed
 number of tokens (``DigitCodec`` for raw digits; ``SaxSymbolCodec`` with
@@ -94,14 +99,24 @@ class Multiplexer(ABC):
 
     @abstractmethod
     def demux(
-        self, tokens: Sequence[str], num_dims: int, codec, row_offset: int = 0
+        self,
+        tokens: Sequence[str],
+        num_dims: int,
+        codec,
+        row_offset: int = 0,
+        pad_incomplete: bool = False,
     ) -> np.ndarray:
         """Parse a token stream back into an ``(m, num_dims)`` code matrix,
         dropping any incomplete trailing timestamp.
 
         ``row_offset`` is the absolute timestamp index of the stream's first
         row — needed by layouts that vary per timestamp (block interleaving
-        continues the history's rotation when parsing generated output)."""
+        continues the history's rotation when parsing generated output).
+
+        ``pad_incomplete=True`` keeps a truncated trailing group instead,
+        completing it with the codec's pad token (the pre-PR-4 behaviour,
+        for callers that would rather salvage a biased final row than lose
+        it)."""
 
     @abstractmethod
     def tokens_per_timestamp(self, num_dims: int, width: int) -> int:
@@ -118,6 +133,10 @@ class Multiplexer(ABC):
         arr = np.asarray(codes)
         if arr.ndim != 2 or arr.shape[0] < 1 or arr.shape[1] < 1:
             raise EncodingError(f"expected a non-empty (n, d) matrix, got {arr.shape}")
+        if np.issubdtype(arr.dtype, np.floating) and not np.isfinite(arr).all():
+            raise EncodingError(
+                "code matrix contains NaN or inf; scale before multiplexing"
+            )
         if not np.issubdtype(arr.dtype, np.integer):
             raise EncodingError("multiplexers operate on integer code matrices")
         return arr
@@ -167,12 +186,25 @@ class _GroupedMultiplexer(Multiplexer):
         return stream
 
     def demux(
-        self, tokens: Sequence[str], num_dims: int, codec, row_offset: int = 0
+        self,
+        tokens: Sequence[str],
+        num_dims: int,
+        codec,
+        row_offset: int = 0,
+        pad_incomplete: bool = False,
     ) -> np.ndarray:
+        """Parse composite groups back into rows (see :meth:`Multiplexer.demux`)."""
         width = codec.num_digits
         group_length = num_dims * width
+        groups = self._groups(tokens)
         rows: list[list[int]] = []
-        for row_index, group in enumerate(self._groups(tokens)):
+        for row_index, group in enumerate(groups):
+            if (
+                len(group) < group_length
+                and row_index == len(groups) - 1
+                and not pad_incomplete
+            ):
+                break  # truncated trailing timestamp: drop rather than guess
             group = self._pad_group(group, group_length, codec.pad_token)
             cells = [["" for _ in range(width)] for _ in range(num_dims)]
             for token, (dim, pos) in zip(
@@ -239,12 +271,21 @@ class ValueConcatenator(Multiplexer):
         return stream
 
     def demux(
-        self, tokens: Sequence[str], num_dims: int, codec, row_offset: int = 0
+        self,
+        tokens: Sequence[str],
+        num_dims: int,
+        codec,
+        row_offset: int = 0,
+        pad_incomplete: bool = False,
     ) -> np.ndarray:
+        """Parse per-value groups back into rows (see :meth:`Multiplexer.demux`)."""
         width = codec.num_digits
+        groups = self._groups(tokens)
+        if groups and len(groups[-1]) < width and not pad_incomplete:
+            groups = groups[:-1]  # truncated trailing value: drop, don't guess
         values = [
             codec.value_of_partial(self._pad_group(g, width, codec.pad_token))
-            for g in self._groups(tokens)
+            for g in groups
         ]
         complete = len(values) // num_dims
         if complete == 0:

@@ -1,0 +1,65 @@
+"""Command-line entry point: ``python -m repro.fuzz --cases 500 --seed 0``.
+
+Exit status is the number of surviving counterexamples (capped at 99), so
+CI can gate directly on the process result.  Repro files for failures are
+written under ``--out`` (default ``results/fuzz``) and each embeds both
+the original draw and its shrunk minimal form.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.fuzz.generators import FAMILIES
+from repro.fuzz.harness import run_fuzz
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro.fuzz`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description=(
+            "Property-based fuzzing of the rescale→multiplex→generate→"
+            "demultiplex→descale round trip."
+        ),
+    )
+    parser.add_argument(
+        "--cases", type=int, default=500, help="number of cases to draw"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="run seed")
+    parser.add_argument(
+        "--family",
+        action="append",
+        choices=FAMILIES,
+        help="restrict to a property family (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--out",
+        default="results/fuzz",
+        help="directory for failure repro files (default: results/fuzz)",
+    )
+    parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report raw failing draws without minimisation",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run a fuzz session; return the surviving-counterexample count."""
+    args = build_parser().parse_args(argv)
+    report = run_fuzz(
+        num_cases=args.cases,
+        seed=args.seed,
+        families=tuple(args.family) if args.family else None,
+        out_dir=args.out,
+        shrink=not args.no_shrink,
+    )
+    print(report.summary())
+    return min(len(report.failures), 99)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,130 @@
+"""Fuzz run orchestration: generate → check → shrink → report.
+
+:func:`run_fuzz` drives ``num_cases`` independent draws from a single run
+seed (case ``i`` uses the sub-stream ``(seed, i)``, so any case can be
+regenerated alone), checks each against its property family, shrinks
+failures to minimal counterexamples, and optionally writes one JSON repro
+file per failure.  The resulting :class:`FuzzReport` is what the CLI
+prints and what the CI smoke job gates on: zero surviving counterexamples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.fuzz.generators import FAMILIES, FuzzCase, generate_case
+from repro.fuzz.properties import check_case
+from repro.fuzz.shrinker import shrink_case
+
+__all__ = ["Counterexample", "FuzzReport", "run_fuzz"]
+
+
+@dataclass
+class Counterexample:
+    """One surviving property failure: the draw, its shrunk form, the reason."""
+
+    index: int
+    failure: str
+    case: FuzzCase
+    shrunk: FuzzCase
+
+    def to_json(self) -> str:
+        """Repro-file payload: the shrunk case plus provenance."""
+        import json
+
+        return json.dumps(
+            {
+                "index": self.index,
+                "failure": self.failure,
+                "shrunk": json.loads(self.shrunk.to_json()),
+                "original": json.loads(self.case.to_json()),
+            },
+            indent=2,
+        )
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate outcome of one fuzz run."""
+
+    seed: int
+    cases_run: int = 0
+    checked_per_family: dict[str, int] = field(default_factory=dict)
+    failures: list[Counterexample] = field(default_factory=list)
+    repro_files: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no counterexample survived."""
+        return not self.failures
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"fuzz: {self.cases_run} cases, seed {self.seed} — "
+            + ("OK" if self.ok else f"{len(self.failures)} counterexample(s)")
+        ]
+        for family in FAMILIES:
+            count = self.checked_per_family.get(family, 0)
+            lines.append(f"  {family:22s} {count} cases")
+        for ce in self.failures:
+            lines.append(f"  FAIL #{ce.index}: {ce.failure}")
+            lines.append(f"    shrunk: {ce.shrunk.describe()}")
+        if self.repro_files:
+            lines.append("  repro files:")
+            lines.extend(f"    {path}" for path in self.repro_files)
+        return "\n".join(lines)
+
+
+def run_fuzz(
+    num_cases: int,
+    seed: int = 0,
+    families: tuple[str, ...] | None = None,
+    out_dir: str | Path | None = None,
+    shrink: bool = True,
+) -> FuzzReport:
+    """Fuzz ``num_cases`` draws across the scheme × scaler × codec matrix.
+
+    ``families`` restricts the run to a subset of property families
+    (cases cycle through the selection so coverage stays even).
+    ``out_dir`` receives one ``case-<index>.json`` repro file per failure;
+    ``shrink=False`` skips minimisation (faster triage loops).
+    """
+    if num_cases < 1:
+        raise ValueError(f"num_cases must be >= 1, got {num_cases}")
+    selected = tuple(families) if families else FAMILIES
+    for family in selected:
+        if family not in FAMILIES:
+            raise ValueError(
+                f"unknown fuzz family {family!r}; choose from {FAMILIES}"
+            )
+    report = FuzzReport(seed=seed)
+    out_path = Path(out_dir) if out_dir is not None else None
+    for index in range(num_cases):
+        rng = np.random.default_rng((seed, index))
+        family = selected[index % len(selected)]
+        case = generate_case(rng, family=family)
+        report.cases_run += 1
+        report.checked_per_family[family] = (
+            report.checked_per_family.get(family, 0) + 1
+        )
+        failure = check_case(case)
+        if failure is None:
+            continue
+        shrunk = shrink_case(case, check_case) if shrink else case
+        counterexample = Counterexample(
+            index=index,
+            failure=check_case(shrunk) or failure,
+            case=case,
+            shrunk=shrunk,
+        )
+        report.failures.append(counterexample)
+        if out_path is not None:
+            out_path.mkdir(parents=True, exist_ok=True)
+            repro_file = out_path / f"case-{index}.json"
+            repro_file.write_text(counterexample.to_json())
+            report.repro_files.append(str(repro_file))
+    return report

@@ -1,0 +1,342 @@
+"""The three property families the fuzz harness checks.
+
+Every check takes a :class:`~repro.fuzz.generators.FuzzCase` and returns
+``None`` on success or a human-readable failure description.  A property
+failure means the *library* broke its contract — adversarial inputs are
+expected; NaN codes, silent collapse, crashes, or lossy round-trips are
+not.  Scalers may refuse an input with a clean
+:class:`~repro.exceptions.ScalingError`, but only when its magnitudes are
+genuinely beyond what a float64 affine map can represent; refusing a tame
+input is itself a failure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.multiplex import Multiplexer, SaxSymbolCodec, get_multiplexer
+from repro.encoding.tokenizer import SEPARATOR, DigitCodec
+from repro.exceptions import ReproError, ScalingError
+from repro.fuzz.generators import FuzzCase
+from repro.llm.constraints import PeriodicPatternConstraint
+from repro.sax.encoder import SaxAlphabet, SaxEncoder
+from repro.sax.paa import num_segments
+from repro.scaling.scalers import (
+    FixedDigitScaler,
+    MinMaxScaler,
+    PercentileScaler,
+    ZScoreScaler,
+)
+
+__all__ = ["check_case", "codes_for", "make_codec"]
+
+#: Inputs whose magnitudes stay below this are "tame": a scaler must
+#: handle them without refusing (float64 has ample headroom at 1e100).
+_TAME_MAGNITUDE = 1e100
+
+#: Center-to-span ratio beyond which SAX decode→encode idempotence is
+#: not asserted: reconstructing ``mean + level*std`` and re-centering
+#: cancels catastrophically once the offset dwarfs the spread.
+_SAX_CANCELLATION_RATIO = 1e12
+
+
+def make_codec(case: FuzzCase):
+    """The cell codec a case specifies (digit or SAX symbol)."""
+    if case.codec == "digit":
+        return DigitCodec(case.num_digits)
+    kind = case.codec.split("-", 1)[1]
+    return SaxSymbolCodec(SaxAlphabet.of_kind(kind, case.alphabet_size))
+
+
+def codes_for(case: FuzzCase) -> np.ndarray:
+    """A deterministic in-range ``(n, d)`` code matrix for a case."""
+    codec = make_codec(case)
+    rng = np.random.default_rng(case.seed)
+    return rng.integers(
+        0, codec.max_value + 1, size=(case.num_steps, case.num_dims), dtype=np.int64
+    )
+
+
+def check_case(case: FuzzCase) -> str | None:
+    """Run the case's property family; ``None`` on success, else a reason."""
+    try:
+        if case.family == "round_trip":
+            return _check_round_trip(case)
+        if case.family == "mux_identity":
+            return _check_mux_identity(case)
+        if case.family == "constraint_soundness":
+            return _check_constraint_soundness(case)
+    except ReproError as exc:  # any unexpected library error is a finding
+        return f"unexpected {type(exc).__name__}: {exc}"
+    except Exception as exc:  # hard crash (numpy/stdlib) is always a finding
+        return f"crash {type(exc).__name__}: {exc}"
+    return f"unknown fuzz family {case.family!r}"
+
+
+# -- family 1: scaler / SAX round trips ---------------------------------------
+
+
+def _fixed_tolerance(
+    scaler: FixedDigitScaler, col: np.ndarray, inv: np.ndarray
+) -> float:
+    """Round-trip bound: half a quantization step plus float rounding.
+
+    The float term scales with the fitted *span* (``resolution * max_int``),
+    not just the values: ``inverse_transform`` sums terms of span magnitude,
+    so a mathematically-exact half-step error can exceed ``resolution / 2``
+    by a few ulp of the span.
+    """
+    span = scaler.resolution * scaler.max_int
+    return 0.5 * scaler.resolution + 8.0 * float(
+        np.spacing(max(span, np.abs(col).max(), np.abs(inv).max(), 1e-300))
+    )
+
+
+def _make_scaler(case: FuzzCase):
+    if case.scaler == "fixed":
+        return FixedDigitScaler(num_digits=case.num_digits)
+    if case.scaler == "percentile":
+        return PercentileScaler()
+    if case.scaler == "zscore":
+        return ZScoreScaler()
+    return MinMaxScaler()
+
+
+def _check_fixed_column(case: FuzzCase, col: np.ndarray) -> str | None:
+    scaler = FixedDigitScaler(num_digits=case.num_digits)
+    tame = float(np.abs(col).max()) <= _TAME_MAGNITUDE
+    try:
+        codes = scaler.fit(col).transform(col)
+    except ScalingError as exc:
+        if tame:
+            return f"FixedDigitScaler refused a tame series: {exc}"
+        return None
+    if not np.issubdtype(codes.dtype, np.integer):
+        return f"FixedDigitScaler produced non-integer codes ({codes.dtype})"
+    if codes.min() < 0 or codes.max() > scaler.max_int:
+        return (
+            f"FixedDigitScaler codes outside [0, {scaler.max_int}]: "
+            f"[{codes.min()}, {codes.max()}]"
+        )
+    inv = scaler.inverse_transform(codes)
+    if not np.isfinite(inv).all():
+        return "FixedDigitScaler inverse produced non-finite values"
+    tol = _fixed_tolerance(scaler, col, inv)
+    err = float(np.abs(col - inv).max())
+    if err > tol:
+        return (
+            f"FixedDigitScaler round-trip error {err:.6g} exceeds "
+            f"resolution tolerance {tol:.6g}"
+        )
+    return None
+
+
+def _check_float_scaler_column(case: FuzzCase, col: np.ndarray) -> str | None:
+    scaler = _make_scaler(case)
+    tame = float(np.abs(col).max()) <= _TAME_MAGNITUDE
+    try:
+        y = scaler.fit_transform(col)
+    except ScalingError as exc:
+        if tame:
+            return f"{type(scaler).__name__} refused a tame series: {exc}"
+        return None
+    if not np.isfinite(y).all():
+        return f"{type(scaler).__name__} produced non-finite transformed values"
+    inv = scaler.inverse_transform(y)
+    if not np.isfinite(inv).all():
+        return f"{type(scaler).__name__} inverse produced non-finite values"
+    scale = max(float(np.abs(col).max()), 1.0)
+    err = float(np.abs(col - inv).max())
+    if err > scale * 1e-9:
+        return (
+            f"{type(scaler).__name__} round-trip error {err:.6g} "
+            f"exceeds rtol 1e-9 at scale {scale:.6g}"
+        )
+    return None
+
+
+def _check_sax_column(case: FuzzCase, col: np.ndarray) -> str | None:
+    kind = case.codec.split("-", 1)[1]
+    alphabet = SaxAlphabet.of_kind(kind, case.alphabet_size)
+    encoder = SaxEncoder(case.segment_length, alphabet)
+    tame = float(np.abs(col).max()) <= _TAME_MAGNITUDE
+    try:
+        encoder.fit(col)
+        word = encoder.encode(col)
+    except ScalingError as exc:
+        if tame:
+            return f"SaxEncoder refused a tame series: {exc}"
+        return None
+    n = col.size
+    if len(word) != num_segments(n, case.segment_length):
+        return (
+            f"SAX word length {len(word)} != "
+            f"{num_segments(n, case.segment_length)} segments"
+        )
+    decoded = encoder.decode(word, n)
+    if not np.isfinite(decoded).all():
+        return "SAX decode produced non-finite values"
+    span = float(col.max() - col.min())
+    center = float(np.abs(col).max())
+    if span == 0.0 or center <= span * _SAX_CANCELLATION_RATIO:
+        if encoder.encode(decoded) != word:
+            return "SAX decode→encode is not idempotent"
+    return None
+
+
+def _check_round_trip(case: FuzzCase) -> str | None:
+    arr = np.asarray(case.values, dtype=float)
+    per_column_codes: list[np.ndarray] = []
+    scalers: list[FixedDigitScaler] = []
+    for k in range(case.num_dims):
+        col = arr[:, k]
+        if case.codec == "digit":
+            failure = (
+                _check_fixed_column(case, col)
+                if case.scaler == "fixed"
+                else _check_float_scaler_column(case, col)
+            )
+        else:
+            failure = _check_sax_column(case, col)
+            if failure is None and case.scaler != "fixed":
+                failure = _check_float_scaler_column(case, col)
+        if failure is not None:
+            return f"dim {k}: {failure}"
+        if case.scaler == "fixed" and case.codec == "digit":
+            scaler = FixedDigitScaler(num_digits=case.num_digits)
+            try:
+                per_column_codes.append(scaler.fit(col).transform(col))
+                scalers.append(scaler)
+            except ScalingError:
+                per_column_codes = []
+                break
+    if case.scaler == "fixed" and case.codec == "digit" and per_column_codes:
+        # Full chain: scale → mux → demux → descale across all dimensions.
+        codes = np.stack(per_column_codes, axis=1)
+        codec = DigitCodec(case.num_digits)
+        mux = get_multiplexer(case.scheme)
+        recovered = mux.demux(mux.mux(codes, codec), case.num_dims, codec)
+        if not np.array_equal(recovered, codes):
+            return "full-chain mux/demux changed the code matrix"
+        for k, scaler in enumerate(scalers):
+            inv = scaler.inverse_transform(recovered[:, k])
+            tol = _fixed_tolerance(scaler, arr[:, k], inv)
+            if float(np.abs(arr[:, k] - inv).max()) > tol:
+                return f"dim {k}: full-chain round-trip exceeds resolution"
+    return None
+
+
+# -- family 2: demux ∘ mux identity -------------------------------------------
+
+
+def _boundary_index(mux: Multiplexer, row: int, num_dims: int, width: int) -> int:
+    """Token index where ``row`` starts inside a muxed stream."""
+    return row * mux.tokens_per_timestamp(num_dims, width)
+
+
+def _check_mux_identity(case: FuzzCase) -> str | None:
+    codec = make_codec(case)
+    codes = codes_for(case)
+    d = case.num_dims
+    mux = get_multiplexer(case.scheme)
+    stream = mux.mux(codes, codec)
+
+    for pad in (False, True):
+        recovered = mux.demux(stream, d, codec, pad_incomplete=pad)
+        if not np.array_equal(recovered, codes):
+            return f"demux(mux(x), pad_incomplete={pad}) != x"
+
+    # Row-offset continuation: parsing the stream's tail from row r must
+    # agree with parsing everything and slicing — the contract generated
+    # continuations rely on (BI resumes the history's rotation mid-way).
+    r = min(case.num_steps, int(round(case.cut * case.num_steps)))
+    tail = stream[_boundary_index(mux, r, d, codec.num_digits) :]
+    sliced = mux.demux(tail, d, codec, row_offset=r)
+    if not np.array_equal(sliced, codes[r:]):
+        return f"demux(tail, row_offset={r}) != full demux sliced at {r}"
+
+    if case.corruption == "truncate":
+        cut = min(len(stream), int(round(case.cut * len(stream))))
+        prefix = mux.demux(stream[:cut], d, codec)
+        if prefix.shape[1] != d or prefix.shape[0] > case.num_steps:
+            return f"truncated demux shape {prefix.shape} out of bounds"
+        if not np.array_equal(prefix, codes[: prefix.shape[0]]):
+            return "truncated demux rows are not an exact prefix"
+        lenient = mux.demux(stream[:cut], d, codec, pad_incomplete=True)
+        if lenient.shape[0] < prefix.shape[0] or (
+            prefix.shape[0]
+            and not np.array_equal(lenient[: prefix.shape[0]], prefix)
+        ):
+            return "pad_incomplete=True disagrees with drop mode on full rows"
+    elif case.corruption == "separator":
+        separators = [i for i, t in enumerate(stream) if t == SEPARATOR]
+        if separators:
+            at = separators[
+                min(len(separators) - 1, int(round(case.cut * (len(separators) - 1))))
+            ]
+            if case.seed % 2:  # doubled separator: an empty group, skipped
+                corrupted = stream[: at + 1] + [SEPARATOR] + stream[at + 1 :]
+                if not np.array_equal(mux.demux(corrupted, d, codec), codes):
+                    return "doubled separator changed the demuxed matrix"
+            else:  # deleted separator: two groups merge; must stay parseable
+                corrupted = stream[:at] + stream[at + 1 :]
+                merged = mux.demux(corrupted, d, codec)
+                if merged.shape[1] != d:
+                    return f"separator-deleted demux shape {merged.shape}"
+                if merged.size and (
+                    merged.min() < 0 or merged.max() > codec.max_value
+                ):
+                    return "separator-deleted demux left the code range"
+    return None
+
+
+# -- family 3: constraint-pattern soundness -----------------------------------
+
+
+def _check_constraint_soundness(case: FuzzCase) -> str | None:
+    codec = make_codec(case)
+    width = codec.num_digits
+    d = case.num_dims
+    if isinstance(codec, DigitCodec):
+        value_tokens = [str(i) for i in range(10)]
+    else:
+        value_tokens = list(codec.alphabet.symbols)
+    sep_id = len(value_tokens)
+    mux = get_multiplexer(case.scheme)
+    pattern = mux.constraint_pattern(
+        d, width, frozenset(range(sep_id)), sep_id
+    )
+    constraint = PeriodicPatternConstraint(pattern)
+    period = constraint.period
+    rng = np.random.default_rng(case.seed)
+
+    length = int(rng.integers(0, max(1, case.num_steps) * period + 1))
+    ids = [
+        int(rng.choice(sorted(constraint.allowed_at(p)))) for p in range(length)
+    ]
+    if not constraint.admits(ids):
+        return "constraint.admits rejects a stream drawn from allowed_at"
+    tokens = [SEPARATOR if i == sep_id else value_tokens[i] for i in ids]
+
+    rows = mux.demux(tokens, d, codec)  # must parse without error
+    complete_periods = (length + 1) // period
+    expected = complete_periods // d if case.scheme == "vc" else complete_periods
+    if rows.shape != (expected, d):
+        return (
+            f"grammar-admitted stream of {length} tokens demuxed to "
+            f"{rows.shape}, expected ({expected}, {d})"
+        )
+    if rows.size and (rows.min() < 0 or rows.max() > codec.max_value):
+        return "grammar-admitted stream demuxed outside the code range"
+
+    # The unconstrained ablation: any digits/symbols + separators mix must
+    # still demux leniently without raising.
+    loose_length = int(rng.integers(0, 4 * period + 1))
+    loose_ids = rng.integers(0, sep_id + 1, size=loose_length)
+    loose = [SEPARATOR if i == sep_id else value_tokens[i] for i in loose_ids]
+    lenient = mux.demux(loose, d, codec, pad_incomplete=True)
+    if lenient.shape[1] != d:
+        return f"lenient demux shape {lenient.shape} has wrong dimension count"
+    if lenient.size and (lenient.min() < 0 or lenient.max() > codec.max_value):
+        return "lenient demux left the code range"
+    return None

@@ -1,0 +1,108 @@
+"""Greedy counterexample shrinking for failing fuzz cases.
+
+A failing :class:`~repro.fuzz.generators.FuzzCase` is rarely minimal — it
+may carry 40 timestamps and 12 dimensions when two values in one dimension
+reproduce the bug.  The shrinker repeatedly proposes structurally smaller
+variants (fewer rows, fewer dimensions, simpler values, milder knobs) and
+keeps any variant on which the property *still fails*, until no proposal
+makes progress.  The result is the case that gets written to the repro
+file and pinned as a regression test.
+
+The shrinker is deliberately deterministic: no randomness, a fixed
+proposal order, and a hard cap on iterations, so shrinking the same
+failure always yields the same minimal case.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from dataclasses import replace
+
+from repro.fuzz.generators import FuzzCase
+
+__all__ = ["shrink_case", "case_size"]
+
+#: Safety cap on shrink iterations (each accepted proposal restarts the scan).
+_MAX_ROUNDS = 500
+
+
+def case_size(case: FuzzCase) -> int:
+    """Structural size metric minimised by the shrinker (lower = simpler)."""
+    value_complexity = sum(
+        1 for row in case.values for v in row if v not in (0.0, 1.0)
+    )
+    return (
+        case.num_steps * max(1, case.num_dims) * 4
+        + value_complexity
+        + case.num_digits
+        + case.alphabet_size
+        + case.segment_length
+        + (0 if case.corruption == "none" else 1)
+    )
+
+
+def _proposals(case: FuzzCase) -> Iterator[FuzzCase]:
+    """Structurally smaller variants of ``case``, simplest-first."""
+    n, d = case.num_steps, case.num_dims
+    # Fewer timestamps: drop halves, then single rows from either end.
+    if n > 1:
+        yield replace(case, values=case.values[: n // 2])
+        yield replace(case, values=case.values[n // 2 :])
+        yield replace(case, values=case.values[:-1])
+        yield replace(case, values=case.values[1:])
+    # Fewer dimensions: drop the trailing half, then one column at a time.
+    if d > 1:
+        yield replace(case, values=[row[: d // 2] for row in case.values])
+        for k in range(d):
+            yield replace(
+                case, values=[row[:k] + row[k + 1 :] for row in case.values]
+            )
+    # Simpler values: zero everything, then zero/round single cells.
+    if any(v != 0.0 for row in case.values for v in row):
+        yield replace(case, values=[[0.0] * d for _ in range(n)])
+    for t in range(n):
+        for k in range(d):
+            v = case.values[t][k]
+            for simpler in (0.0, 1.0, float(int(v)) if abs(v) < 1e15 else 0.0):
+                if v != simpler:
+                    patched = [list(row) for row in case.values]
+                    patched[t][k] = simpler
+                    yield replace(case, values=patched)
+                    break
+    # Milder pipeline knobs.
+    if case.num_digits > 1:
+        yield replace(case, num_digits=1)
+        yield replace(case, num_digits=case.num_digits - 1)
+    if case.alphabet_size > 2:
+        yield replace(case, alphabet_size=2)
+    if case.segment_length > 1:
+        yield replace(case, segment_length=1)
+    if case.corruption != "none":
+        yield replace(case, corruption="none")
+    if case.cut not in (0.0, 1.0):
+        yield replace(case, cut=0.0)
+        yield replace(case, cut=1.0)
+
+
+def shrink_case(
+    case: FuzzCase, oracle: Callable[[FuzzCase], str | None]
+) -> FuzzCase:
+    """Smallest variant of ``case`` on which ``oracle`` still reports failure.
+
+    ``oracle`` is typically :func:`repro.fuzz.properties.check_case`; any
+    callable returning ``None`` for passing cases works (tests inject
+    synthetic oracles).  ``case`` itself must be failing.
+    """
+    current = case
+    for _ in range(_MAX_ROUNDS):
+        for candidate in _proposals(current):
+            if not candidate.values or not candidate.values[0]:
+                continue  # never shrink below a (1, 1) series
+            if case_size(candidate) >= case_size(current):
+                continue
+            if oracle(candidate) is not None:
+                current = candidate
+                break
+        else:
+            return current
+    return current

@@ -29,6 +29,15 @@ class Constraint(ABC):
     def allowed_at(self, position: int) -> frozenset[int]:
         """Admissible token ids at ``position`` (0 = first generated token)."""
 
+    def admits(self, ids: Sequence[int]) -> bool:
+        """Whether the grammar admits ``ids`` as a generated stream.
+
+        True iff every token id is in the admissible set of its position —
+        the soundness contract the :mod:`repro.fuzz` harness checks against
+        demultiplexing: every stream a constraint admits must demux cleanly.
+        """
+        return all(int(t) in self.allowed_at(p) for p, t in enumerate(ids))
+
 
 class SetConstraint(Constraint):
     """The same admissible id set at every position."""

@@ -125,8 +125,16 @@ class SaxEncoder:
     def encode(self, x: np.ndarray) -> list[str]:
         """Series -> SAX word (one symbol per PAA segment)."""
         self._require_fitted()
-        z = self._zscaler.transform(np.asarray(x, dtype=float))
-        coefficients = paa(z, self.segment_length)
+        with np.errstate(over="ignore", invalid="ignore"):
+            z = self._zscaler.transform(np.asarray(x, dtype=float))
+            coefficients = paa(z, self.segment_length)
+        if not np.isfinite(coefficients).all():
+            # searchsorted sorts NaN past every breakpoint, which would
+            # silently emit the top symbol for an undefined coefficient.
+            raise EncodingError(
+                "z-normalisation overflowed float64 (series magnitude is "
+                "extreme relative to the fitted history); cannot SAX-encode"
+            )
         indices = np.searchsorted(self._breakpoints, coefficients, side="left")
         return [self.alphabet.symbols[i] for i in indices]
 

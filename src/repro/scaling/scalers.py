@@ -42,6 +42,30 @@ def _as_1d_float(x: np.ndarray, what: str) -> np.ndarray:
     return arr
 
 
+def _widened_span(lo: float, hi: float, what: str) -> tuple[float, float]:
+    """A strictly positive, float64-representable ``(lo, hi)`` span.
+
+    A degenerate span (``hi == lo``, or so narrow the endpoints cannot move
+    at this magnitude) is widened symmetrically by half a unit — scaled up
+    with the magnitude, since ``1e300 - 0.5 == 1e300`` in float64.  A span
+    whose width overflows float64 cannot support an affine map at all and
+    raises :class:`ScalingError` rather than producing NaN downstream.
+    """
+    span = hi - lo
+    if not np.isfinite(span):
+        raise ScalingError(
+            f"{what} range [{lo}, {hi}] is too wide to represent in float64"
+        )
+    if span <= 0.0 or lo + span == lo or hi - span == hi:
+        half = max(0.5, max(abs(lo), abs(hi)) * 1e-9)
+        lo, hi = lo - half, hi + half
+        if not np.isfinite(hi - lo) or hi - lo <= 0.0:
+            raise ScalingError(
+                f"{what} range [{lo}, {hi}] cannot be widened in float64"
+            )
+    return lo, hi
+
+
 class Scaler(ABC):
     """A reversible univariate transform fit on a training series."""
 
@@ -82,7 +106,10 @@ class FixedDigitScaler(Scaler):
         reserved for out-of-history excursions.
 
     A constant training series is handled by centring it mid-range with a
-    unit-width span, so transform/inverse stay well-defined.
+    span of at least one unit (widened proportionally at magnitudes where
+    float64 would absorb a unit-width step), so transform/inverse stay
+    well-defined; a series whose range cannot be represented as a float64
+    span raises :class:`ScalingError` instead of emitting garbage codes.
     """
 
     def __init__(self, num_digits: int = 3, headroom: float = 0.15) -> None:
@@ -102,12 +129,15 @@ class FixedDigitScaler(Scaler):
 
     def fit(self, x: np.ndarray) -> "FixedDigitScaler":
         arr = _as_1d_float(x, "training series")
-        lo, hi = float(arr.min()), float(arr.max())
-        if hi == lo:
-            lo, hi = lo - 0.5, hi + 0.5
+        lo, hi = _widened_span(float(arr.min()), float(arr.max()), "training series")
         margin = (hi - lo) * self.headroom
         self._lo = lo - margin
         self._hi = hi + margin
+        if not np.isfinite(self._hi - self._lo) or self._hi - self._lo <= 0.0:
+            raise ScalingError(
+                f"training range [{lo}, {hi}] with headroom {self.headroom} "
+                "does not fit in float64"
+            )
         self._fitted = True
         return self
 
@@ -115,9 +145,15 @@ class FixedDigitScaler(Scaler):
         """Return integer codes; values outside the fitted span are clipped."""
         self._require_fitted()
         arr = _as_1d_float(x, "series")
-        frac = (arr - self._lo) / (self._hi - self._lo)
-        codes = np.rint(frac * self.max_int)
-        return np.clip(codes, 0, self.max_int).astype(np.int64)
+        with np.errstate(over="ignore", invalid="ignore"):
+            frac = (arr - self._lo) / (self._hi - self._lo)
+            codes = np.clip(np.rint(frac * self.max_int), 0, self.max_int)
+        if not np.isfinite(codes).all():
+            raise ScalingError(
+                "scaling produced non-finite codes (series magnitude exceeds "
+                "what the fitted span can represent in float64)"
+            )
+        return codes.astype(np.int64)
 
     def inverse_transform(self, x: np.ndarray) -> np.ndarray:
         """Map integer codes back to original units (no clipping here)."""
@@ -154,9 +190,15 @@ class PercentileScaler(Scaler):
 
     def fit(self, x: np.ndarray) -> "PercentileScaler":
         arr = _as_1d_float(x, "training series")
-        self._beta = float(np.quantile(arr, self.beta_quantile))
-        shifted = arr - self._beta
-        self._alpha = float(np.quantile(np.abs(shifted), self.alpha_quantile))
+        with np.errstate(over="ignore", invalid="ignore"):
+            self._beta = float(np.quantile(arr, self.beta_quantile))
+            shifted = arr - self._beta
+            self._alpha = float(np.quantile(np.abs(shifted), self.alpha_quantile))
+        if not np.isfinite(self._beta) or not np.isfinite(self._alpha):
+            raise ScalingError(
+                "offset series overflows float64; the training range is too "
+                "wide for the alpha/beta transform"
+            )
         if self._alpha == 0.0:
             self._alpha = 1.0
         self._fitted = True
@@ -180,8 +222,18 @@ class ZScoreScaler(Scaler):
 
     def fit(self, x: np.ndarray) -> "ZScoreScaler":
         arr = _as_1d_float(x, "training series")
-        self._mean = float(arr.mean())
-        std = float(arr.std())
+        # Centre on the range midpoint before averaging so the sum cannot
+        # overflow for large same-sign magnitudes (mean of n values near
+        # 1.5e308 would otherwise reduce to inf).
+        mid = float(arr.min()) / 2.0 + float(arr.max()) / 2.0
+        with np.errstate(over="ignore", invalid="ignore"):
+            centered = arr - mid
+            self._mean = mid + float(centered.mean())
+            std = float(centered.std())
+        if not np.isfinite(self._mean) or not np.isfinite(std):
+            raise ScalingError(
+                "training series is too wide to standardise in float64"
+            )
         self._std = std if std > 0.0 else 1.0
         self._fitted = True
         return self
@@ -204,9 +256,9 @@ class MinMaxScaler(Scaler):
 
     def fit(self, x: np.ndarray) -> "MinMaxScaler":
         arr = _as_1d_float(x, "training series")
-        self._lo, self._hi = float(arr.min()), float(arr.max())
-        if self._hi == self._lo:
-            self._hi = self._lo + 1.0
+        self._lo, self._hi = _widened_span(
+            float(arr.min()), float(arr.max()), "training series"
+        )
         self._fitted = True
         return self
 

@@ -1,0 +1,238 @@
+"""Tests for the repro.fuzz harness: generators, properties, shrinker, CLI.
+
+The ``TestPinnedCounterexamples`` class replays the shrunk counterexamples
+the harness found against the pre-PR-4 pipeline (NaN codes from degenerate
+spans, overflowing scaler statistics, biased demux padding); each must now
+pass its property family cleanly.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.fuzz import (
+    CODECS,
+    FAMILIES,
+    SCALERS,
+    Counterexample,
+    FuzzCase,
+    check_case,
+    generate_case,
+    run_fuzz,
+    shrink_case,
+)
+from repro.fuzz.__main__ import main as fuzz_main
+from repro.fuzz.shrinker import case_size
+
+
+def _case(**overrides) -> FuzzCase:
+    base = dict(
+        family="round_trip",
+        scheme="vi",
+        codec="digit",
+        scaler="fixed",
+        num_digits=2,
+        alphabet_size=4,
+        segment_length=1,
+        corruption="none",
+        cut=0.5,
+        seed=11,
+        values=[[1.0, 2.0], [3.0, 4.0]],
+    )
+    base.update(overrides)
+    return FuzzCase(**base)
+
+
+class TestGenerators:
+    def test_same_seed_same_cases(self):
+        a = [generate_case(np.random.default_rng((9, i))) for i in range(25)]
+        b = [generate_case(np.random.default_rng((9, i))) for i in range(25)]
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = [generate_case(np.random.default_rng((0, i))) for i in range(10)]
+        b = [generate_case(np.random.default_rng((1, i))) for i in range(10)]
+        assert a != b
+
+    def test_generated_cases_are_well_formed(self):
+        for i in range(50):
+            case = generate_case(np.random.default_rng((3, i)))
+            assert case.family in FAMILIES
+            assert case.codec in CODECS
+            assert case.scaler in SCALERS
+            assert case.num_steps >= 1 and case.num_dims >= 1
+            assert len(case.values) == case.num_steps
+            assert all(len(row) == case.num_dims for row in case.values)
+
+    def test_family_pinning(self):
+        rng = np.random.default_rng(0)
+        case = generate_case(rng, family="mux_identity")
+        assert case.family == "mux_identity"
+        with pytest.raises(ValueError):
+            generate_case(rng, family="nonsense")
+
+    def test_json_round_trip(self):
+        case = _case(values=[[1e300, -5e-324]])
+        assert FuzzCase.from_json(case.to_json()) == case
+
+    def test_describe_mentions_the_knobs(self):
+        text = _case().describe()
+        assert "round_trip" in text and "vi" in text and "d=2" in text
+
+
+class TestRunFuzz:
+    def test_clean_run_has_no_counterexamples(self):
+        report = run_fuzz(num_cases=120, seed=0)
+        assert report.ok
+        assert report.cases_run == 120
+        assert sum(report.checked_per_family.values()) == 120
+        assert set(report.checked_per_family) == set(FAMILIES)
+
+    def test_family_filter(self):
+        report = run_fuzz(num_cases=30, seed=1, families=("mux_identity",))
+        assert report.checked_per_family == {"mux_identity": 30}
+        with pytest.raises(ValueError):
+            run_fuzz(num_cases=5, families=("bogus",))
+        with pytest.raises(ValueError):
+            run_fuzz(num_cases=0)
+
+    def test_failures_are_shrunk_and_written(self, tmp_path, monkeypatch):
+        import repro.fuzz.harness as harness
+
+        def planted(case):
+            return "planted failure" if case.num_steps > 1 else None
+
+        monkeypatch.setattr(harness, "check_case", planted)
+        report = run_fuzz(num_cases=12, seed=0, out_dir=tmp_path)
+        assert not report.ok
+        for ce in report.failures:
+            assert ce.failure == "planted failure"
+            # Shrinking under the planted oracle stops at two timestamps.
+            assert ce.shrunk.num_steps == 2
+        assert report.repro_files
+        payload = json.loads((tmp_path / report.repro_files[0].split("/")[-1]).read_text())
+        assert payload["failure"] == "planted failure"
+        assert FuzzCase(**payload["shrunk"]).num_steps == 2
+
+    def test_summary_reports_counts(self):
+        report = run_fuzz(num_cases=9, seed=2)
+        text = report.summary()
+        assert "9 cases" in text and "OK" in text
+
+
+class TestShrinker:
+    def test_shrinks_rows_and_dims_to_minimum(self):
+        case = _case(
+            values=[[float(i + 10 * k) for k in range(6)] for i in range(16)]
+        )
+        shrunk = shrink_case(case, lambda c: "fail")
+        assert shrunk.num_steps == 1 and shrunk.num_dims == 1
+        assert shrunk.values == [[0.0]]
+        assert shrunk.corruption == "none"
+
+    def test_respects_the_oracle(self):
+        # Failure requires >= 3 dims: the shrinker must not go below that.
+        case = _case(values=[[1.0, 2.0, 3.0, 4.0]])
+
+        def oracle(c):
+            return "fail" if c.num_dims >= 3 else None
+
+        assert shrink_case(case, oracle).num_dims == 3
+
+    def test_shrunk_case_is_never_larger(self):
+        case = _case(values=[[5.5, -7.25]] * 8)
+        shrunk = shrink_case(case, lambda c: "fail")
+        assert case_size(shrunk) <= case_size(case)
+
+    def test_deterministic(self):
+        case = _case(values=[[3.0, 1.0], [2.0, 9.0]])
+
+        def oracle(c):
+            return "fail" if c.num_steps == 2 else None
+
+        assert shrink_case(case, oracle) == shrink_case(case, oracle)
+
+
+class TestPinnedCounterexamples:
+    """Shrunk cases the harness found against the pre-fix pipeline."""
+
+    def test_fixed_scaler_constant_at_huge_magnitude(self):
+        # Was: 0.5-widening absorbed at 1e300 -> zero span -> NaN codes.
+        case = _case(scaler="fixed", num_digits=1, values=[[1e300]])
+        assert check_case(case) is None
+
+    def test_minmax_constant_at_huge_magnitude(self):
+        # Was: lo + 1.0 == lo -> zero span -> non-finite transform.
+        case = _case(scaler="minmax", values=[[-3.3333333333333335e299]])
+        assert check_case(case) is None
+
+    def test_zscore_huge_spread_refuses_cleanly(self):
+        # Was: std overflowed to inf, inverse produced NaN.
+        case = _case(scaler="zscore", values=[[0.0], [1.5e308]])
+        assert check_case(case) is None
+
+    def test_sax_zscore_overflow_refuses_cleanly(self):
+        # Was: SAX decode emitted non-finite values through the overflowed
+        # z-normalisation instead of raising.
+        case = _case(
+            scheme="bi",
+            codec="sax-digital",
+            scaler="zscore",
+            alphabet_size=2,
+            values=[[0.0], [-1.5e308]],
+        )
+        assert check_case(case) is None
+
+    def test_fixed_half_step_rounding_is_within_resolution(self):
+        # Was an oracle bug: the exact half-step error at a banker's-rounding
+        # boundary exceeded resolution/2 by one ulp of the span.
+        case = _case(scaler="fixed", num_digits=1, values=[[0.0]])
+        assert check_case(case) is None
+
+    @pytest.mark.parametrize("scheme", ["di", "vi", "vc", "bi"])
+    def test_mux_identity_with_truncation(self, scheme):
+        case = _case(
+            family="mux_identity",
+            scheme=scheme,
+            corruption="truncate",
+            cut=0.7,
+            values=[[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]],
+        )
+        assert check_case(case) is None
+
+    @pytest.mark.parametrize("scheme", ["di", "vi", "vc", "bi"])
+    def test_constraint_soundness_all_schemes(self, scheme):
+        case = _case(family="constraint_soundness", scheme=scheme, seed=77)
+        assert check_case(case) is None
+
+    def test_counterexample_payload_embeds_both_cases(self):
+        ce = Counterexample(
+            index=3, failure="boom", case=_case(), shrunk=_case(values=[[0.0]])
+        )
+        payload = json.loads(ce.to_json())
+        assert payload["index"] == 3
+        assert FuzzCase(**payload["original"]) == _case()
+
+
+class TestCli:
+    def test_cli_clean_run_exits_zero(self, tmp_path, capsys):
+        code = fuzz_main(
+            ["--cases", "45", "--seed", "0", "--out", str(tmp_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "45 cases" in out and "OK" in out
+        assert not list(tmp_path.iterdir())  # no repro files on success
+
+    def test_cli_family_filter_and_no_shrink(self, tmp_path, capsys):
+        code = fuzz_main(
+            [
+                "--cases", "10", "--seed", "3",
+                "--family", "round_trip",
+                "--out", str(tmp_path),
+                "--no-shrink",
+            ]
+        )
+        assert code == 0
+        assert "round_trip             10 cases" in capsys.readouterr().out

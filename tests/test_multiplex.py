@@ -72,15 +72,39 @@ class TestTokensPerTimestamp:
 class TestLenientDemux:
     codec = DigitCodec(3)
 
-    def test_truncated_final_group_is_completed(self):
+    def test_truncated_final_group_is_dropped_by_default(self):
+        mux = ValueInterleaver()
+        codes = np.array([[987, 654], [321, 789]])
+        stream = mux.mux(codes, self.codec)
+        # Cut mid-way through the final group: the incomplete trailing
+        # timestamp is dropped rather than padded into a biased row.
+        recovered = mux.demux(stream[:-3], num_dims=2, codec=self.codec)
+        assert recovered.shape == (1, 2)
+        assert recovered[0].tolist() == [987, 654]
+
+    def test_truncated_final_group_is_completed_on_opt_in(self):
         mux = ValueInterleaver()
         codes = np.array([[123, 456]])
         stream = mux.mux(codes, self.codec)
         # Cut the stream mid-way through the second value.
-        recovered = mux.demux(stream[:4], num_dims=2, codec=self.codec)
+        recovered = mux.demux(
+            stream[:4], num_dims=2, codec=self.codec, pad_incomplete=True
+        )
         assert recovered.shape == (1, 2)
         assert recovered[0, 0] == 123
         assert recovered[0, 1] == 400  # "4" right-padded with zeros
+
+    def test_vc_truncated_trailing_value_dropped_by_default(self):
+        mux = ValueConcatenator()
+        codes = np.array([[12, 345]])
+        stream = mux.mux(codes, self.codec)
+        # Cut mid-way through the second value's digits.
+        recovered = mux.demux(stream[:5], num_dims=2, codec=self.codec)
+        assert recovered.shape == (0, 2)
+        padded = mux.demux(
+            stream[:5], num_dims=2, codec=self.codec, pad_incomplete=True
+        )
+        assert padded.shape == (1, 2)
 
     def test_vc_drops_incomplete_trailing_timestamp(self):
         mux = ValueConcatenator()
@@ -101,7 +125,9 @@ class TestLenientDemux:
         mux = DigitInterleaver()
         codes = np.array([[789, 123]])
         stream = mux.mux(codes, self.codec)  # 7 1 8 2 9 3
-        recovered = mux.demux(stream[:4], num_dims=2, codec=self.codec)
+        recovered = mux.demux(
+            stream[:4], num_dims=2, codec=self.codec, pad_incomplete=True
+        )
         # Tokens 7 1 8 2 -> dim0 has digits 7,8,_ -> 780; dim1 1,2,_ -> 120.
         assert recovered[0].tolist() == [780, 120]
 
@@ -123,6 +149,13 @@ class TestValidation:
         with pytest.raises(EncodingError):
             ValueInterleaver().mux(np.array([[100]]), DigitCodec(2))
 
+    def test_non_finite_matrix_rejected_with_clear_message(self):
+        # NaN/inf must fail loudly before np.rint(nan) turns into an
+        # undefined integer cast downstream.
+        for bad in (np.nan, np.inf, -np.inf):
+            with pytest.raises(EncodingError, match="NaN or inf"):
+                ValueInterleaver().mux(np.array([[1.0, bad]]), DigitCodec(2))
+
 
 class TestBlockInterleaver:
     def test_rotation_changes_layout_but_round_trips(self):
@@ -134,6 +167,23 @@ class TestBlockInterleaver:
         assert groups[0] == "112233"  # rotation 0
         assert groups[1] == "556644"  # rotation 1: dims (1, 2, 0)
         assert np.array_equal(mux.demux(stream, 3, codec), codes)
+
+    @pytest.mark.parametrize("scheme", sorted(MULTIPLEX_SCHEMES))
+    @pytest.mark.parametrize("offset", [0, 1, 2, 3, 4, 5])
+    def test_row_offset_continuation_agrees_with_sliced_full_demux(
+        self, scheme, offset
+    ):
+        # A generated stream starts mid-rotation at the history's length:
+        # demuxing it with row_offset must agree with demuxing the whole
+        # stream and slicing.  This is the contract BI's rotation relies on.
+        rng = np.random.default_rng(3)
+        codes = rng.integers(0, 100, size=(5, 3))
+        codec = DigitCodec(2)
+        mux = get_multiplexer(scheme)
+        stream = mux.mux(codes, codec)
+        boundary = offset * mux.tokens_per_timestamp(3, 2)
+        tail = mux.demux(stream[boundary:], 3, codec, row_offset=offset)
+        assert np.array_equal(tail, codes[offset:])
 
 
 class TestSaxSymbolCodec:
@@ -216,6 +266,11 @@ def test_demux_of_any_prefix_never_crashes_property(matrix_and_width, scheme, da
     recovered = mux.demux(stream[:cut], codes.shape[1], codec)
     assert recovered.shape[1] == codes.shape[1]
     assert recovered.shape[0] <= codes.shape[0]
-    # Whatever rows come back, the fully-present prefix rows are exact.
-    if recovered.shape[0] > 1:
-        assert np.array_equal(recovered[:-1], codes[: recovered.shape[0] - 1])
+    # With the trailing incomplete timestamp dropped, every recovered row
+    # is an exact prefix of the original matrix.
+    assert np.array_equal(recovered, codes[: recovered.shape[0]])
+    # The opt-in padded mode agrees on all fully-present rows.
+    padded = mux.demux(stream[:cut], codes.shape[1], codec, pad_incomplete=True)
+    assert padded.shape[0] >= recovered.shape[0]
+    if recovered.shape[0]:
+        assert np.array_equal(padded[: recovered.shape[0]], recovered)

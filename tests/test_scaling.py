@@ -59,6 +59,68 @@ class TestFixedDigitScaler:
         with pytest.raises(ScalingError):
             FixedDigitScaler().transform(np.ones(3))
 
+
+class TestScalerNumericEdgeCases:
+    """Shrunk fuzz counterexamples pinned as regressions (PR 4).
+
+    Each case used to produce NaN/garbage codes or a silent collapse;
+    the scalers now either handle the magnitude or refuse cleanly.
+    """
+
+    @pytest.mark.parametrize("value", [1e300, -1e300, 1e-300, 0.0, 5e-324])
+    def test_fixed_constant_series_round_trips_at_any_magnitude(self, value):
+        # Shrunk counterexample: constant 1e300 absorbed the 0.5 widening,
+        # leaving a zero span; 0/0 codes then int-cast to -2**63.
+        x = np.full(4, value)
+        scaler = FixedDigitScaler(num_digits=3).fit(x)
+        codes = scaler.transform(x)
+        assert codes.dtype == np.int64
+        assert 0 <= codes.min() and codes.max() <= scaler.max_int
+        recovered = scaler.inverse_transform(codes)
+        assert np.isfinite(recovered).all()
+        assert np.abs(recovered - x).max() <= scaler.resolution
+
+    def test_fixed_resolution_defined_for_constant_series(self):
+        scaler = FixedDigitScaler(num_digits=3).fit(np.full(5, 1e300))
+        assert np.isfinite(scaler.resolution) and scaler.resolution > 0
+
+    def test_fixed_unrepresentable_span_raises_cleanly(self):
+        with pytest.raises(ScalingError):
+            FixedDigitScaler(num_digits=3).fit(np.array([-1.5e308, 1.5e308]))
+        # Headroom overflow on a just-representable raw span as well.
+        with pytest.raises(ScalingError):
+            FixedDigitScaler(num_digits=3).fit(np.array([-8e307, 8e307]))
+
+    def test_fixed_denormal_span_round_trips(self):
+        x = np.array([0.0, 5e-324])
+        scaler = FixedDigitScaler(num_digits=3).fit(x)
+        recovered = scaler.inverse_transform(scaler.transform(x))
+        assert np.isfinite(recovered).all()
+
+    def test_minmax_constant_series_at_huge_magnitude(self):
+        # Shrunk counterexample: lo + 1.0 == lo at 1e300, zero span, NaN out.
+        scaler = MinMaxScaler().fit(np.full(4, 1e300))
+        y = scaler.transform(np.full(2, 1e300))
+        assert np.isfinite(y).all()
+        assert np.allclose(y, 0.5)
+
+    def test_zscore_huge_same_sign_magnitudes_do_not_overflow_mean(self):
+        # Shrunk counterexample: the plain sum of four 1.5e308 values is
+        # inf, so the mean (and every transformed value) went non-finite.
+        x = np.full(4, 1.5e308)
+        scaler = ZScoreScaler().fit(x)
+        y = scaler.transform(x)
+        assert np.isfinite(y).all()
+        assert np.allclose(y, 0.0)
+
+    def test_zscore_unrepresentable_spread_raises_cleanly(self):
+        with pytest.raises(ScalingError):
+            ZScoreScaler().fit(np.array([-1.5e308, 1.5e308, 0.0, 1.0]))
+
+    def test_percentile_unrepresentable_offset_raises_cleanly(self):
+        with pytest.raises(ScalingError):
+            PercentileScaler().fit(np.array([-1.5e308, 1.5e308]))
+
     def test_invalid_num_digits_raises(self):
         with pytest.raises(ScalingError):
             FixedDigitScaler(num_digits=0)

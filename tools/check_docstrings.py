@@ -30,6 +30,7 @@ DEFAULT_TARGETS = (
     "src/repro/serving",
     "src/repro/observability",
     "src/repro/llm",
+    "src/repro/fuzz",
 )
 
 
