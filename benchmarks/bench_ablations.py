@@ -12,7 +12,7 @@ Not paper tables — these quantify the internal decisions of the pipeline:
 
 import numpy as np
 
-from repro.core import MultiCastConfig, MultiCastForecaster, SaxConfig
+from repro.core import ForecastSpec, MultiCastConfig, MultiCastForecaster, SaxConfig
 from repro.data import gas_rate
 from repro.evaluation import format_table
 from repro.llm import ModelSpec, PPMLanguageModel, TokenCostModel, register_model
@@ -25,7 +25,9 @@ def _gas_split():
 
 def _forecast_rmse(config: MultiCastConfig) -> tuple[float, float]:
     history, future = _gas_split()
-    output = MultiCastForecaster(config).forecast(history, len(future))
+    output = MultiCastForecaster().forecast(
+        ForecastSpec.from_config(config, series=history, horizon=len(future))
+    )
     return (
         rmse(future[:, 0], output.values[:, 0]),
         rmse(future[:, 1], output.values[:, 1]),
@@ -169,7 +171,9 @@ def test_ablation_digit_budget(benchmark, emit):
         history, future = _gas_split()
         for digits in (2, 3, 4):
             config = MultiCastConfig(scheme="di", num_samples=5, num_digits=digits)
-            output = MultiCastForecaster(config).forecast(history, len(future))
+            output = MultiCastForecaster().forecast(
+                ForecastSpec.from_config(config, series=history, horizon=len(future))
+            )
             rows.append([
                 digits,
                 rmse(future[:, 0], output.values[:, 0]),

@@ -1,0 +1,173 @@
+"""Batched-decoding bench: lockstep ensembles vs per-draw execution.
+
+One measurement, three execution modes.  A forecast draws S continuations
+of the same prompt; ``execution="sequential"`` and ``"pooled"`` advance
+each draw's own token loop (S model passes per step), while
+``"batched"`` drives all S streams through one
+:class:`~repro.llm.batch.BatchedDecoder` — streams with equal generated
+prefixes share one model state, so each decode step scores only the
+*distinct* states (one vectorised ``next_distribution_batch`` call) and
+forks a group only when sampled tokens actually diverge.
+
+The workload is the regime batching targets: a strongly periodic series,
+where the PPM substrate's longest-suffix predictions are peaked and the
+batch stays collapsed into a handful of groups for the whole decode (the
+``mean_groups`` column).  The step-occupancy and group-count curves in the
+report show the schedule directly: occupancy stays at S until streams
+retire, groups grow only as sampled tokens split the ensemble.
+
+Run standalone to (re)generate ``BENCH_batching.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_batching.py
+
+``--smoke`` runs the single acceptance case (S=20 on the PPM substrate),
+asserts batched beats pooled, and skips the JSON write — the CI entry
+point.  Through pytest (``pytest benchmarks/bench_batching.py``) the full
+threshold is asserted: >=3x over the pooled path at S=20.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import ForecastSpec, MultiCastForecaster
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_batching.json"
+
+PRESET = "llama2-7b-sim"  # the PPM substrate
+HISTORY_LENGTH = 120
+HORIZON = 24  # decode-heavy: generated tokens outweigh the prompt ingest
+TEMPERATURE = 0.3
+ENSEMBLE_SIZES = (5, 10, 20)
+EXECUTIONS = ("sequential", "pooled", "batched")
+REPEATS = 2  # best-of, to keep scheduler noise out of the ratios
+
+
+def _history(n: int = HISTORY_LENGTH) -> np.ndarray:
+    """A clean two-dimensional periodic series (period 12)."""
+    t = np.arange(n)
+    return np.column_stack(
+        [np.sin(2 * np.pi * t / 12.0), np.cos(2 * np.pi * t / 12.0)]
+    )
+
+
+def _spec(num_samples: int) -> ForecastSpec:
+    return ForecastSpec(
+        series=_history(),
+        horizon=HORIZON,
+        scheme="di",
+        num_samples=num_samples,
+        model=PRESET,
+        temperature=TEMPERATURE,
+        seed=0,
+    )
+
+
+def measure_executions(ensemble_sizes=ENSEMBLE_SIZES) -> dict:
+    """End-to-end forecast wall time per execution mode and ensemble size."""
+    report: dict = {}
+    for num_samples in ensemble_sizes:
+        spec = _spec(num_samples)
+        seconds: dict = {}
+        outputs: dict = {}
+        for mode in EXECUTIONS:
+            run_spec = spec.replace(execution=mode)
+            best = float("inf")
+            for _ in range(REPEATS):
+                start = time.perf_counter()
+                outputs[mode] = MultiCastForecaster().forecast(run_spec)
+                best = min(best, time.perf_counter() - start)
+            seconds[mode] = best
+        reference = outputs["sequential"]
+        for mode in ("pooled", "batched"):
+            assert outputs[mode].values.tobytes() == reference.values.tobytes()
+            assert outputs[mode].samples.tobytes() == reference.samples.tobytes()
+        occupancy = outputs["batched"].metadata["batch_occupancy"]
+        groups = outputs["batched"].metadata["batch_groups"]
+        report[str(num_samples)] = {
+            "prompt_tokens": reference.prompt_tokens,
+            "generated_tokens": reference.generated_tokens,
+            "seconds": seconds,
+            "speedup_vs_pooled": seconds["pooled"] / seconds["batched"],
+            "speedup_vs_sequential": seconds["sequential"] / seconds["batched"],
+            "steps": len(occupancy),
+            "mean_occupancy": float(np.mean(occupancy)),
+            "mean_groups": float(np.mean(groups)),
+            "occupancy_curve": occupancy,
+            "group_curve": groups,
+        }
+    return report
+
+
+def run() -> dict:
+    report = {
+        "workload": {
+            "preset": PRESET,
+            "history_length": HISTORY_LENGTH,
+            "horizon": HORIZON,
+            "temperature": TEMPERATURE,
+        },
+        "executions": measure_executions(),
+    }
+    BENCH_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def smoke() -> None:
+    """CI entry point: the one acceptance case, asserted, nothing written."""
+    report = measure_executions(ensemble_sizes=(20,))
+    case = report["20"]
+    print(
+        f"{PRESET} @ S=20: pooled {case['seconds']['pooled']:.3f}s, "
+        f"batched {case['seconds']['batched']:.3f}s, "
+        f"speedup {case['speedup_vs_pooled']:.2f}x, "
+        f"mean groups {case['mean_groups']:.2f}"
+    )
+    assert case["speedup_vs_pooled"] > 1.0, (
+        "lockstep batching must beat per-draw pooled execution"
+    )
+
+
+def test_batching_bench(emit):
+    report = run()
+    lines = [
+        f"batched decoding on {PRESET} "
+        f"(history {HISTORY_LENGTH}, horizon {HORIZON}):"
+    ]
+    for num_samples, case in report["executions"].items():
+        seconds = case["seconds"]
+        lines.append(
+            f"  S={num_samples:>2}  seq {seconds['sequential']:6.3f} s  "
+            f"pooled {seconds['pooled']:6.3f} s  "
+            f"batched {seconds['batched']:6.3f} s  "
+            f"speedup {case['speedup_vs_pooled']:5.2f}x  "
+            f"groups {case['mean_groups']:5.2f}/{case['mean_occupancy']:5.2f}"
+        )
+    case = report["executions"]["20"]
+    curve = case["occupancy_curve"]
+    lines.append(
+        "  occupancy S=20: "
+        + " ".join(str(curve[i]) for i in range(0, len(curve), len(curve) // 12))
+    )
+    emit("batching", "\n".join(lines))
+    # Acceptance threshold from the batched-decoding issue.
+    assert case["speedup_vs_pooled"] >= 3.0
+    # The schedule is monotone: streams only retire, never rejoin …
+    assert case["occupancy_curve"] == sorted(case["occupancy_curve"], reverse=True)
+    # … and there are never more model states than live streams.
+    assert all(
+        g <= o for g, o in zip(case["group_curve"], case["occupancy_curve"])
+    )
+
+
+if __name__ == "__main__":
+    if "--smoke" in sys.argv[1:]:
+        smoke()
+    else:
+        print(json.dumps(run(), indent=2))
+        print(f"wrote {BENCH_PATH}")

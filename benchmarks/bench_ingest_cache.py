@@ -34,7 +34,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core import MultiCastConfig, MultiCastForecaster
+from repro.core import ForecastSpec, MultiCastConfig, MultiCastForecaster
 from repro.core.planning import plan_forecast
 from repro.data import Dataset
 from repro.evaluation import rolling_origin_evaluation
@@ -85,14 +85,13 @@ def measure_fork_vs_reingest(
             config = MultiCastConfig(
                 scheme="di", model=preset, num_samples=num_samples, seed=0
             )
+            spec = ForecastSpec.from_config(config, series=history, horizon=HORIZON)
             start = time.perf_counter()
-            legacy = MultiCastForecaster(config, share_prefill=False).forecast(
-                history, HORIZON
-            )
+            legacy = MultiCastForecaster(share_prefill=False).forecast(spec)
             reingest = time.perf_counter() - start
 
             start = time.perf_counter()
-            shared = MultiCastForecaster(config).forecast(history, HORIZON)
+            shared = MultiCastForecaster().forecast(spec)
             fork = time.perf_counter() - start
 
             assert shared.values.tobytes() == legacy.values.tobytes()
@@ -120,7 +119,7 @@ def measure_backtest_extension(window_counts=(3, 6)) -> dict:
             horizon=BACKTEST_HORIZON,
             num_windows=num_windows,
             stride=BACKTEST_STRIDE,
-            num_samples=BACKTEST_SAMPLES,
+            spec=ForecastSpec(num_samples=BACKTEST_SAMPLES),
         )
         start = time.perf_counter()
         uncached = rolling_origin_evaluation("multicast-di", dataset, **common)

@@ -8,7 +8,7 @@ constrained forecast.
 
 import numpy as np
 
-from repro.core import MultiCastConfig, MultiCastForecaster, get_multiplexer
+from repro.core import ForecastSpec, MultiCastForecaster, get_multiplexer
 from repro.data import gas_rate
 from repro.encoding import DigitCodec
 from repro.llm import PPMLanguageModel
@@ -61,10 +61,12 @@ def test_kernel_sax_encode(benchmark):
 
 def test_kernel_single_forecast(benchmark):
     history, future = gas_rate().train_test_split()
-    forecaster = MultiCastForecaster(MultiCastConfig(scheme="di", num_samples=1))
+    forecaster = MultiCastForecaster()
+    spec = ForecastSpec(series=history, horizon=len(future),
+                        scheme="di", num_samples=1)
 
     def run():
-        return forecaster.forecast(history, len(future))
+        return forecaster.forecast(spec)
 
     output = benchmark(run)
     assert output.values.shape == future.shape
@@ -74,12 +76,12 @@ def test_kernel_sax_forecast(benchmark):
     from repro.core import SaxConfig
 
     history, future = gas_rate().train_test_split()
-    forecaster = MultiCastForecaster(
-        MultiCastConfig(scheme="di", num_samples=1, sax=SaxConfig())
-    )
+    forecaster = MultiCastForecaster()
+    spec = ForecastSpec(series=history, horizon=len(future),
+                        scheme="di", num_samples=1, sax=SaxConfig())
 
     def run():
-        return forecaster.forecast(history, len(future))
+        return forecaster.forecast(spec)
 
     output = benchmark(run)
     assert output.values.shape == future.shape

@@ -24,7 +24,7 @@ import json
 import time
 from pathlib import Path
 
-from repro.core import MultiCastConfig, MultiCastForecaster
+from repro.core import ForecastSpec, MultiCastConfig, MultiCastForecaster
 from repro.data import synthetic_multivariate
 from repro.llm import ModelSpec, TokenCostModel, register_model
 from repro.llm.ppm import PPMLanguageModel
@@ -76,7 +76,12 @@ def measure_throughput() -> dict:
 
     start = time.perf_counter()
     for request in _requests(model, use_cache=False):
-        MultiCastForecaster(request.config).forecast(request.history, request.horizon)
+        MultiCastForecaster().forecast(
+            ForecastSpec.from_config(
+                request.config, series=request.history, horizon=request.horizon,
+                execution="sequential",  # the baseline the engine fans out
+            )
+        )
     sequential = time.perf_counter() - start
 
     with ForecastEngine(

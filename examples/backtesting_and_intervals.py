@@ -17,7 +17,7 @@ Run:  python examples/backtesting_and_intervals.py
 
 import numpy as np
 
-from repro.core import MultiCastConfig, MultiCastForecaster, plan_forecast
+from repro.core import ForecastSpec, MultiCastForecaster, plan_forecast
 from repro.data import Dataset, gas_rate
 from repro.evaluation import (
     ConformalForecaster,
@@ -30,10 +30,10 @@ from repro.metrics import interval_coverage
 def main() -> None:
     dataset = gas_rate()
     horizon = 20
-    config = MultiCastConfig(scheme="di", num_samples=5, seed=0)
+    spec = ForecastSpec(scheme="di", num_samples=5, seed=0)  # series comes later
 
     # 1 -- plan the cost before running anything
-    plan = plan_forecast(config, dataset.num_timestamps, dataset.num_dims, horizon)
+    plan = plan_forecast(spec.config, dataset.num_timestamps, dataset.num_dims, horizon)
     print("cost plan for one forecast call:")
     print(f"  prompt tokens            {plan.prompt_tokens}")
     print(f"  generated tokens total   {plan.generated_tokens}")
@@ -44,7 +44,7 @@ def main() -> None:
     # 2 -- rolling-origin backtest across 3 windows
     rows = []
     for method in ("multicast-di", "theta", "naive"):
-        options = {"num_samples": 5} if method.startswith("multicast") else {}
+        options = {"spec": spec} if method.startswith("multicast") else {}
         backtest = rolling_origin_evaluation(
             method, dataset, horizon=horizon, num_windows=3, **options
         )
@@ -69,8 +69,8 @@ def main() -> None:
     conformal = ConformalForecaster(
         "multicast-di", level=0.8, calibration_windows=3, num_samples=5
     ).forecast(train, horizon)
-    ensemble = MultiCastForecaster(config).forecast(
-        np.asarray(train.values), horizon
+    ensemble = MultiCastForecaster().forecast(
+        spec.replace(series=np.asarray(train.values), horizon=horizon)
     )
     raw_lower, raw_upper = ensemble.interval(0.8)
 

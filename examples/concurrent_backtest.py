@@ -23,7 +23,7 @@ import json
 
 import numpy as np
 
-from repro.core import MultiCastConfig, MultiCastForecaster
+from repro.core import ForecastSpec, MultiCastConfig, MultiCastForecaster
 from repro.data import gas_rate
 from repro.evaluation import rolling_origin_evaluation
 from repro.serving import ForecastEngine, ForecastRequest
@@ -51,7 +51,9 @@ def main() -> None:
             print(response.summary())
 
         # served results match the sequential forecaster exactly
-        sequential = MultiCastForecaster(configs["di"]).forecast(history, horizon)
+        sequential = MultiCastForecaster().forecast(
+            ForecastSpec.from_config(configs["di"], series=history, horizon=horizon)
+        )
         served = engine.forecast(
             ForecastRequest(history, horizon, config=configs["di"])
         )
@@ -63,7 +65,7 @@ def main() -> None:
         for label in ("cold", "warm"):
             backtest = rolling_origin_evaluation(
                 "multicast-di", dataset, horizon=horizon, num_windows=3,
-                num_samples=5, engine=engine,
+                spec=ForecastSpec(num_samples=5), engine=engine,
             )
             mean = backtest.mean_rmse()
             print(f"\n{label} backtest RMSE: "

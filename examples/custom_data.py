@@ -14,7 +14,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core import MultiCastConfig, MultiCastForecaster
+from repro.core import ForecastSpec, MultiCastForecaster
 from repro.data import Dataset, load_csv, save_csv
 from repro.metrics import per_dimension_report
 
@@ -43,8 +43,9 @@ def main() -> None:
               f"dims {dataset.dim_names}")
 
         history, future = dataset.train_test_split(test_fraction=0.15)
-        config = MultiCastConfig(scheme="di", num_samples=5, seed=0)
-        output = MultiCastForecaster(config).forecast(history, len(future))
+        spec = ForecastSpec(series=history, horizon=len(future),
+                            scheme="di", num_samples=5, seed=0)
+        output = MultiCastForecaster().forecast(spec)
 
         report = per_dimension_report(future, output.values, list(dataset.dim_names))
         for name, metrics in report.items():

@@ -10,7 +10,7 @@ moderate accuracy loss.  This sweep prints the whole trade-off curve.
 Run:  python examples/electricity_sax.py
 """
 
-from repro.core import MultiCastConfig, MultiCastForecaster, SaxConfig
+from repro.core import ForecastSpec, MultiCastForecaster, SaxConfig
 from repro.data import electricity
 from repro.evaluation import format_table
 from repro.llm import TokenCostModel
@@ -31,8 +31,9 @@ def main() -> None:
 
     rows = []
     for label, sax in configurations:
-        config = MultiCastConfig(scheme="di", num_samples=5, sax=sax, seed=0)
-        output = MultiCastForecaster(config).forecast(history, horizon)
+        spec = ForecastSpec(series=history, horizon=horizon,
+                            scheme="di", num_samples=5, sax=sax, seed=0)
+        output = MultiCastForecaster().forecast(spec)
         mean_rmse = sum(
             rmse(future[:, k], output.values[:, k]) for k in range(dataset.num_dims)
         ) / dataset.num_dims

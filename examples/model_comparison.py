@@ -9,7 +9,7 @@ actual series (the paper's Figure 2).
 Run:  python examples/model_comparison.py
 """
 
-from repro.core import MultiCastConfig, MultiCastForecaster
+from repro.core import ForecastSpec, MultiCastForecaster
 from repro.data import gas_rate
 from repro.evaluation import ascii_plot, format_table
 from repro.llm import available_models
@@ -24,10 +24,11 @@ def main() -> None:
     rows = []
     overlays = {"actual": future[:, 0]}
     for model_name in available_models():
-        config = MultiCastConfig(
-            scheme="vi", num_samples=5, model=model_name, seed=0
+        spec = ForecastSpec(
+            series=history, horizon=horizon,
+            scheme="vi", num_samples=5, model=model_name, seed=0,
         )
-        output = MultiCastForecaster(config).forecast(history, horizon)
+        output = MultiCastForecaster().forecast(spec)
         rows.append([
             model_name,
             rmse(future[:, 0], output.values[:, 0]),

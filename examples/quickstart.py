@@ -8,7 +8,7 @@ draws the forecast-vs-actual overlay in the terminal.
 Run:  python examples/quickstart.py
 """
 
-from repro.core import MultiCastConfig, MultiCastForecaster
+from repro.core import ForecastSpec, MultiCastForecaster
 from repro.data import gas_rate
 from repro.evaluation import ascii_plot
 from repro.metrics import rmse
@@ -18,9 +18,9 @@ def main() -> None:
     dataset = gas_rate()
     history, future = dataset.train_test_split(test_fraction=0.2)
 
-    config = MultiCastConfig(scheme="vi", num_samples=5, seed=0)
-    forecaster = MultiCastForecaster(config)
-    output = forecaster.forecast(history, horizon=len(future))
+    spec = ForecastSpec(series=history, horizon=len(future),
+                        scheme="vi", num_samples=5, seed=0)
+    output = MultiCastForecaster().forecast(spec)
 
     print(f"dataset: {dataset.name}  dims={dataset.num_dims}  "
           f"history={len(history)}  horizon={len(future)}")

@@ -6,12 +6,12 @@ language-model substrate, and the paper's baselines (LLMTime, ARIMA, LSTM).
 
 Quickstart::
 
-    from repro import MultiCastConfig, MultiCastForecaster
+    from repro import ForecastSpec, MultiCastForecaster
     from repro.data import gas_rate
 
     history, future = gas_rate().train_test_split()
-    forecaster = MultiCastForecaster(MultiCastConfig(scheme="vi"))
-    output = forecaster.forecast(history, horizon=len(future))
+    spec = ForecastSpec(series=history, horizon=len(future), scheme="vi")
+    output = MultiCastForecaster().forecast(spec)
 
 The headline API is re-exported here; the subpackages hold the full
 surface (see docs/API.md for the map).
@@ -19,21 +19,44 @@ surface (see docs/API.md for the map).
 
 from repro.core import (
     ForecastOutput,
+    ForecastSpec,
     MultiCastConfig,
     MultiCastForecaster,
     SaxConfig,
     plan_forecast,
 )
-from repro.exceptions import ReproError
+from repro.exceptions import (
+    ConfigError,
+    DataError,
+    EncodingError,
+    FittingError,
+    GenerationError,
+    ReproError,
+    ScalingError,
+)
+from repro.observability import RunLedger, Tracer
+from repro.serving import ForecastEngine, ForecastRequest, ForecastResponse
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "ForecastSpec",
     "MultiCastConfig",
     "MultiCastForecaster",
     "SaxConfig",
     "ForecastOutput",
+    "ForecastEngine",
+    "ForecastRequest",
+    "ForecastResponse",
+    "Tracer",
+    "RunLedger",
     "plan_forecast",
     "ReproError",
+    "ConfigError",
+    "DataError",
+    "EncodingError",
+    "FittingError",
+    "GenerationError",
+    "ScalingError",
     "__version__",
 ]

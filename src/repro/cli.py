@@ -2,7 +2,8 @@
 
 Usage (installed as ``repro-multicast``, or ``python -m repro.cli``)::
 
-    repro-multicast forecast --dataset gas_rate --scheme di --samples 5
+    repro-multicast forecast --dataset gas_rate --scheme di --num-samples 5
+    repro-multicast forecast --dataset gas_rate --execution batched
     repro-multicast forecast --csv mydata.csv --horizon 24 --output fcst.csv
     repro-multicast forecast --dataset gas_rate --trace
     repro-multicast evaluate --dataset weather --methods multicast-di arima
@@ -21,10 +22,17 @@ from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 
 import numpy as np
 
-from repro.core import MultiCastConfig, MultiCastForecaster, SaxConfig
+from repro.core import (
+    EXECUTION_MODES,
+    ForecastSpec,
+    MultiCastConfig,
+    MultiCastForecaster,
+    SaxConfig,
+)
 from repro.data import (
     Dataset,
     electricity,
@@ -80,6 +88,33 @@ def _load_dataset(args) -> Dataset:
     return _DATASETS[args.dataset or "gas_rate"]()
 
 
+def _add_samples_argument(parser: argparse.ArgumentParser) -> None:
+    """Add the canonical ``--num-samples`` flag plus its deprecated alias."""
+    parser.add_argument(
+        "--num-samples", dest="num_samples", type=int, default=None,
+        help="continuations sampled per forecast (default 5)",
+    )
+    parser.add_argument(
+        "--samples", dest="samples_legacy", type=int, default=None,
+        help="deprecated alias of --num-samples",
+    )
+
+
+def _resolve_samples(args, default: int = 5) -> int:
+    """The sample count from ``--num-samples``/``--samples`` (warned alias)."""
+    if args.samples_legacy is not None:
+        if args.num_samples is not None:
+            raise ReproError("pass only one of --num-samples and --samples")
+        warnings.warn(
+            "--samples is deprecated; use --num-samples (the canonical "
+            "ForecastSpec field name)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return args.samples_legacy
+    return default if args.num_samples is None else args.num_samples
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI (exposed separately for testing)."""
     parser = argparse.ArgumentParser(
@@ -95,10 +130,15 @@ def build_parser() -> argparse.ArgumentParser:
     source.add_argument("--dataset", choices=sorted(_DATASETS), default=None)
     source.add_argument("--csv", help="path to a headed CSV file")
     forecast.add_argument("--scheme", choices=("di", "vi", "vc", "bi"), default="di")
-    forecast.add_argument("--samples", type=int, default=5)
+    _add_samples_argument(forecast)
     forecast.add_argument("--digits", type=int, default=3)
     forecast.add_argument("--model", default="llama2-7b-sim")
     forecast.add_argument("--seed", type=int, default=0)
+    forecast.add_argument(
+        "--execution", choices=EXECUTION_MODES, default="batched",
+        help="how the sample ensemble is decoded (bit-identical outputs; "
+             "batched is usually fastest)",
+    )
     forecast.add_argument(
         "--horizon", type=int, default=None,
         help="steps past the end (default: hold out and score the last 20%%)",
@@ -120,22 +160,22 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--dataset", choices=sorted(_DATASETS), default="gas_rate")
     evaluate.add_argument("--methods", nargs="+",
                           default=["multicast-di", "llmtime", "arima"])
-    evaluate.add_argument("--samples", type=int, default=5)
+    _add_samples_argument(evaluate)
     evaluate.add_argument("--seed", type=int, default=0)
 
     table = sub.add_parser("table", help="regenerate a paper table")
     table.add_argument("which", choices=sorted(_table_functions()) + ["all"])
-    table.add_argument("--samples", type=int, default=5)
+    _add_samples_argument(table)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("which", choices=sorted(_figure_functions()))
-    figure.add_argument("--samples", type=int, default=5)
+    _add_samples_argument(figure)
     figure.add_argument("--csv-out", help="also write the series to this path")
 
     plan = sub.add_parser("plan", help="predict token/time/cost before running")
     plan.add_argument("--dataset", choices=sorted(_DATASETS), default="gas_rate")
     plan.add_argument("--scheme", choices=("di", "vi", "vc", "bi"), default="di")
-    plan.add_argument("--samples", type=int, default=5)
+    _add_samples_argument(plan)
     plan.add_argument("--model", default="llama2-7b-sim")
     plan.add_argument("--horizon", type=int, default=None,
                       help="default: 20%% of the dataset length")
@@ -146,11 +186,15 @@ def build_parser() -> argparse.ArgumentParser:
     backtest.add_argument("--method", default="multicast-di")
     backtest.add_argument("--horizon", type=int, default=20)
     backtest.add_argument("--windows", type=int, default=3)
-    backtest.add_argument("--samples", type=int, default=5)
+    _add_samples_argument(backtest)
     backtest.add_argument("--seed", type=int, default=0)
     backtest.add_argument("--workers", type=int, default=0,
                           help="serve windows through an engine with this "
                                "many sample workers (0 = sequential)")
+    backtest.add_argument(
+        "--execution", choices=EXECUTION_MODES, default="batched",
+        help="ensemble decoding for MultiCast windows (bit-identical outputs)",
+    )
 
     batch = sub.add_parser(
         "batch", help="forecast many series/configs concurrently from a manifest"
@@ -199,26 +243,29 @@ def _command_forecast(args) -> int:
             alphabet_size=args.sax_alphabet,
             alphabet_kind=args.sax_kind,
         )
-    config = MultiCastConfig(
-        scheme=args.scheme,
-        num_digits=args.digits,
-        num_samples=args.samples,
-        model=args.model,
-        sax=sax,
-        seed=args.seed,
-    )
     if args.horizon is None:
         history, actual = dataset.train_test_split(0.2)
         horizon = actual.shape[0]
     else:
         history, actual = np.asarray(dataset.values), None
         horizon = args.horizon
+    spec = ForecastSpec(
+        series=history,
+        horizon=horizon,
+        scheme=args.scheme,
+        num_digits=args.digits,
+        num_samples=_resolve_samples(args),
+        model=args.model,
+        sax=sax,
+        seed=args.seed,
+        execution=args.execution,
+    )
     tracer = None
     if args.trace:
         from repro.observability import SpanCollector, Tracer
 
         tracer = Tracer(SpanCollector())
-    output = MultiCastForecaster(config, tracer=tracer).forecast(history, horizon)
+    output = MultiCastForecaster(tracer=tracer).forecast(spec)
 
     print(f"{dataset.name}: {dataset.num_dims} dims, history {len(history)}, "
           f"horizon {horizon}, scheme {args.scheme}, model {args.model}")
@@ -257,11 +304,12 @@ def _command_forecast(args) -> int:
 
 def _command_evaluate(args) -> int:
     dataset = _DATASETS[args.dataset]()
+    num_samples = _resolve_samples(args)
     rows = []
     for method in args.methods:
         options = {}
         if method.startswith("multicast") or method == "llmtime":
-            options["num_samples"] = args.samples
+            options["num_samples"] = num_samples
         result = evaluate_method(method, dataset, seed=args.seed, **options)
         rows.append([
             method,
@@ -278,19 +326,20 @@ def _command_evaluate(args) -> int:
 
 def _command_table(args) -> int:
     functions = _table_functions()
+    num_samples = _resolve_samples(args)
     names = sorted(functions) if args.which == "all" else [args.which]
     for name in names:
         function = functions[name]
         if name == "i":
             print(function().format())
         else:
-            print(function(num_samples=args.samples).format())
+            print(function(num_samples=num_samples).format())
         print()
     return 0
 
 
 def _command_figure(args) -> int:
-    figure = _figure_functions()[args.which](num_samples=args.samples)
+    figure = _figure_functions()[args.which](num_samples=_resolve_samples(args))
     print(figure.render())
     if args.csv_out:
         figure.save_csv(args.csv_out)
@@ -311,14 +360,15 @@ def _command_plan(args) -> int:
 
     dataset = _DATASETS[args.dataset]()
     horizon = args.horizon or max(1, dataset.num_timestamps // 5)
+    num_samples = _resolve_samples(args)
     sax = None
     if args.sax_segment is not None:
         sax = SaxConfig(segment_length=args.sax_segment)
     config = MultiCastConfig(
-        scheme=args.scheme, num_samples=args.samples, model=args.model, sax=sax
+        scheme=args.scheme, num_samples=num_samples, model=args.model, sax=sax
     )
     plan = plan_forecast(config, dataset.num_timestamps, dataset.num_dims, horizon)
-    print(f"{dataset.name}: scheme={args.scheme} samples={args.samples} "
+    print(f"{dataset.name}: scheme={args.scheme} samples={num_samples} "
           f"horizon={horizon} sax={'on' if sax else 'off'}")
     print(f"  prompt tokens          {plan.prompt_tokens}")
     print(f"  generated tokens       {plan.generated_tokens}")
@@ -332,9 +382,13 @@ def _command_backtest(args) -> int:
     from repro.evaluation import rolling_origin_evaluation
 
     dataset = _DATASETS[args.dataset]()
+    num_samples = _resolve_samples(args)
+    spec = None
     options = {}
-    if args.method.startswith("multicast") or args.method == "llmtime":
-        options["num_samples"] = args.samples
+    if args.method.startswith("multicast"):
+        spec = ForecastSpec(num_samples=num_samples, execution=args.execution)
+    elif args.method == "llmtime":
+        options["num_samples"] = num_samples
     engine = None
     if args.workers > 0:
         from repro.serving import ForecastEngine
@@ -343,7 +397,8 @@ def _command_backtest(args) -> int:
     try:
         result = rolling_origin_evaluation(
             args.method, dataset, horizon=args.horizon,
-            num_windows=args.windows, seed=args.seed, engine=engine, **options,
+            num_windows=args.windows, seed=args.seed, engine=engine,
+            spec=spec, **options,
         )
     finally:
         if engine is not None:

@@ -19,11 +19,14 @@ from repro.core.multiplex import (
 )
 from repro.core.output import ForecastOutput
 from repro.core.planning import ForecastPlan, plan_forecast
+from repro.core.spec import EXECUTION_MODES, ForecastSpec
 from repro.core.timing import STAGES, StageClock
 
 __all__ = [
     "MultiCastConfig",
     "SaxConfig",
+    "ForecastSpec",
+    "EXECUTION_MODES",
     "MultiCastForecaster",
     "SampleRunner",
     "run_sequentially",

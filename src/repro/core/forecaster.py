@@ -22,8 +22,11 @@ values through the per-dimension encoder.
 from __future__ import annotations
 
 import itertools
+import os
 import threading
+import warnings
 from collections.abc import Callable
+from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
@@ -31,11 +34,12 @@ from repro.core.aggregation import aggregate_samples
 from repro.core.config import MultiCastConfig
 from repro.core.multiplex import Multiplexer, SaxSymbolCodec, get_multiplexer
 from repro.core.output import ForecastOutput
+from repro.core.spec import ForecastSpec
 from repro.core.timing import StageClock
 from repro.decomposition import SeasonalAdjuster, estimate_period
 from repro.encoding import SEPARATOR, DigitCodec, digit_vocabulary, sax_vocabulary
 from repro.encoding.vocabulary import Vocabulary
-from repro.exceptions import DataError, GenerationError
+from repro.exceptions import ConfigError, DataError, GenerationError
 from repro.llm import (
     Constraint,
     PeriodicPatternConstraint,
@@ -68,6 +72,17 @@ SampleRunner = Callable[[list[SampleTask]], list[GenerationResult | None]]
 def run_sequentially(tasks: list[SampleTask]) -> list[GenerationResult | None]:
     """The default sample runner: draw in order on the calling thread."""
     return [task() for task in tasks]
+
+
+def _run_pooled(tasks: list[SampleTask]) -> list[GenerationResult | None]:
+    """Transient thread-pool runner for ``execution="pooled"`` without an
+    injected runner (the serving engine injects its own pool instead)."""
+    workers = max(1, min(len(tasks), os.cpu_count() or 4))
+    with ThreadPoolExecutor(
+        max_workers=workers, thread_name_prefix="mc-sample"
+    ) as pool:
+        futures = [pool.submit(task) for task in tasks]
+        return [future.result() for future in futures]
 
 
 class _SharedPrefill:
@@ -108,11 +123,11 @@ class MultiCastForecaster:
 
     Example
     -------
-    >>> from repro.core import MultiCastConfig, MultiCastForecaster
+    >>> from repro.core import ForecastSpec, MultiCastForecaster
     >>> from repro.data import gas_rate
     >>> history, future = gas_rate().train_test_split()
-    >>> forecaster = MultiCastForecaster(MultiCastConfig(scheme="di"))
-    >>> output = forecaster.forecast(history, horizon=len(future))
+    >>> spec = ForecastSpec(series=history, horizon=len(future), scheme="di")
+    >>> output = MultiCastForecaster().forecast(spec)
     >>> output.values.shape == future.shape
     True
 
@@ -133,6 +148,7 @@ class MultiCastForecaster:
         tracer=None,
         state_cache: IngestStateCache | None = None,
         share_prefill: bool = True,
+        stop: Callable[[], bool] | None = None,
     ) -> None:
         self.config = config or MultiCastConfig()
         self._multiplexer: Multiplexer = get_multiplexer(self.config.scheme)
@@ -140,26 +156,87 @@ class MultiCastForecaster:
         self._tracer = NULL_TRACER if tracer is None else tracer
         self._state_cache = state_cache
         self._share_prefill = share_prefill
+        self._stop = stop
 
     # -- public API -----------------------------------------------------------
 
     def forecast(
         self,
-        history: np.ndarray,
-        horizon: int,
+        spec: ForecastSpec | np.ndarray,
+        horizon: int | None = None,
         seed: int | None = None,
         tracer=None,
     ) -> ForecastOutput:
-        """Forecast ``horizon`` steps past the end of a ``(n, d)`` history.
+        """Run one forecast described by a :class:`ForecastSpec`.
+
+        The spec is self-contained: its pipeline fields replace the
+        constructor's ``config`` entirely, and its ``execution`` field
+        selects how the sample ensemble is driven (``"batched"`` — the
+        lockstep scheduler, the default — ``"pooled"`` or
+        ``"sequential"``; all bit-identical under the same seed).  The
+        constructor keeps only execution machinery: sample runner, tracer,
+        ingest-state cache, prefill sharing, stop callable.
 
         ``tracer`` (defaulting to the constructor's, defaulting to the
         no-op :data:`~repro.observability.NULL_TRACER`) receives one
         ``forecast`` root span per call with a ``stage:*`` child per
-        pipeline stage and a ``sample_draw`` child per generation attempt.
-        The root span's duration is *defined* as the sum of its stage
-        spans — exactly :attr:`ForecastOutput.wall_seconds` — so the
-        rendered trace and the flat ``timings`` dict never disagree.
+        pipeline stage and, depending on the execution mode, either
+        ``sample_draw`` children per generation attempt or one
+        ``llm:decode_batch`` span.  The root span's duration is *defined*
+        as the sum of its stage spans — exactly
+        :attr:`ForecastOutput.wall_seconds` — so the rendered trace and
+        the flat ``timings`` dict never disagree.
+
+        .. deprecated:: 1.1
+            Calling ``forecast(history, horizon, seed=...)`` with a bare
+            array still works but emits a :class:`DeprecationWarning`;
+            build a :class:`ForecastSpec` instead (see ``docs/API.md``).
+            The legacy form runs through the constructor's config and
+            sample runner exactly as before, and produces an identical
+            :class:`ForecastOutput`.
         """
+        if isinstance(spec, ForecastSpec):
+            if horizon is not None or seed is not None:
+                raise ConfigError(
+                    "pass horizon and seed inside the ForecastSpec, "
+                    "not alongside it"
+                )
+            spec.require_series()
+            worker = MultiCastForecaster(
+                spec.config,
+                sample_runner=self._sample_runner,
+                tracer=self._tracer,
+                state_cache=self._state_cache,
+                share_prefill=self._share_prefill,
+                stop=self._stop,
+            )
+            return worker._forecast_impl(
+                spec.series, spec.horizon, spec.seed, tracer, mode=spec.execution
+            )
+        warnings.warn(
+            "forecast(history, horizon, ...) is deprecated; pass a "
+            "ForecastSpec (see the migration guide in docs/API.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._forecast_impl(spec, horizon, seed, tracer, mode=None)
+
+    def _forecast_impl(
+        self,
+        history: np.ndarray,
+        horizon: int,
+        seed: int | None,
+        tracer=None,
+        mode: str | None = None,
+    ) -> ForecastOutput:
+        """The pipeline body shared by the spec and legacy entry points.
+
+        ``mode`` is the resolved execution mode; ``None`` (legacy calls)
+        means "whatever sample runner the constructor configured", which
+        preserves the pre-spec behaviour exactly.
+        """
+        if horizon is None:
+            raise DataError("horizon must be provided")
         values = np.asarray(history, dtype=float)
         if values.ndim == 1:
             values = values[:, None]
@@ -189,9 +266,13 @@ class MultiCastForecaster:
                     adjusters, values = self._seasonal_adjust(values)
 
             if self.config.sax is None:
-                output = self._forecast_raw(values, horizon, seed, clock, tracer)
+                output = self._forecast_raw(
+                    values, horizon, seed, clock, tracer, mode
+                )
             else:
-                output = self._forecast_sax(values, horizon, seed, clock, tracer)
+                output = self._forecast_sax(
+                    values, horizon, seed, clock, tracer, mode
+                )
 
             if adjusters is not None:
                 with clock.stage("deseasonalize"):
@@ -272,15 +353,31 @@ class MultiCastForecaster:
         seed: int | None,
         tracer=NULL_TRACER,
         parent=None,
+        mode: str | None = None,
     ) -> tuple[list[list[str]], int, float, dict]:
         """Draw the configured number of continuations.
 
-        Each draw is packaged as a self-contained task carrying its own
-        precomputed child seed (so the configured runner may execute them
-        concurrently, in any order, or retry one from scratch, without
-        changing the result) and handed to the sample runner.  The runner
-        may return ``None`` for draws it abandoned; as long as at least one
-        survives, the forecast proceeds on the partial ensemble.
+        ``mode`` routes the ensemble through one of three executions, all
+        bit-identical under the same seed:
+
+        * ``"batched"`` — one :class:`~repro.llm.batch.BatchedDecoder`
+          advances every stream in lockstep from the shared prefilled
+          session (one ``llm:decode_batch`` span instead of per-draw
+          ``sample_draw`` spans); the constructor's ``stop`` callable is
+          polled between steps, so a deadline abandons only still-live
+          streams and the forecast proceeds on the partial ensemble.
+        * ``"pooled"`` — per-draw tasks on the constructor's injected
+          runner, or a transient thread pool when none was injected.
+        * ``"sequential"`` — per-draw tasks in order on this thread.
+        * ``None`` (legacy ``forecast(history, horizon)`` calls) —
+          whatever runner the constructor configured, exactly the
+          pre-spec behaviour.
+
+        Per-draw tasks are self-contained (each builds its RNG from a
+        precomputed child seed) so a runner may execute them concurrently,
+        in any order, or retry one from scratch, without changing the
+        result, and may return ``None`` for draws it abandoned; as long as
+        at least one survives, the forecast proceeds.
 
         The prompt is ingested *once*: the first draw to run prefills the
         model (through the ingest-state cache if one is attached) and every
@@ -296,10 +393,11 @@ class MultiCastForecaster:
         ``sample_draw`` span with ``attempt=2``.
 
         Returns (decoded token streams, total generated tokens, simulated
-        seconds, ingest info dict).  Simulated seconds charge the prompt
-        ingest once plus decode per completed sample — a deterministic
-        model of the shared-prefill execution, independent of cache state
-        so that cached and uncached runs report identical costs.
+        seconds, execution/ingest info dict).  Simulated seconds charge
+        the prompt ingest once plus decode per completed sample — a
+        deterministic model of the shared-prefill execution, independent
+        of cache state *and* execution mode so that every run of one
+        request reports identical costs.
         """
         config = self.config
         model = get_model(config.model, vocab_size=len(vocabulary))
@@ -310,6 +408,111 @@ class MultiCastForecaster:
             if self._share_prefill
             else None
         )
+
+        if mode == "batched":
+            results, execution_info = self._run_batched(
+                model, prompt_ids, tokens_needed, constraint, seeds,
+                prefill, tracer,
+            )
+        else:
+            runner = self._resolve_runner(mode)
+            execution_info = {
+                "execution": (
+                    "sequential" if runner is run_sequentially else "pooled"
+                ),
+            }
+            make_task = self._make_draw_task(
+                model, prompt_ids, tokens_needed, constraint, prefill,
+                tracer, parent,
+            )
+            results = runner([make_task(i, s) for i, s in enumerate(seeds)])
+        completed = [r for r in results if r is not None]
+        if not completed:
+            raise GenerationError(
+                "every sample draw failed or was abandoned by the runner"
+            )
+        streams = [vocabulary.decode(result.tokens) for result in completed]
+        generated = sum(len(result.tokens) for result in completed)
+        simulated = model.cost.seconds(len(prompt_ids), 0) + sum(
+            model.cost.seconds(0, len(result.tokens)) for result in completed
+        )
+        session = prefill.session if prefill else None
+        ingest_info = {
+            "ingest": session.outcome if session else "per-draw",
+            "ingested_tokens": (
+                session.ingested_tokens
+                if session
+                else len(completed) * len(prompt_ids)
+            ),
+            **execution_info,
+        }
+        return streams, generated, simulated, ingest_info
+
+    def _resolve_runner(self, mode: str | None) -> SampleRunner:
+        """The per-draw sample runner for a non-batched execution mode."""
+        if mode == "sequential":
+            return run_sequentially
+        if mode == "pooled":
+            if self._sample_runner is not run_sequentially:
+                return self._sample_runner  # the injected (engine) pool
+            return _run_pooled
+        if mode is None:
+            return self._sample_runner
+        raise ConfigError(f"unknown execution mode {mode!r}")
+
+    def _run_batched(
+        self,
+        model,
+        prompt_ids: list[int],
+        tokens_needed: int,
+        constraint: Constraint,
+        seeds: list[int],
+        prefill: "_SharedPrefill | None",
+        tracer,
+    ) -> tuple[list[GenerationResult | None], dict]:
+        """Decode the whole ensemble through one lockstep batched pass."""
+        if prefill is not None:
+            session = prefill.acquire(tracer)
+        else:
+            session = model.prefill(
+                prompt_ids, tracer=tracer, state_cache=self._state_cache
+            )
+        decoder = model.generate_batch(
+            prompt_ids,
+            tokens_needed,
+            [np.random.default_rng(s) for s in seeds],
+            constraint=constraint,
+            temperature=self.config.temperature,
+            tracer=tracer,
+            session=session,
+            stop=self._stop,
+        )
+        info = {
+            "execution": "batched",
+            "batch_occupancy": list(decoder.occupancy),
+            "batch_groups": list(decoder.group_counts),
+        }
+        if prefill is None:
+            # The shared-prefill bookkeeping in _run_samples sees no
+            # session; report the decoder's own single ingest instead.
+            info["ingest"] = session.outcome
+            info["ingested_tokens"] = session.ingested_tokens
+        if decoder.stopped:
+            info["stopped"] = True
+        return decoder.results, info
+
+    def _make_draw_task(
+        self,
+        model,
+        prompt_ids: list[int],
+        tokens_needed: int,
+        constraint: Constraint,
+        prefill: "_SharedPrefill | None",
+        tracer,
+        parent,
+    ) -> Callable[[int, int], SampleTask]:
+        """A factory of self-contained per-draw tasks (see `_run_samples`)."""
+        config = self.config
 
         def make_task(index: int, sample_seed: int) -> SampleTask:
             attempts = itertools.count(1)
@@ -337,29 +540,7 @@ class MultiCastForecaster:
 
             return draw
 
-        results = self._sample_runner(
-            [make_task(i, s) for i, s in enumerate(seeds)]
-        )
-        completed = [r for r in results if r is not None]
-        if not completed:
-            raise GenerationError(
-                "every sample draw failed or was abandoned by the runner"
-            )
-        streams = [vocabulary.decode(result.tokens) for result in completed]
-        generated = sum(len(result.tokens) for result in completed)
-        simulated = model.cost.seconds(len(prompt_ids), 0) + sum(
-            model.cost.seconds(0, len(result.tokens)) for result in completed
-        )
-        session = prefill.session if prefill else None
-        ingest_info = {
-            "ingest": session.outcome if session else "per-draw",
-            "ingested_tokens": (
-                session.ingested_tokens
-                if session
-                else len(completed) * len(prompt_ids)
-            ),
-        }
-        return streams, generated, simulated, ingest_info
+        return make_task
 
     def _truncate_rows(self, matrix: np.ndarray, width: int) -> np.ndarray:
         """Keep only the most recent rows whose stream fits the prompt budget."""
@@ -388,6 +569,7 @@ class MultiCastForecaster:
         seed: int | None,
         clock: StageClock,
         tracer=NULL_TRACER,
+        mode: str | None = None,
     ) -> ForecastOutput:
         config = self.config
         n, d = values.shape
@@ -416,7 +598,7 @@ class MultiCastForecaster:
         with clock.stage("generate") as generate_span:
             streams, generated, simulated, ingest_info = self._run_samples(
                 vocabulary, prompt_ids, tokens_needed, constraint, seed,
-                tracer, generate_span,
+                tracer, generate_span, mode,
             )
 
         with clock.stage("demultiplex"):
@@ -457,6 +639,7 @@ class MultiCastForecaster:
         seed: int | None,
         clock: StageClock,
         tracer=NULL_TRACER,
+        mode: str | None = None,
     ) -> ForecastOutput:
         config = self.config
         sax = config.sax
@@ -497,7 +680,7 @@ class MultiCastForecaster:
         with clock.stage("generate") as generate_span:
             streams, generated, simulated, ingest_info = self._run_samples(
                 vocabulary, prompt_ids, tokens_needed, constraint, seed,
-                tracer, generate_span,
+                tracer, generate_span, mode,
             )
 
         with clock.stage("demultiplex"):

@@ -14,10 +14,12 @@ content-addressed cache instead of regenerating them.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.spec import ForecastSpec
 from repro.data import Dataset
 from repro.evaluation.protocol import run_method
 from repro.exceptions import ConfigError, DataError
@@ -72,6 +74,7 @@ def rolling_origin_evaluation(
     seed: int = 0,
     engine=None,
     state_cache=None,
+    spec: ForecastSpec | None = None,
     **options,
 ) -> BacktestResult:
     """Evaluate ``method`` at ``num_windows`` successive forecast origins.
@@ -80,6 +83,12 @@ def rolling_origin_evaluation(
     by ``stride`` (default: ``horizon``, non-overlapping test windows).
     Every window must leave at least ``min_history`` (default: half the
     series) points of history.
+
+    ``spec`` is a template :class:`~repro.core.spec.ForecastSpec` carrying
+    the pipeline settings for MultiCast methods (its ``series``, ``horizon``
+    and ``seed`` are filled in per window; its ``scheme`` is taken from
+    ``method``).  Passing pipeline settings as loose keyword ``options``
+    instead still works but is deprecated.
 
     ``engine`` (a :class:`~repro.serving.ForecastEngine`) is honoured for
     MultiCast methods: all windows are submitted at once and served
@@ -93,6 +102,24 @@ def rolling_origin_evaluation(
     suffix — O(Δ) instead of O(n) prefill per window.  Engine-served
     backtests use the engine's own ingest cache instead.
     """
+    is_multicast = method in _ENGINE_METHODS
+    if spec is not None:
+        if not is_multicast:
+            raise ConfigError(
+                f"spec= applies only to MultiCast methods, not {method!r}"
+            )
+        if options:
+            raise ConfigError(
+                "pass pipeline settings inside spec=, not as loose options"
+            )
+    elif is_multicast and options:
+        warnings.warn(
+            "passing loose pipeline options to rolling_origin_evaluation is "
+            "deprecated; pass a template ForecastSpec via spec= instead "
+            "(see docs/API.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
     if horizon < 1:
         raise ConfigError(f"horizon must be >= 1, got {horizon}")
     if num_windows < 1:
@@ -116,13 +143,17 @@ def rolling_origin_evaluation(
         dim_names=dataset.dim_names,
         origins=origins,
     )
-    if engine is not None and method in _ENGINE_METHODS:
+    if spec is not None:
+        forecasts = _run_windows_from_spec(
+            spec, method, dataset, origins, horizon, seed, engine, state_cache
+        )
+    elif engine is not None and is_multicast:
         forecasts = _run_windows_on_engine(
             engine, method, dataset, origins, horizon, seed, options
         )
     else:
         run_options = dict(options)
-        if state_cache is not None and method in _ENGINE_METHODS:
+        if state_cache is not None and is_multicast:
             run_options["state_cache"] = state_cache
         forecasts = []
         for window_index, origin in enumerate(origins):
@@ -142,6 +173,42 @@ def rolling_origin_evaluation(
             }
         )
     return result
+
+
+def _run_windows_from_spec(
+    spec, method, dataset, origins, horizon, seed, engine, state_cache
+):
+    """Run every backtest window from one template spec.
+
+    Windows keep the per-window seed protocol (``seed + window_index``)
+    and take their scheme from ``method``, so a spec-driven backtest
+    scores identically to the loose-options path under the same settings.
+    """
+    from repro.core import MultiCastForecaster
+    from repro.serving import ForecastRequest
+
+    scheme = method.split("-", 1)[1]
+    window_specs = [
+        spec.replace(
+            series=np.asarray(dataset.values[:origin]),
+            horizon=horizon,
+            seed=seed + window_index,
+            scheme=scheme,
+        )
+        for window_index, origin in enumerate(origins)
+    ]
+    if engine is not None:
+        responses = engine.forecast_batch(
+            ForecastRequest.from_spec(
+                window_spec, name=f"{dataset.name}@{origin}"
+            )
+            for window_spec, origin in zip(window_specs, origins)
+        )
+        return [response.values for response in responses]
+    forecaster = MultiCastForecaster(state_cache=state_cache)
+    return [
+        forecaster.forecast(window_spec).values for window_spec in window_specs
+    ]
 
 
 def _run_windows_on_engine(

@@ -36,7 +36,13 @@ from repro.baselines import (
     naive_forecast,
     seasonal_naive_forecast,
 )
-from repro.core import MultiCastConfig, MultiCastForecaster, SaxConfig
+from repro.core import (
+    ForecastSpec,
+    MultiCastConfig,
+    MultiCastForecaster,
+    SaxConfig,
+)
+from repro.core.spec import canonicalize_sampling_options
 from repro.data import Dataset
 from repro.exceptions import ConfigError
 from repro.metrics import rmse
@@ -71,12 +77,18 @@ class EvalResult:
 
 def _multicast_forecast(scheme):
     def run(history, horizon, seed, **options):
+        options = canonicalize_sampling_options(
+            options, context=f"run_method('multicast-{scheme}')"
+        )
         sax_options = options.pop("sax", None)
         state_cache = options.pop("state_cache", None)
+        execution = options.pop("execution", "batched")
         sax = SaxConfig(**sax_options) if isinstance(sax_options, dict) else sax_options
         config = MultiCastConfig(scheme=scheme, sax=sax, seed=seed, **options)
-        forecaster = MultiCastForecaster(config, state_cache=state_cache)
-        return forecaster.forecast(history, horizon)
+        spec = ForecastSpec.from_config(
+            config, series=history, horizon=horizon, execution=execution
+        )
+        return MultiCastForecaster(state_cache=state_cache).forecast(spec)
 
     return run
 

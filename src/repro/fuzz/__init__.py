@@ -10,7 +10,7 @@ with adversarial inputs: constant series, near-zero spans, huge and
 negative magnitudes, subnormals, single-timestamp histories, wide
 dimension counts, and truncated or separator-corrupted generated streams.
 
-Three property families:
+Four property families:
 
 * ``round_trip`` — every scaler either raises a clean
   :class:`~repro.exceptions.ScalingError` (permitted only for extreme
@@ -21,6 +21,10 @@ Three property families:
   and exact-prefix recovery from truncated/corrupted streams.
 * ``constraint_soundness`` — every stream the structured-generation
   grammar admits must demultiplex without error into complete rows.
+* ``decode_equivalence`` — lockstep batched decoding
+  (:class:`~repro.llm.batch.BatchedDecoder`) equals per-stream sequential
+  decoding bit for bit — tokens and log-probs — across random prompts,
+  constraints, heterogeneous budgets, and every registered model.
 
 Failures shrink to a minimal counterexample and are written as JSON repro
 case files.  Run from the command line::

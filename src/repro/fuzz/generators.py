@@ -28,8 +28,13 @@ __all__ = [
     "generate_case",
 ]
 
-#: The three property families the harness checks (see package docstring).
-FAMILIES = ("round_trip", "mux_identity", "constraint_soundness")
+#: The four property families the harness checks (see package docstring).
+FAMILIES = (
+    "round_trip",
+    "mux_identity",
+    "constraint_soundness",
+    "decode_equivalence",
+)
 
 #: Scaler kinds fuzzed by the ``round_trip`` family.
 SCALERS = ("fixed", "percentile", "zscore", "minmax")

@@ -1,4 +1,4 @@
-"""The three property families the fuzz harness checks.
+"""The four property families the fuzz harness checks.
 
 Every check takes a :class:`~repro.fuzz.generators.FuzzCase` and returns
 ``None`` on success or a human-readable failure description.  A property
@@ -8,6 +8,12 @@ not.  Scalers may refuse an input with a clean
 :class:`~repro.exceptions.ScalingError`, but only when its magnitudes are
 genuinely beyond what a float64 affine map can represent; refusing a tame
 input is itself a failure.
+
+The ``decode_equivalence`` family pins the batched-decoding contract: for
+random prompts, constraints, per-stream budgets, and every registered
+simulated model, lockstep :class:`~repro.llm.batch.BatchedDecoder` output
+must equal per-stream sequential decoding **bit for bit** — same tokens,
+same log-probs, float equality, no tolerance.
 """
 
 from __future__ import annotations
@@ -66,6 +72,8 @@ def check_case(case: FuzzCase) -> str | None:
             return _check_mux_identity(case)
         if case.family == "constraint_soundness":
             return _check_constraint_soundness(case)
+        if case.family == "decode_equivalence":
+            return _check_decode_equivalence(case)
     except ReproError as exc:  # any unexpected library error is a finding
         return f"unexpected {type(exc).__name__}: {exc}"
     except Exception as exc:  # hard crash (numpy/stdlib) is always a finding
@@ -339,4 +347,80 @@ def _check_constraint_soundness(case: FuzzCase) -> str | None:
         return f"lenient demux shape {lenient.shape} has wrong dimension count"
     if lenient.size and (lenient.min() < 0 or lenient.max() > codec.max_value):
         return "lenient demux left the code range"
+    return None
+
+
+# -- family 4: batched = sequential decoding ----------------------------------
+
+
+def _check_decode_equivalence(case: FuzzCase) -> str | None:
+    """Batched lockstep decoding must match per-stream decoding bit for bit.
+
+    Draws a random prompt over the case's vocabulary, a grammar constraint
+    half the time, 2–4 streams with heterogeneous token budgets, and one
+    registered simulated model — then decodes the ensemble once through
+    :meth:`~repro.llm.simulated.SimulatedLLM.generate_batch` and once
+    stream-by-stream through :meth:`~repro.llm.simulated.SimulatedLLM.generate`
+    with the same seed-derived generators, asserting exact equality of
+    tokens *and* log-probs.
+    """
+    from repro.llm.sampling import child_seeds
+    from repro.llm.simulated import available_models, get_model
+
+    codec = make_codec(case)
+    width = codec.num_digits
+    d = case.num_dims
+    if isinstance(codec, DigitCodec):
+        num_values = 10
+    else:
+        num_values = len(codec.alphabet.symbols)
+    sep_id = num_values
+    vocab_size = num_values + 1
+
+    rng = np.random.default_rng(case.seed)
+    models = available_models()
+    model = get_model(
+        models[case.seed % len(models)], vocab_size=vocab_size
+    )
+
+    constraint = None
+    if case.seed % 2:
+        mux = get_multiplexer(case.scheme)
+        pattern = mux.constraint_pattern(
+            d, width, frozenset(range(num_values)), sep_id
+        )
+        constraint = PeriodicPatternConstraint(pattern)
+
+    prompt_length = int(rng.integers(1, min(60, 4 * max(1, case.num_steps)) + 1))
+    prompt = [int(t) for t in rng.integers(0, vocab_size, size=prompt_length)]
+    num_streams = 2 + case.seed % 3
+    budgets = [int(b) for b in rng.integers(0, 13, size=num_streams)]
+    seeds = child_seeds(rng, num_streams)
+
+    session = model.prefill(prompt)
+    decoder = model.generate_batch(
+        prompt,
+        budgets,
+        [np.random.default_rng(s) for s in seeds],
+        constraint=constraint,
+        session=session,
+    )
+    for index, (seed, budget) in enumerate(zip(seeds, budgets)):
+        expected = model.generate(
+            prompt,
+            budget,
+            np.random.default_rng(seed),
+            constraint=constraint,
+            session=session,
+        )
+        got = decoder.results[index]
+        if got is None:
+            return f"stream {index}: batched decode returned no result"
+        if got.tokens != expected.tokens:
+            return (
+                f"stream {index}: batched tokens {got.tokens[:8]}... "
+                f"!= sequential {expected.tokens[:8]}..."
+            )
+        if got.log_probs != expected.log_probs:
+            return f"stream {index}: batched log-probs differ from sequential"
     return None

@@ -24,6 +24,7 @@ KV-cache prefix reuse.
 """
 
 from repro.llm.interface import GenerationResult, LanguageModel
+from repro.llm.batch import BatchedDecoder
 from repro.llm.constraints import (
     Constraint,
     PeriodicPatternConstraint,
@@ -32,6 +33,8 @@ from repro.llm.constraints import (
 from repro.llm.sampling import (
     child_generators,
     child_seeds,
+    filter_distribution,
+    mask_for_ids,
     sample_from_distribution,
 )
 from repro.llm.ctw import CTWLanguageModel
@@ -58,6 +61,9 @@ __all__ = [
     "SetConstraint",
     "PeriodicPatternConstraint",
     "sample_from_distribution",
+    "filter_distribution",
+    "mask_for_ids",
+    "BatchedDecoder",
     "child_seeds",
     "child_generators",
     "PPMLanguageModel",

@@ -67,6 +67,25 @@ class LanguageModel(ABC):
     def advance(self, token: int) -> None:
         """Append ``token`` to the session and update internal structure."""
 
+    @classmethod
+    def next_distribution_batch(
+        cls, models: Sequence["LanguageModel"]
+    ) -> np.ndarray:
+        """Next-token distributions for several models as an ``(S, V)`` matrix.
+
+        Row ``i`` is bit-identical to ``models[i].next_distribution()`` —
+        that is the contract the batched decode scheduler
+        (:class:`repro.llm.batch.BatchedDecoder`) relies on to stay
+        deterministic with respect to the sequential path.  The base
+        implementation simply stacks per-model calls; substrates with a
+        vectorisable scoring tail (PPM, recency PPM, n-gram, uniform,
+        shift-biased) override it to share work across rows, falling back
+        to stacking whenever the batch mixes model types or parameters.
+        """
+        if not models:
+            raise GenerationError("next_distribution_batch needs >= 1 model")
+        return np.stack([model.next_distribution() for model in models])
+
     def fork(self) -> "LanguageModel":
         """A deep, independent copy of the current in-context state.
 

@@ -100,6 +100,45 @@ class NgramBackoffLM(LanguageModel):
             probs = (counts + self.alpha * probs) / (counts.sum() + self.alpha)
         return probs / probs.sum()
 
+    @classmethod
+    def next_distribution_batch(
+        cls, models: Sequence["NgramBackoffLM"]
+    ) -> np.ndarray:
+        """Batched interpolation: gather per-row count vectors, mix as a matrix.
+
+        Requires a homogeneous batch (same class, order, alpha, vocabulary
+        and context length — always true for the decode scheduler, whose
+        models are lockstep forks of one prefill); anything else falls back
+        to stacking per-model calls.  Per-element operation order matches
+        the scalar path, so rows are bit-identical.
+        """
+        first = models[0]
+        if (
+            any(type(m) is not NgramBackoffLM for m in models)
+            or any(m.vocab_size != first.vocab_size for m in models)
+            or any(m.order != first.order for m in models)
+            or any(m.alpha != first.alpha for m in models)
+            or any(len(m._history) != len(first._history) for m in models)
+        ):
+            return super().next_distribution_batch(models)
+        size = first.vocab_size
+        alpha = first.alpha
+        n = len(first._history)
+        empty = np.zeros(size)
+        rows = [m._tables[0].get((), empty) for m in models]
+        sums = np.array([float(row.sum()) for row in rows])
+        probs = (np.stack(rows) + alpha / size) / (sums + alpha)[:, None]
+        for k in range(1, min(first.order, n) + 1):
+            rows = []
+            for model in models:
+                suffix = tuple(model._history[n - k :])
+                counts = model._tables[k].get(suffix)
+                rows.append(empty if counts is None else counts)
+            sums = np.array([float(row.sum()) for row in rows])
+            probs = (np.stack(rows) + alpha * probs) / (sums + alpha)[:, None]
+        totals = np.array([row.sum() for row in probs])
+        return probs / totals[:, None]
+
 
 class UniformLM(LanguageModel):
     """Assigns equal probability to every token, regardless of context."""
@@ -122,3 +161,15 @@ class UniformLM(LanguageModel):
     def next_distribution(self) -> np.ndarray:
         """The constant ``1 / vocab_size`` vector."""
         return np.full(self.vocab_size, 1.0 / self.vocab_size)
+
+    @classmethod
+    def next_distribution_batch(cls, models: Sequence["UniformLM"]) -> np.ndarray:
+        """One constant matrix — the cheapest batched scoring path."""
+        first = models[0]
+        if any(type(m) is not UniformLM for m in models) or any(
+            m.vocab_size != first.vocab_size for m in models
+        ):
+            return super().next_distribution_batch(models)
+        return np.full(
+            (len(models), first.vocab_size), 1.0 / first.vocab_size
+        )

@@ -162,13 +162,12 @@ class PPMLanguageModel(LanguageModel):
             self._orders[k].observe(suffix, token)
         history.append(token)
 
-    def next_distribution(self) -> np.ndarray:
-        """PPM-C escape cascade from the longest matching suffix down."""
+    def _escape_cascade(self, result: np.ndarray) -> float:
+        """Accumulate orders ``max_order..1`` into ``result``; return the
+        escape weight left for the order-0/uniform tail."""
         history = self._history
         n = len(history)
-        result = np.zeros(self.vocab_size, dtype=float)
         weight = 1.0
-
         for k in range(min(self.max_order, n), 0, -1):
             suffix = tuple(history[n - k :])
             counts = self._orders[k].get(suffix)
@@ -182,15 +181,64 @@ class PPMLanguageModel(LanguageModel):
             weight *= distinct / denom
             if weight < 1e-12:
                 break
+        return weight
 
-        # Order 0: global unigram with its own escape toward uniform.
+    def _order0_tail(self, result: np.ndarray, weight: float) -> np.ndarray:
+        """Order-0 unigram escape plus the uniform floor and normalisation."""
         total0 = float(self._zero_counts.sum())
         if total0 > 0.0:
             distinct0 = float(np.count_nonzero(self._zero_counts))
             denom0 = total0 + distinct0
             result += weight * self._zero_counts / denom0
             weight *= distinct0 / denom0
-
         floor_weight = max(weight, self.uniform_floor)
         result += floor_weight / self.vocab_size
         return result / result.sum()
+
+    def next_distribution(self) -> np.ndarray:
+        """PPM-C escape cascade from the longest matching suffix down."""
+        result = np.zeros(self.vocab_size, dtype=float)
+        weight = self._escape_cascade(result)
+        return self._order0_tail(result, weight)
+
+    @classmethod
+    def next_distribution_batch(
+        cls, models: Sequence["PPMLanguageModel"]
+    ) -> np.ndarray:
+        """Batched PPM scoring: per-row escape cascades, vectorised tail.
+
+        The sparse high-order cascade stays per-model (it touches only the
+        few counts behind the current suffix), while the dense order-0 /
+        uniform-floor / normalisation tail — the bulk of the per-call numpy
+        work — runs once over the whole ``(S, V)`` matrix.  Every operation
+        keeps the per-element order of the scalar path, so rows are
+        bit-identical to per-model :meth:`next_distribution` calls.
+        """
+        if any(type(model) is not PPMLanguageModel for model in models):
+            return super().next_distribution_batch(models)
+        size = models[0].vocab_size
+        if any(model.vocab_size != size for model in models):
+            return super().next_distribution_batch(models)
+        result = np.zeros((len(models), size), dtype=float)
+        weights = np.empty(len(models), dtype=float)
+        for i, model in enumerate(models):
+            weights[i] = model._escape_cascade(result[i])
+        totals = np.array([float(m._zero_counts.sum()) for m in models])
+        if not np.all(totals > 0.0):
+            # Empty-context rows take the scalar tail (rare outside tests).
+            for i, model in enumerate(models):
+                result[i] = model._order0_tail(result[i], float(weights[i]))
+            return result
+        zeros = np.stack([model._zero_counts for model in models])
+        distincts = np.array(
+            [float(np.count_nonzero(m._zero_counts)) for m in models]
+        )
+        denoms = totals + distincts
+        result += weights[:, None] * zeros / denoms[:, None]
+        weights = weights * (distincts / denoms)
+        floors = np.array([model.uniform_floor for model in models])
+        floor_weights = np.maximum(weights, floors)
+        result += floor_weights[:, None] / size
+        sums = np.array([row.sum() for row in result])
+        result /= sums[:, None]
+        return result

@@ -171,13 +171,12 @@ class RecencyPPMLanguageModel(LanguageModel):
             cell.bump(n, self._gamma)
         history.append(token)
 
-    def next_distribution(self) -> np.ndarray:
-        """PPM-C escape cascade over decayed (recency-weighted) counts."""
+    def _escape_cascade(self, result: np.ndarray) -> float:
+        """Accumulate every order's decayed counts into ``result``; return
+        the escape weight left for the uniform floor."""
         history = self._history
         now = len(history)
-        result = np.zeros(self.vocab_size, dtype=float)
         weight = 1.0
-
         for k in range(min(self.max_order, now), -1, -1):
             suffix = tuple(history[now - k :]) if k else ()
             cells = self._tables[k].get(suffix)
@@ -197,7 +196,39 @@ class RecencyPPMLanguageModel(LanguageModel):
             weight *= distinct / denom
             if weight < 1e-12:
                 break
+        return weight
 
+    def next_distribution(self) -> np.ndarray:
+        """PPM-C escape cascade over decayed (recency-weighted) counts."""
+        result = np.zeros(self.vocab_size, dtype=float)
+        weight = self._escape_cascade(result)
         floor_weight = max(weight, self.uniform_floor)
         result += floor_weight / self.vocab_size
         return result / result.sum()
+
+    @classmethod
+    def next_distribution_batch(
+        cls, models: Sequence["RecencyPPMLanguageModel"]
+    ) -> np.ndarray:
+        """Batched scoring: per-row decayed cascades, vectorised floor tail.
+
+        Rows are bit-identical to per-model :meth:`next_distribution`
+        calls — the cascade (sparse dict walks) runs per model, the uniform
+        floor and normalisation run once over the ``(S, V)`` matrix with
+        the scalar path's per-element operation order preserved.
+        """
+        if any(type(m) is not RecencyPPMLanguageModel for m in models):
+            return super().next_distribution_batch(models)
+        size = models[0].vocab_size
+        if any(model.vocab_size != size for model in models):
+            return super().next_distribution_batch(models)
+        result = np.zeros((len(models), size), dtype=float)
+        weights = np.empty(len(models), dtype=float)
+        for i, model in enumerate(models):
+            weights[i] = model._escape_cascade(result[i])
+        floors = np.array([model.uniform_floor for model in models])
+        floor_weights = np.maximum(weights, floors)
+        result += floor_weights[:, None] / size
+        sums = np.array([row.sum() for row in result])
+        result /= sums[:, None]
+        return result

@@ -23,7 +23,13 @@ import numpy as np
 
 from repro.exceptions import GenerationError
 
-__all__ = ["sample_from_distribution", "child_seeds", "child_generators"]
+__all__ = [
+    "sample_from_distribution",
+    "filter_distribution",
+    "mask_for_ids",
+    "child_seeds",
+    "child_generators",
+]
 
 
 def child_seeds(rng: np.random.Generator, n: int) -> list[int]:
@@ -47,19 +53,44 @@ def child_generators(
     return [np.random.default_rng(seed) for seed in child_seeds(rng, n)]
 
 
-def sample_from_distribution(
+def mask_for_ids(allowed_ids: Iterable[int], size: int) -> np.ndarray:
+    """Boolean admissibility mask over a vocabulary of ``size`` ids.
+
+    Precomputing the mask once per constraint position and passing it as
+    ``allowed_mask`` lets a batched decoder share one mask across every
+    stream of a step instead of rebuilding it per draw; the mask is
+    numerically interchangeable with passing ``allowed_ids`` directly.
+    """
+    mask = np.zeros(size, dtype=bool)
+    ids = np.fromiter((int(i) for i in allowed_ids), dtype=int)
+    if ids.size == 0:
+        raise GenerationError("allowed_ids is empty")
+    if ids.min() < 0 or ids.max() >= size:
+        raise GenerationError("allowed_ids outside the vocabulary")
+    mask[ids] = True
+    return mask
+
+
+def filter_distribution(
     probs: np.ndarray,
-    rng: np.random.Generator,
     temperature: float = 1.0,
     top_k: int | None = None,
     top_p: float | None = None,
     allowed_ids: Iterable[int] | None = None,
-) -> tuple[int, float]:
-    """Draw one token id; returns ``(token_id, probability_it_was_drawn_with)``.
+    allowed_mask: np.ndarray | None = None,
+) -> tuple[np.ndarray, bool]:
+    """The final sampling distribution after constrain/temperature/k/p.
 
-    ``probs`` is a length-V probability vector.  ``temperature`` rescales in
-    log space (``p ** (1/T)``); values below 1 sharpen, above 1 flatten, and
-    0 means greedy argmax.  ``top_k``/``top_p`` filter before renormalising.
+    Returns ``(p, greedy)``: the filtered, renormalised probability vector
+    and whether a denormal-or-zero temperature calls for greedy argmax
+    decoding (in which case ``p`` is the pre-temperature distribution, as
+    in :func:`sample_from_distribution`'s greedy branch).
+
+    This is the deterministic half of :func:`sample_from_distribution` —
+    everything except the RNG draw.  The batched decode scheduler computes
+    it once per group of identical streams and draws each stream's token
+    from the shared result, which consumes every stream's generator
+    exactly as the sequential path does.
     """
     p = np.asarray(probs, dtype=float)
     if p.ndim != 1:
@@ -73,14 +104,18 @@ def sample_from_distribution(
 
     p = np.clip(p, 0.0, None)
 
-    if allowed_ids is not None:
-        mask = np.zeros_like(p, dtype=bool)
-        ids = np.fromiter((int(i) for i in allowed_ids), dtype=int)
-        if ids.size == 0:
-            raise GenerationError("allowed_ids is empty")
-        if ids.min() < 0 or ids.max() >= p.size:
-            raise GenerationError("allowed_ids outside the vocabulary")
-        mask[ids] = True
+    mask = None
+    if allowed_mask is not None:
+        mask = np.asarray(allowed_mask, dtype=bool)
+        if mask.shape != p.shape:
+            raise GenerationError(
+                f"allowed_mask shape {mask.shape} does not match {p.shape}"
+            )
+        if not mask.any():
+            raise GenerationError("allowed_mask admits no ids")
+    elif allowed_ids is not None:
+        mask = mask_for_ids(allowed_ids, p.size)
+    if mask is not None:
         p = np.where(mask, p, 0.0)
         if p.sum() <= 0.0:
             p = mask.astype(float)  # uniform over the admissible set
@@ -92,8 +127,7 @@ def sample_from_distribution(
     if temperature < 1e-6:
         # Exactly-zero and denormal temperatures both mean greedy decoding
         # (dividing log-probabilities by a denormal would overflow).
-        token = int(np.argmax(p))
-        return token, float(p[token])
+        return p, True
     if temperature != 1.0:
         with np.errstate(divide="ignore"):
             logp = np.where(p > 0.0, np.log(p), -np.inf)
@@ -117,6 +151,38 @@ def sample_from_distribution(
         filtered = np.zeros_like(p)
         filtered[keep] = p[keep]
         p = filtered / filtered.sum()
+    return p, False
 
+
+def sample_from_distribution(
+    probs: np.ndarray,
+    rng: np.random.Generator,
+    temperature: float = 1.0,
+    top_k: int | None = None,
+    top_p: float | None = None,
+    allowed_ids: Iterable[int] | None = None,
+    allowed_mask: np.ndarray | None = None,
+) -> tuple[int, float]:
+    """Draw one token id; returns ``(token_id, probability_it_was_drawn_with)``.
+
+    ``probs`` is a length-V probability vector.  ``temperature`` rescales in
+    log space (``p ** (1/T)``); values below 1 sharpen, above 1 flatten, and
+    0 means greedy argmax.  ``top_k``/``top_p`` filter before renormalising.
+
+    ``allowed_mask`` is a precomputed boolean mask (see :func:`mask_for_ids`)
+    that takes precedence over ``allowed_ids``; the two spellings of the same
+    admissible set produce bit-identical draws.
+    """
+    p, greedy = filter_distribution(
+        probs,
+        temperature=temperature,
+        top_k=top_k,
+        top_p=top_p,
+        allowed_ids=allowed_ids,
+        allowed_mask=allowed_mask,
+    )
+    if greedy:
+        token = int(np.argmax(p))
+        return token, float(p[token])
     token = int(rng.choice(p.size, p=p))
     return token, float(p[token])

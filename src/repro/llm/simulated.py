@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.exceptions import ConfigError, GenerationError
+from repro.llm.batch import BatchedDecoder
 from repro.llm.constraints import Constraint
 from repro.llm.cost import TokenCostModel
 from repro.llm.ctw import CTWLanguageModel
@@ -262,6 +263,58 @@ class SimulatedLLM:
                 self._sleep(len(context), len(result.tokens))
             span.set_attribute("tokens_generated", len(result.tokens))
         return result
+
+    def generate_batch(
+        self,
+        context: Sequence[int],
+        max_new_tokens: int | Sequence[int],
+        rngs: Sequence[np.random.Generator],
+        constraint: Constraint | None = None,
+        temperature: float | None = None,
+        tracer=None,
+        session: PrefilledSession | None = None,
+        state_cache: IngestStateCache | None = None,
+        stop=None,
+    ) -> BatchedDecoder:
+        """Decode one constrained continuation per RNG, in lockstep.
+
+        The batched counterpart of calling :meth:`generate` once per
+        sample: all streams fork from one prefilled session (``session``
+        if given, else an internal :meth:`prefill`) and advance together
+        through a :class:`~repro.llm.batch.BatchedDecoder`, which emits
+        the ``llm:decode_batch`` span.  Under the same per-stream RNGs the
+        results are bit-identical to per-sample :meth:`generate` calls.
+
+        ``stop`` is an optional zero-argument callable polled between
+        steps (deadline enforcement); when it fires, unfinished streams
+        report ``None``.  Realtime latency is charged for one stream's
+        decode steps — the whole point of batching is that the S streams
+        share each model pass.  Returns the decoder, whose ``results``,
+        ``occupancy`` and ``group_counts`` carry the outcome.
+        """
+        tracer = NULL_TRACER if tracer is None else tracer
+        prompt = tuple(int(t) for t in context)
+        if session is None:
+            session = self.prefill(prompt, tracer=tracer, state_cache=state_cache)
+        elif session.context != prompt:
+            raise GenerationError(
+                "prefilled session does not match the generate_batch() context"
+            )
+        decoder = BatchedDecoder(
+            session.model,
+            rngs,
+            max_new_tokens,
+            constraint=constraint,
+            temperature=(
+                self.spec.temperature if temperature is None else temperature
+            ),
+            top_p=self.spec.top_p,
+        )
+        decoder.decode(
+            tracer=tracer, stop=stop, span_attributes={"model": self.name}
+        )
+        self._sleep(0, decoder.steps)
+        return decoder
 
     def sequence_nll(
         self, tokens: Sequence[int], context: Sequence[int] = ()

@@ -84,3 +84,38 @@ class ShiftBiasedLM(LanguageModel):
         )
         np.add.at(probs, targets, moved)
         return probs / probs.sum()
+
+    @classmethod
+    def next_distribution_batch(cls, models: Sequence["ShiftBiasedLM"]) -> np.ndarray:
+        """Batched bias: score the wrapped models in batch, shift row-wise.
+
+        The wrapped models are scored through *their* class's
+        ``next_distribution_batch`` (so a PPM base keeps its vectorised
+        tail) and the upward lean is applied to the whole matrix at once.
+        Heterogeneous batches fall back to stacking.  ``np.add.at`` visits
+        a matrix in row-major order, so duplicate shift targets accumulate
+        per row exactly as in the scalar path — rows stay bit-identical.
+        """
+        first = models[0]
+        base_cls = type(first.base)
+        if (
+            any(type(m) is not ShiftBiasedLM for m in models)
+            or any(type(m.base) is not base_cls for m in models)
+            or any(m.vocab_size != first.vocab_size for m in models)
+            or any(m.shift_weight != first.shift_weight for m in models)
+            or any(m.shift_steps != first.shift_steps for m in models)
+        ):
+            return super().next_distribution_batch(models)
+        probs = base_cls.next_distribution_batch([m.base for m in models])
+        last_value = first.vocab_size - 2  # ids [0, last_value] are values
+        if last_value < 1:
+            return probs
+        moved = first.shift_weight * probs[:, : last_value + 1]
+        probs[:, : last_value + 1] -= moved
+        targets = np.minimum(
+            np.arange(last_value + 1) + first.shift_steps, last_value
+        )
+        rows = np.arange(len(models))[:, None]
+        np.add.at(probs, (rows, targets[None, :]), moved)
+        sums = np.array([row.sum() for row in probs])
+        return probs / sums[:, None]

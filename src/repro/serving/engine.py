@@ -2,11 +2,16 @@
 
 The engine turns :class:`MultiCastForecaster` — a single-threaded library
 object — into a service: requests are accepted concurrently, each request's
-``num_samples`` independent constrained continuations fan out across a
-shared thread pool (they are embarrassingly parallel: the paper medians
-i.i.d. draws, LLMTime-style), and the serving policies (result cache,
+``num_samples`` independent constrained continuations either fan out across
+a shared thread pool (``execution="pooled"``, the request default; they are
+embarrassingly parallel: the paper medians i.i.d. draws, LLMTime-style) or
+decode in lockstep through one :class:`~repro.llm.batch.BatchedDecoder`
+pass (``execution="batched"``, usually the fastest — see
+``benchmarks/bench_batching.py``), and the serving policies (result cache,
 deadline, retry, partial-ensemble degradation) wrap the pipeline without
-touching its numerics.
+touching its numerics.  Batched requests honour deadlines by polling
+between decode steps; per-draw retry does not apply to them (the simulated
+substrates never fail transiently mid-decode).
 
 Determinism is preserved end to end: the forecaster derives one child seed
 per sample *before* dispatch, every draw builds its own
@@ -38,6 +43,7 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 
 from repro.core.forecaster import MultiCastForecaster, SampleTask
+from repro.core.spec import ForecastSpec
 from repro.exceptions import ConfigError, GenerationError, ReproError
 from repro.llm.interface import GenerationResult
 from repro.llm.state_cache import IngestStateCache
@@ -158,18 +164,31 @@ class ForecastEngine:
 
     # -- public API -----------------------------------------------------------
 
-    def forecast(self, request: ForecastRequest) -> ForecastResponse:
-        """Serve one request on the calling thread (draws still fan out)."""
-        self._check_open()
-        return self._execute(request)
+    def forecast(
+        self, request: ForecastRequest | ForecastSpec
+    ) -> ForecastResponse:
+        """Serve one request on the calling thread (draws still fan out).
 
-    def submit(self, request: ForecastRequest) -> Future:
-        """Enqueue a request; returns a Future of :class:`ForecastResponse`."""
+        Accepts a :class:`ForecastRequest` or, directly, an executable
+        :class:`~repro.core.spec.ForecastSpec` (wrapped via
+        :meth:`ForecastRequest.from_spec` with default serving options).
+        """
         self._check_open()
-        return self._requests.submit(self._execute, request)
+        return self._execute(self._coerce(request))
+
+    def submit(self, request: ForecastRequest | ForecastSpec) -> Future:
+        """Enqueue a request (or spec); returns a Future of :class:`ForecastResponse`."""
+        self._check_open()
+        return self._requests.submit(self._execute, self._coerce(request))
+
+    @staticmethod
+    def _coerce(request: ForecastRequest | ForecastSpec) -> ForecastRequest:
+        if isinstance(request, ForecastSpec):
+            return ForecastRequest.from_spec(request)
+        return request
 
     def forecast_batch(
-        self, requests: Iterable[ForecastRequest]
+        self, requests: Iterable[ForecastRequest | ForecastSpec]
     ) -> list[ForecastResponse]:
         """Serve many requests concurrently; responses in request order.
 
@@ -245,18 +264,27 @@ class ForecastEngine:
 
         deadline = Deadline(request.deadline_seconds)
         state = _RequestState(deadline)
+        # "sequential" maps to "pooled" here: engine draws always run on
+        # the shared sample pool (outputs are bit-identical regardless).
+        execution = "batched" if request.execution == "batched" else "pooled"
         forecaster = MultiCastForecaster(
             request.config,
             sample_runner=self._make_runner(state),
             tracer=self.tracer,
             state_cache=self.ingest_cache,
+            stop=(lambda: deadline.expired) if execution == "batched" else None,
+        )
+        spec = ForecastSpec.from_config(
+            request.config,
+            series=request.history,
+            horizon=request.horizon,
+            seed=request.effective_seed,
+            execution=execution,
         )
 
         self.metrics.gauge("inflight_requests").add(1)
         try:
-            output = forecaster.forecast(
-                request.history, request.horizon, seed=request.seed
-            )
+            output = forecaster.forecast(spec)
         except ReproError as error:
             wall = time.perf_counter() - started
             message = str(error)
@@ -289,6 +317,8 @@ class ForecastEngine:
             self.metrics.counter("ingest_cache_misses").inc()
         if span.is_recording and ingest is not None:
             span.set_attribute("ingest", ingest)
+        for occupancy in output.metadata.get("batch_occupancy", ()):
+            self.metrics.histogram("decode_batch_occupancy").observe(occupancy)
         requested = output.metadata.get("requested_samples", request.config.num_samples)
         completed = output.metadata.get("completed_samples", requested)
         partial = completed < requested
@@ -336,6 +366,11 @@ class ForecastEngine:
             "sax": request.config.sax is not None,
             "model": request.config.model,
             "horizon": int(request.horizon),
+            "execution": (
+                output.metadata.get("execution", request.execution)
+                if output
+                else request.execution
+            ),
             "cache_hit": response.cache_hit,
             "partial": response.partial,
             "attempts": response.attempts,

@@ -6,12 +6,17 @@ one per series/configuration pair::
     {
       "jobs": [
         {"name": "gas-di", "dataset": "gas_rate", "scheme": "di",
-         "samples": 3, "horizon": 8},
+         "num_samples": 3, "horizon": 8},
         {"name": "gas-sax", "dataset": "gas_rate", "horizon": 8,
          "sax": {"segment_length": 6, "alphabet_size": 5}},
-        {"csv": "data/mine.csv", "horizon": 24, "deadline": 30.0}
+        {"csv": "data/mine.csv", "horizon": 24, "deadline": 30.0,
+         "execution": "batched"}
       ]
     }
+
+``num_samples`` is the canonical sample-count key (``samples`` stays
+accepted as a short alias); ``execution`` selects ``"pooled"`` (default)
+or ``"batched"`` ensemble decoding, with bit-identical outputs.
 
 A bare top-level list is accepted too.  Unknown keys are rejected early so
 a typo (``"smaples"``) fails the whole manifest instead of silently running
@@ -27,16 +32,20 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.config import MultiCastConfig, SaxConfig
+from repro.core.spec import EXECUTION_MODES
 from repro.exceptions import ConfigError
 from repro.serving.request import ForecastRequest
 
 __all__ = ["BatchJob", "load_manifest"]
 
 #: manifest key → MultiCastConfig field for the plain pass-throughs.
+#: ``num_samples`` is the canonical spelling (matching ForecastSpec);
+#: ``samples`` stays accepted as a short alias.
 _CONFIG_KEYS = {
     "scheme": "scheme",
     "digits": "num_digits",
     "samples": "num_samples",
+    "num_samples": "num_samples",
     "model": "model",
     "aggregation": "aggregation",
     "structured_constraint": "structured_constraint",
@@ -48,6 +57,7 @@ _CONFIG_KEYS = {
 
 _JOB_KEYS = frozenset(_CONFIG_KEYS) | {
     "name", "dataset", "csv", "horizon", "sax", "deadline", "use_cache",
+    "execution",
 }
 
 
@@ -62,6 +72,7 @@ class BatchJob:
     csv: str | None = None
     deadline: float | None = None
     use_cache: bool = True
+    execution: str = "pooled"
 
     def to_request(self, history: np.ndarray) -> ForecastRequest:
         """Bind this job's settings to a concrete history array.
@@ -75,6 +86,7 @@ class BatchJob:
             deadline_seconds=self.deadline,
             use_cache=self.use_cache,
             name=self.name,
+            execution=self.execution,
         )
 
 
@@ -93,6 +105,16 @@ def _parse_job(index: int, raw: dict) -> BatchJob:
         )
     if "horizon" not in raw:
         raise ConfigError(f"job {index} is missing the required 'horizon'")
+    if "samples" in raw and "num_samples" in raw:
+        raise ConfigError(
+            f"job {index} has both 'samples' and 'num_samples'; "
+            f"use only 'num_samples'"
+        )
+    if raw.get("execution", "pooled") not in EXECUTION_MODES:
+        raise ConfigError(
+            f"job {index}: execution must be one of {EXECUTION_MODES}, "
+            f"got {raw['execution']!r}"
+        )
 
     config_kwargs = {
         field_name: raw[key]
@@ -113,6 +135,7 @@ def _parse_job(index: int, raw: dict) -> BatchJob:
         csv=raw.get("csv"),
         deadline=raw.get("deadline"),
         use_cache=bool(raw.get("use_cache", True)),
+        execution=str(raw.get("execution", "pooled")),
     )
 
 

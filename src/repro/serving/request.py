@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.core.config import MultiCastConfig
 from repro.core.output import ForecastOutput
+from repro.core.spec import EXECUTION_MODES, ForecastSpec
 from repro.exceptions import ConfigError, ReproError
 
 __all__ = ["ForecastRequest", "ForecastResponse"]
@@ -45,6 +46,12 @@ class ForecastRequest:
         store) for this request.
     name:
         Caller-chosen label, echoed in the response (batch manifests use it).
+    execution:
+        How the sample ensemble is driven — ``"batched"`` (lockstep
+        batched decoding), ``"pooled"`` (the engine's shared sample pool;
+        the default, and what ``"sequential"`` also maps to inside the
+        engine, whose draws always run on pool workers) — bit-identical
+        outputs either way, so the result cache ignores it.
     """
 
     history: np.ndarray
@@ -54,6 +61,7 @@ class ForecastRequest:
     deadline_seconds: float | None = None
     use_cache: bool = True
     name: str = ""
+    execution: str = "pooled"
 
     def __post_init__(self) -> None:
         self.history = np.asarray(self.history, dtype=float)
@@ -63,6 +71,37 @@ class ForecastRequest:
             raise ConfigError(
                 f"deadline_seconds must be > 0, got {self.deadline_seconds}"
             )
+        if self.execution not in EXECUTION_MODES:
+            raise ConfigError(
+                f"execution must be one of {EXECUTION_MODES}, "
+                f"got {self.execution!r}"
+            )
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: ForecastSpec,
+        *,
+        deadline_seconds: float | None = None,
+        use_cache: bool = True,
+        name: str = "",
+    ) -> "ForecastRequest":
+        """Wrap an executable :class:`~repro.core.spec.ForecastSpec`.
+
+        The spec carries the pipeline half (series, horizon, config, seed,
+        execution); the keyword arguments add the serving-level contract.
+        """
+        spec.require_series()
+        return cls(
+            history=spec.series,
+            horizon=spec.horizon,
+            config=spec.config,
+            seed=spec.seed,
+            deadline_seconds=deadline_seconds,
+            use_cache=use_cache,
+            name=name,
+            execution=spec.execution,
+        )
 
     @property
     def effective_seed(self) -> int:

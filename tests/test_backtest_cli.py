@@ -34,11 +34,34 @@ class TestBacktest:
         assert result.origins == [80, 85, 90]
 
     def test_llm_method_supported(self):
+        from repro.core import ForecastSpec
+
         dataset = gas_rate(n=120)
         result = rolling_origin_evaluation(
-            "multicast-di", dataset, horizon=8, num_windows=2, num_samples=2
+            "multicast-di",
+            dataset,
+            horizon=8,
+            num_windows=2,
+            spec=ForecastSpec(num_samples=2),
         )
         assert result.num_windows == 2
+
+    def test_llm_method_loose_options_warn_but_match_spec(self):
+        from repro.core import ForecastSpec
+
+        dataset = gas_rate(n=120)
+        with pytest.warns(DeprecationWarning, match="ForecastSpec"):
+            legacy = rolling_origin_evaluation(
+                "multicast-di", dataset, horizon=8, num_windows=2, num_samples=2
+            )
+        modern = rolling_origin_evaluation(
+            "multicast-di",
+            dataset,
+            horizon=8,
+            num_windows=2,
+            spec=ForecastSpec(num_samples=2),
+        )
+        assert legacy.window_rmse == modern.window_rmse
 
     def test_insufficient_history_rejected(self):
         dataset = synthetic_multivariate(n=60, num_dims=1, seed=3)
@@ -67,7 +90,7 @@ class TestCli:
         assert "gas_rate" in capsys.readouterr().out
 
     def test_forecast_holdout_scores(self, capsys):
-        code = main(["forecast", "--dataset", "gas_rate", "--samples", "2"])
+        code = main(["forecast", "--dataset", "gas_rate", "--num-samples", "2"])
         assert code == 0
         out = capsys.readouterr().out
         assert "RMSE[GasRate]" in out
@@ -76,7 +99,7 @@ class TestCli:
     def test_forecast_future_with_output(self, tmp_path, capsys):
         out_path = tmp_path / "forecast.csv"
         code = main([
-            "forecast", "--dataset", "gas_rate", "--samples", "2",
+            "forecast", "--dataset", "gas_rate", "--num-samples", "2",
             "--horizon", "5", "--output", str(out_path),
         ])
         assert code == 0
@@ -90,7 +113,7 @@ class TestCli:
         path = tmp_path / "input.csv"
         save_csv(gas_rate(n=120), path)
         code = main([
-            "forecast", "--csv", str(path), "--samples", "2",
+            "forecast", "--csv", str(path), "--num-samples", "2",
             "--sax-segment", "6", "--plot",
         ])
         assert code == 0
@@ -114,7 +137,9 @@ class TestCli:
 
     def test_figure_with_csv_out(self, tmp_path, capsys):
         out_path = tmp_path / "fig.csv"
-        code = main(["figure", "2", "--samples", "2", "--csv-out", str(out_path)])
+        code = main(
+            ["figure", "2", "--num-samples", "2", "--csv-out", str(out_path)]
+        )
         assert code == 0
         assert out_path.exists()
 
@@ -180,9 +205,11 @@ class TestRecencyPPM:
             RecencyPPMLanguageModel(vocab_size=4, max_order=-1)
 
     def test_registered_preset_forecasts(self):
-        from repro.core import MultiCastConfig, MultiCastForecaster
+        from repro.core import ForecastSpec, MultiCastForecaster
 
         history = synthetic_multivariate(n=100, num_dims=2, seed=0).values
-        config = MultiCastConfig(model="ppm-recency-sim", num_samples=2)
-        output = MultiCastForecaster(config).forecast(history, 6)
+        spec = ForecastSpec(
+            series=history, horizon=6, model="ppm-recency-sim", num_samples=2
+        )
+        output = MultiCastForecaster().forecast(spec)
         assert output.values.shape == (6, 2)

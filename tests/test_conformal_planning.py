@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import (
+    ForecastSpec,
     MultiCastConfig,
     MultiCastForecaster,
     SaxConfig,
@@ -74,7 +75,9 @@ class TestPlanner:
         config = MultiCastConfig(scheme="di", num_samples=3)
         history, future = gas_rate().train_test_split()
         plan = plan_forecast(config, history.shape[0], 2, len(future))
-        output = MultiCastForecaster(config).forecast(history, len(future))
+        output = MultiCastForecaster().forecast(
+            ForecastSpec.from_config(config, series=history, horizon=len(future))
+        )
         assert plan.prompt_tokens == output.prompt_tokens
         assert plan.generated_tokens == output.generated_tokens
         assert plan.simulated_seconds == pytest.approx(output.simulated_seconds)
@@ -83,7 +86,9 @@ class TestPlanner:
         config = MultiCastConfig(scheme="vc", num_samples=2, sax=SaxConfig())
         history, future = gas_rate().train_test_split()
         plan = plan_forecast(config, history.shape[0], 2, len(future))
-        output = MultiCastForecaster(config).forecast(history, len(future))
+        output = MultiCastForecaster().forecast(
+            ForecastSpec.from_config(config, series=history, horizon=len(future))
+        )
         assert plan.prompt_tokens == output.prompt_tokens
         assert plan.generated_tokens == output.generated_tokens
 

@@ -102,12 +102,12 @@ class TestCTW:
         assert 0.0 <= model._root.mixing_weight() <= 1.0
 
     def test_registered_preset_forecasts(self):
-        from repro.core import MultiCastConfig, MultiCastForecaster
+        from repro.core import ForecastSpec, MultiCastForecaster
         from repro.data import synthetic_multivariate
 
         history = synthetic_multivariate(n=90, num_dims=2, seed=0).values
-        config = MultiCastConfig(model="ctw-sim", num_samples=2)
-        output = MultiCastForecaster(config).forecast(history, 6)
+        spec = ForecastSpec(series=history, horizon=6, model="ctw-sim", num_samples=2)
+        output = MultiCastForecaster().forecast(spec)
         assert output.values.shape == (6, 2)
         assert np.isfinite(output.values).all()
 

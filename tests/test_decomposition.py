@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import MultiCastConfig, MultiCastForecaster
+from repro.core import ForecastSpec, MultiCastConfig, MultiCastForecaster
 from repro.data import weather
 from repro.decomposition import (
     ClassicalDecomposition,
@@ -139,12 +139,18 @@ class TestDeseasonalizedForecasting:
         substrate's weakness on the strongly seasonal weather data."""
         dataset = weather()
         history, future = dataset.train_test_split()
-        plain = MultiCastForecaster(
-            MultiCastConfig(scheme="di", num_samples=3, seed=0)
-        ).forecast(history, len(future))
-        adjusted = MultiCastForecaster(
-            MultiCastConfig(scheme="di", num_samples=3, seed=0, deseasonalize="auto")
-        ).forecast(history, len(future))
+        plain = MultiCastForecaster().forecast(
+            ForecastSpec(series=history, horizon=len(future), scheme="di", num_samples=3)
+        )
+        adjusted = MultiCastForecaster().forecast(
+            ForecastSpec(
+                series=history,
+                horizon=len(future),
+                scheme="di",
+                num_samples=3,
+                deseasonalize="auto",
+            )
+        )
         plain_error = np.mean(
             [rmse(future[:, k], plain.values[:, k]) for k in range(4)]
         )
@@ -157,23 +163,29 @@ class TestDeseasonalizedForecasting:
     def test_non_seasonal_dimension_passes_through(self):
         rng = np.random.default_rng(5)
         history = rng.normal(size=(100, 1))  # white noise: no period
-        output = MultiCastForecaster(
-            MultiCastConfig(num_samples=2, deseasonalize="auto")
-        ).forecast(history, 5)
+        output = MultiCastForecaster().forecast(
+            ForecastSpec(series=history, horizon=5, num_samples=2, deseasonalize="auto")
+        )
         assert output.metadata["deseasonalized"] == [None]
 
     def test_fixed_period_recorded(self):
         x = _seasonal_series(n=100)[:, None]
-        output = MultiCastForecaster(
-            MultiCastConfig(num_samples=2, deseasonalize=12)
-        ).forecast(x, 6)
+        output = MultiCastForecaster().forecast(
+            ForecastSpec(series=x, horizon=6, num_samples=2, deseasonalize=12)
+        )
         assert output.metadata["deseasonalized"] == [12]
 
     def test_samples_restored_consistently_with_point_forecast(self):
         x = _seasonal_series(n=100)[:, None]
-        output = MultiCastForecaster(
-            MultiCastConfig(num_samples=3, deseasonalize=12, aggregation="median")
-        ).forecast(x, 6)
+        output = MultiCastForecaster().forecast(
+            ForecastSpec(
+                series=x,
+                horizon=6,
+                num_samples=3,
+                deseasonalize=12,
+                aggregation="median",
+            )
+        )
         assert np.allclose(
             np.median(output.samples, axis=0), output.values, atol=1e-9
         )
@@ -182,7 +194,9 @@ class TestDeseasonalizedForecasting:
         from repro.core import SaxConfig
 
         x = _seasonal_series(n=120)[:, None]
-        output = MultiCastForecaster(
-            MultiCastConfig(num_samples=2, deseasonalize=12, sax=SaxConfig())
-        ).forecast(x, 9)
+        output = MultiCastForecaster().forecast(
+            ForecastSpec(
+                series=x, horizon=9, num_samples=2, deseasonalize=12, sax=SaxConfig()
+            )
+        )
         assert output.values.shape == (9, 1)

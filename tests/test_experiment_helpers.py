@@ -85,15 +85,15 @@ class TestExtendedRoster:
 
 class TestCliExtras:
     def test_plan_command(self, capsys):
-        assert main(["plan", "--dataset", "gas_rate", "--samples", "3"]) == 0
+        assert main(["plan", "--dataset", "gas_rate", "--num-samples", "3"]) == 0
         out = capsys.readouterr().out
         assert "prompt tokens" in out
         assert "simulated inference" in out
 
     def test_plan_with_sax_is_cheaper(self, capsys):
-        main(["plan", "--samples", "5"])
+        main(["plan", "--num-samples", "5"])
         raw = capsys.readouterr().out
-        main(["plan", "--samples", "5", "--sax-segment", "6"])
+        main(["plan", "--num-samples", "5", "--sax-segment", "6"])
         sax = capsys.readouterr().out
 
         def total(text):

@@ -10,7 +10,7 @@ shapes, finite values, in-range forecasts).
 import numpy as np
 import pytest
 
-from repro.core import MultiCastConfig, MultiCastForecaster
+from repro.core import ForecastSpec, MultiCastForecaster
 from repro.data import synthetic_multivariate
 from repro.exceptions import GenerationError
 from repro.llm import (
@@ -82,14 +82,16 @@ def _register(name, factory):
 
 
 def _forecast(model_name, structured=True, scheme="vc"):
-    config = MultiCastConfig(
+    spec = ForecastSpec(
+        series=HISTORY,
+        horizon=6,
         scheme=scheme,
         num_samples=2,
         model=model_name,
         structured_constraint=structured,
         seed=0,
     )
-    return MultiCastForecaster(config).forecast(HISTORY, horizon=6)
+    return MultiCastForecaster().forecast(spec)
 
 
 class TestAdversarialBackends:
@@ -131,23 +133,31 @@ class TestAdversarialBackends:
         from repro.core import SaxConfig
 
         for scheme in ("di", "vi", "vc", "bi"):
-            config = MultiCastConfig(
-                scheme=scheme, num_samples=2, model="uniform-sim", seed=1
+            spec = ForecastSpec(
+                series=HISTORY,
+                horizon=5,
+                scheme=scheme,
+                num_samples=2,
+                model="uniform-sim",
+                seed=1,
             )
-            output = MultiCastForecaster(config).forecast(HISTORY, 5)
+            output = MultiCastForecaster().forecast(spec)
             assert np.isfinite(output.values).all()
-        config = MultiCastConfig(
-            num_samples=2, model="uniform-sim", sax=SaxConfig(), seed=1
+        spec = ForecastSpec(
+            series=HISTORY,
+            horizon=5,
+            num_samples=2,
+            model="uniform-sim",
+            sax=SaxConfig(),
+            seed=1,
         )
-        output = MultiCastForecaster(config).forecast(HISTORY, 5)
+        output = MultiCastForecaster().forecast(spec)
         assert np.isfinite(output.values).all()
 
 
 class TestGeneratorContracts:
     def test_truncated_generation_budget(self):
         """Even a 1-token generation budget must not break demux/padding."""
-        config = MultiCastConfig(num_samples=1, seed=0)
-        forecaster = MultiCastForecaster(config)
         # Monkey-level: horizon 1 with DI needs d*b+1 tokens; the pipeline
         # always requests the full budget, so emulate truncation by using
         # the separator-flooding model without grammar instead.

@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.core import MultiCastConfig, MultiCastForecaster, SaxConfig
+from repro.core import (
+    ForecastSpec,
+    MultiCastConfig,
+    MultiCastForecaster,
+    SaxConfig,
+)
 from repro.data import gas_rate, synthetic_multivariate
 from repro.exceptions import ConfigError, DataError
 from repro.metrics import rmse
@@ -11,6 +16,13 @@ from repro.metrics import rmse
 
 def _history(n=120, d=2, seed=0):
     return synthetic_multivariate(n=n, num_dims=d, seed=seed).values
+
+
+def _run(config, history, horizon, seed=None):
+    spec = ForecastSpec.from_config(
+        config, series=history, horizon=horizon, seed=seed
+    )
+    return MultiCastForecaster().forecast(spec)
 
 
 class TestConfigValidation:
@@ -57,7 +69,7 @@ class TestRawPipeline:
     def test_output_contract(self, scheme):
         history = _history()
         config = MultiCastConfig(scheme=scheme, num_samples=3, seed=0)
-        output = MultiCastForecaster(config).forecast(history, horizon=9)
+        output = _run(config, history, 9)
         assert output.values.shape == (9, 2)
         assert output.samples.shape == (3, 9, 2)
         assert np.isfinite(output.values).all()
@@ -71,14 +83,12 @@ class TestRawPipeline:
         horizon = 5
         for scheme, per_step in (("di", 10), ("vi", 10), ("vc", 12)):
             config = MultiCastConfig(scheme=scheme, num_samples=2, num_digits=3)
-            output = MultiCastForecaster(config).forecast(history, horizon)
+            output = _run(config, history, horizon)
             assert output.generated_tokens == 2 * horizon * per_step, scheme
 
     def test_forecast_within_scaler_span(self):
         history = 100.0 + 10.0 * _history()
-        output = MultiCastForecaster(
-            MultiCastConfig(num_samples=2, seed=1)
-        ).forecast(history, 8)
+        output = _run(MultiCastConfig(num_samples=2, seed=1), history, 8)
         # Codes are bounded, so forecasts cannot leave the headroom span.
         for k in range(2):
             lo, hi = history[:, k].min(), history[:, k].max()
@@ -89,15 +99,15 @@ class TestRawPipeline:
     def test_reproducible_with_seed(self):
         history = _history()
         config = MultiCastConfig(num_samples=2, seed=11)
-        a = MultiCastForecaster(config).forecast(history, 6)
-        b = MultiCastForecaster(config).forecast(history, 6)
+        a = _run(config, history, 6)
+        b = _run(config, history, 6)
         assert np.allclose(a.values, b.values)
 
     def test_seed_override_changes_samples(self):
         history = _history(seed=3)
         config = MultiCastConfig(num_samples=2, seed=0, model="phi2-2.7b-sim")
-        a = MultiCastForecaster(config).forecast(history, 6, seed=1)
-        b = MultiCastForecaster(config).forecast(history, 6, seed=2)
+        a = _run(config, history, 6, seed=1)
+        b = _run(config, history, 6, seed=2)
         assert not np.allclose(a.values, b.values)
 
     def test_beats_mean_predictor_on_periodic_data(self):
@@ -106,35 +116,35 @@ class TestRawPipeline:
             [np.sin(2 * np.pi * t / 16), np.cos(2 * np.pi * t / 16)], axis=1
         )
         train, test = series[:144], series[144:]
-        output = MultiCastForecaster(
-            MultiCastConfig(scheme="vi", num_samples=5, seed=0)
-        ).forecast(train, 16)
+        output = _run(
+            MultiCastConfig(scheme="vi", num_samples=5, seed=0), train, 16
+        )
         for k in range(2):
             assert rmse(test[:, k], output.values[:, k]) < rmse(
                 test[:, k], np.full(16, train[:, k].mean())
             )
 
     def test_univariate_history_promoted(self):
-        output = MultiCastForecaster(MultiCastConfig(num_samples=2)).forecast(
-            np.sin(np.arange(60.0) / 4), 5
+        output = _run(
+            MultiCastConfig(num_samples=2), np.sin(np.arange(60.0) / 4), 5
         )
         assert output.values.shape == (5, 1)
 
     def test_input_validation(self):
-        forecaster = MultiCastForecaster(MultiCastConfig(num_samples=1))
+        config = MultiCastConfig(num_samples=1)
         with pytest.raises(DataError):
-            forecaster.forecast(np.zeros((3, 2)), 5)  # too short
+            _run(config, np.zeros((3, 2)), 5)  # too short
         with pytest.raises(DataError):
-            forecaster.forecast(np.zeros((10, 2)), 0)  # bad horizon
+            _run(config, np.zeros((10, 2)), 0)  # bad horizon
         with pytest.raises(DataError):
-            forecaster.forecast(np.full((10, 2), np.nan), 3)
+            _run(config, np.full((10, 2), np.nan), 3)
         with pytest.raises(DataError):
-            forecaster.forecast(np.zeros((2, 2, 2)), 3)
+            _run(config, np.zeros((2, 2, 2)), 3)
 
     def test_context_budget_respected(self):
         history = _history(n=2000)
         config = MultiCastConfig(num_samples=1, max_context_tokens=300)
-        output = MultiCastForecaster(config).forecast(history, 4)
+        output = _run(config, history, 4)
         assert output.prompt_tokens <= 300 + 1  # + trailing separator
 
     def test_unstructured_constraint_still_produces_valid_output(self):
@@ -142,7 +152,7 @@ class TestRawPipeline:
         config = MultiCastConfig(
             num_samples=2, structured_constraint=False, seed=0
         )
-        output = MultiCastForecaster(config).forecast(history, 7)
+        output = _run(config, history, 7)
         assert output.values.shape == (7, 2)
         assert np.isfinite(output.values).all()
 
@@ -150,7 +160,7 @@ class TestRawPipeline:
         """Garbage model, valid plumbing: the pipeline never crashes."""
         history = _history()
         config = MultiCastConfig(num_samples=2, model="uniform-sim", seed=0)
-        output = MultiCastForecaster(config).forecast(history, 6)
+        output = _run(config, history, 6)
         assert output.values.shape == (6, 2)
         assert np.isfinite(output.values).all()
 
@@ -159,7 +169,7 @@ class TestSaxPipeline:
     def test_output_contract(self):
         history = _history()
         config = MultiCastConfig(num_samples=3, sax=SaxConfig(), seed=0)
-        output = MultiCastForecaster(config).forecast(history, 10)
+        output = _run(config, history, 10)
         assert output.values.shape == (10, 2)
         assert output.metadata["sax"] is True
         assert output.metadata["segment_length"] == 6
@@ -167,10 +177,12 @@ class TestSaxPipeline:
     def test_sax_generates_order_of_magnitude_fewer_tokens(self):
         """The heart of Tables VIII-IX: one symbol per segment."""
         history = _history()
-        raw = MultiCastForecaster(MultiCastConfig(num_samples=2)).forecast(history, 30)
-        sax = MultiCastForecaster(
-            MultiCastConfig(num_samples=2, sax=SaxConfig(segment_length=6))
-        ).forecast(history, 30)
+        raw = _run(MultiCastConfig(num_samples=2), history, 30)
+        sax = _run(
+            MultiCastConfig(num_samples=2, sax=SaxConfig(segment_length=6)),
+            history,
+            30,
+        )
         assert sax.generated_tokens * 10 < raw.generated_tokens
         assert sax.simulated_seconds * 10 < raw.simulated_seconds
 
@@ -181,7 +193,7 @@ class TestSaxPipeline:
             config = MultiCastConfig(
                 num_samples=1, sax=SaxConfig(segment_length=w), seed=0
             )
-            tokens[w] = MultiCastForecaster(config).forecast(history, 18).generated_tokens
+            tokens[w] = _run(config, history, 18).generated_tokens
         assert tokens[9] < tokens[6] < tokens[3]
 
     def test_digital_alphabet(self):
@@ -191,7 +203,7 @@ class TestSaxPipeline:
             sax=SaxConfig(alphabet_kind="digital", alphabet_size=5),
             seed=0,
         )
-        output = MultiCastForecaster(config).forecast(history, 8)
+        output = _run(config, history, 8)
         assert output.values.shape == (8, 2)
 
     def test_sax_forecast_values_come_from_symbol_levels(self):
@@ -199,7 +211,7 @@ class TestSaxPipeline:
         config = MultiCastConfig(
             num_samples=1, sax=SaxConfig(alphabet_size=5), seed=0
         )
-        output = MultiCastForecaster(config).forecast(history, 6)
+        output = _run(config, history, 6)
         # Each sample value must be one of the 5 reconstruction levels per dim.
         for k in range(2):
             unique = np.unique(np.round(output.samples[0, :, k], 6))
@@ -208,23 +220,25 @@ class TestSaxPipeline:
     def test_horizon_not_multiple_of_segment_length(self):
         history = _history()
         config = MultiCastConfig(num_samples=2, sax=SaxConfig(segment_length=6))
-        output = MultiCastForecaster(config).forecast(history, 7)
+        output = _run(config, history, 7)
         assert output.values.shape == (7, 2)
 
     @pytest.mark.parametrize("scheme", ["di", "vi", "vc"])
     def test_all_schemes_work_with_sax(self, scheme):
         history = _history()
         config = MultiCastConfig(scheme=scheme, num_samples=2, sax=SaxConfig())
-        output = MultiCastForecaster(config).forecast(history, 9)
+        output = _run(config, history, 9)
         assert output.values.shape == (9, 2)
 
 
 class TestOnPaperDatasets:
     def test_gas_rate_end_to_end(self):
         history, future = gas_rate().train_test_split(0.2)
-        output = MultiCastForecaster(
-            MultiCastConfig(scheme="di", num_samples=3, seed=0)
-        ).forecast(history, len(future))
+        output = _run(
+            MultiCastConfig(scheme="di", num_samples=3, seed=0),
+            history,
+            len(future),
+        )
         # Sanity band: errors comparable to the paper's order of magnitude.
         assert rmse(future[:, 0], output.values[:, 0]) < 3.0
         assert rmse(future[:, 1], output.values[:, 1]) < 10.0

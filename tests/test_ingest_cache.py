@@ -17,7 +17,12 @@ import threading
 import numpy as np
 import pytest
 
-from repro.core import MultiCastConfig, MultiCastForecaster, SaxConfig
+from repro.core import (
+    ForecastSpec,
+    MultiCastConfig,
+    MultiCastForecaster,
+    SaxConfig,
+)
 from repro.data import Dataset
 from repro.evaluation import rolling_origin_evaluation
 from repro.exceptions import ConfigError, GenerationError
@@ -219,9 +224,10 @@ class TestSimulatedPrefill:
 
 def _forecast(config, state_cache=None, share_prefill=True):
     forecaster = MultiCastForecaster(
-        config, state_cache=state_cache, share_prefill=share_prefill
+        state_cache=state_cache, share_prefill=share_prefill
     )
-    return forecaster.forecast(HISTORY, horizon=5)
+    spec = ForecastSpec.from_config(config, series=HISTORY, horizon=5)
+    return forecaster.forecast(spec)
 
 
 class TestBitIdentity:
@@ -248,11 +254,15 @@ class TestBitIdentity:
     def test_extended_history_is_bit_identical_too(self):
         config = MultiCastConfig(scheme="di", num_samples=2, seed=7)
         cache = IngestStateCache()
-        forecaster = MultiCastForecaster(config, state_cache=cache)
-        forecaster.forecast(HISTORY[:50], horizon=4)
-        extended = forecaster.forecast(HISTORY[:55], horizon=4)
+        forecaster = MultiCastForecaster(state_cache=cache)
+        forecaster.forecast(ForecastSpec.from_config(config, series=HISTORY[:50], horizon=4))
+        extended = forecaster.forecast(
+            ForecastSpec.from_config(config, series=HISTORY[:55], horizon=4)
+        )
         assert extended.metadata["ingest"] == "extend"
-        baseline = MultiCastForecaster(config).forecast(HISTORY[:55], horizon=4)
+        baseline = MultiCastForecaster().forecast(
+            ForecastSpec.from_config(config, series=HISTORY[:55], horizon=4)
+        )
         assert extended.values.tobytes() == baseline.values.tobytes()
         assert extended.samples.tobytes() == baseline.samples.tobytes()
 
@@ -309,15 +319,16 @@ class TestBacktestExtension:
     def test_rolling_origin_extends_instead_of_reingesting(self):
         dataset = Dataset(name="synthetic", values=HISTORY, dim_names=("a", "b"))
         cache = IngestStateCache()
+        spec = ForecastSpec(num_samples=2)
         uncached = rolling_origin_evaluation(
-            "multicast-di", dataset, horizon=4, num_windows=3, num_samples=2
+            "multicast-di", dataset, horizon=4, num_windows=3, spec=spec
         )
         cached = rolling_origin_evaluation(
             "multicast-di",
             dataset,
             horizon=4,
             num_windows=3,
-            num_samples=2,
+            spec=spec,
             state_cache=cache,
         )
         assert cached.window_rmse == uncached.window_rmse

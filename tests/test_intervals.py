@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core import ForecastOutput, MultiCastConfig, MultiCastForecaster
+from repro.core import ForecastOutput, ForecastSpec, MultiCastForecaster
 from repro.data import synthetic_multivariate
 from repro.exceptions import DataError
 from repro.metrics import (
@@ -164,9 +164,9 @@ class TestForecastOutputIntervals:
         """The ensemble from a real forecast gives a usable central band."""
         dataset = synthetic_multivariate(n=150, num_dims=2, seed=0)
         history, future = dataset.train_test_split(0.2)
-        output = MultiCastForecaster(
-            MultiCastConfig(num_samples=9, seed=0)
-        ).forecast(history, len(future))
+        output = MultiCastForecaster().forecast(
+            ForecastSpec(series=history, horizon=len(future), num_samples=9)
+        )
         lower, upper = output.interval(0.8)
         coverage = interval_coverage(future, lower, upper)
         assert 0.05 < coverage <= 1.0  # non-degenerate band

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import MultiCastConfig, MultiCastForecaster
+from repro.core import ForecastSpec, MultiCastConfig, MultiCastForecaster
 from repro.data import synthetic_multivariate
 from repro.evaluation import TableResult, evaluate_method, run_method
 from repro.exceptions import ConfigError, DataError
@@ -19,25 +19,33 @@ class TestTemperatureOverride:
     def test_greedy_decoding_is_deterministic_across_seeds(self):
         history = synthetic_multivariate(n=90, num_dims=2, seed=0).values
         config = MultiCastConfig(num_samples=1, temperature=0.0)
-        a = MultiCastForecaster(config).forecast(history, 6, seed=1)
-        b = MultiCastForecaster(config).forecast(history, 6, seed=2)
+        a = MultiCastForecaster().forecast(
+            ForecastSpec.from_config(config, series=history, horizon=6, seed=1)
+        )
+        b = MultiCastForecaster().forecast(
+            ForecastSpec.from_config(config, series=history, horizon=6, seed=2)
+        )
         assert np.allclose(a.values, b.values)
 
     def test_none_uses_preset_temperature(self):
         history = synthetic_multivariate(n=90, num_dims=2, seed=3).values
         config = MultiCastConfig(num_samples=1, temperature=None)
-        a = MultiCastForecaster(config).forecast(history, 6, seed=1)
-        b = MultiCastForecaster(config).forecast(history, 6, seed=2)
+        a = MultiCastForecaster().forecast(
+            ForecastSpec.from_config(config, series=history, horizon=6, seed=1)
+        )
+        b = MultiCastForecaster().forecast(
+            ForecastSpec.from_config(config, series=history, horizon=6, seed=2)
+        )
         assert not np.allclose(a.values, b.values)  # stochastic preset
 
     def test_low_temperature_reduces_sample_spread(self):
         history = synthetic_multivariate(n=90, num_dims=1, seed=4).values
-        hot = MultiCastForecaster(
-            MultiCastConfig(num_samples=6, temperature=1.5, seed=0)
-        ).forecast(history, 8)
-        cold = MultiCastForecaster(
-            MultiCastConfig(num_samples=6, temperature=0.2, seed=0)
-        ).forecast(history, 8)
+        hot = MultiCastForecaster().forecast(
+            ForecastSpec(series=history, horizon=8, num_samples=6, temperature=1.5)
+        )
+        cold = MultiCastForecaster().forecast(
+            ForecastSpec(series=history, horizon=8, num_samples=6, temperature=0.2)
+        )
         assert cold.samples.std(axis=0).mean() < hot.samples.std(axis=0).mean()
 
 

@@ -17,7 +17,12 @@ import threading
 import numpy as np
 import pytest
 
-from repro.core import MultiCastConfig, MultiCastForecaster, SaxConfig
+from repro.core import (
+    ForecastSpec,
+    MultiCastConfig,
+    MultiCastForecaster,
+    SaxConfig,
+)
 from repro.core.output import ForecastOutput
 from repro.data import synthetic_multivariate
 from repro.exceptions import ConfigError, DataError, GenerationError
@@ -40,6 +45,14 @@ from repro.serving import ForecastEngine, ForecastRequest, forecast_digest
 
 HISTORY = synthetic_multivariate(n=80, num_dims=2, seed=3).values
 CONFIG = MultiCastConfig(num_samples=2, seed=0)
+
+
+def _spec(config, history, horizon):
+    # The per-draw span assertions below describe the sequential runner;
+    # batched execution has its own span shape (see test_batched_decoding).
+    return ForecastSpec.from_config(
+        config, series=history, horizon=horizon, execution="sequential"
+    )
 
 
 class _FlakyPPM(PPMLanguageModel):
@@ -182,8 +195,10 @@ class TestTracer:
 
 class TestForecastTracing:
     def test_traced_output_bit_identical_to_untraced(self):
-        untraced = MultiCastForecaster(CONFIG).forecast(HISTORY, 5)
-        traced = MultiCastForecaster(CONFIG, tracer=Tracer()).forecast(HISTORY, 5)
+        untraced = MultiCastForecaster().forecast(_spec(CONFIG, HISTORY, 5))
+        traced = MultiCastForecaster(tracer=Tracer()).forecast(
+            _spec(CONFIG, HISTORY, 5)
+        )
         assert np.array_equal(untraced.values, traced.values)
         assert np.array_equal(untraced.samples, traced.samples)
         assert untraced.generated_tokens == traced.generated_tokens
@@ -199,8 +214,8 @@ class TestForecastTracing:
     )
     def test_root_duration_equals_wall_seconds_exactly(self, config):
         collector = SpanCollector()
-        output = MultiCastForecaster(config, tracer=Tracer(collector)).forecast(
-            HISTORY, 4
+        output = MultiCastForecaster(tracer=Tracer(collector)).forecast(
+            _spec(config, HISTORY, 4)
         )
         (root,) = collector.drain()
         assert root.name == "forecast"
@@ -211,15 +226,17 @@ class TestForecastTracing:
 
     def test_stage_spans_reproduce_timings_dict(self):
         collector = SpanCollector()
-        output = MultiCastForecaster(CONFIG, tracer=Tracer(collector)).forecast(
-            HISTORY, 4
+        output = MultiCastForecaster(tracer=Tracer(collector)).forecast(
+            _spec(CONFIG, HISTORY, 4)
         )
         (root,) = collector.drain()
         assert stage_timings(root) == output.timings
 
     def test_sample_draw_spans_one_per_draw_with_llm_children(self):
         collector = SpanCollector()
-        MultiCastForecaster(CONFIG, tracer=Tracer(collector)).forecast(HISTORY, 3)
+        MultiCastForecaster(tracer=Tracer(collector)).forecast(
+            _spec(CONFIG, HISTORY, 3)
+        )
         (root,) = collector.drain()
         generate = root.find("stage:generate")
         draws = [c for c in generate.children if c.name == "sample_draw"]
@@ -251,11 +268,11 @@ class TestForecastTracing:
 
         cache = IngestStateCache()
         config = MultiCastConfig(num_samples=2, seed=0)
-        MultiCastForecaster(config, state_cache=cache).forecast(HISTORY, 3)
+        MultiCastForecaster(state_cache=cache).forecast(_spec(config, HISTORY, 3))
         collector = SpanCollector()
         MultiCastForecaster(
-            config, tracer=Tracer(collector), state_cache=cache
-        ).forecast(HISTORY, 3)
+            tracer=Tracer(collector), state_cache=cache
+        ).forecast(_spec(config, HISTORY, 3))
         (root,) = collector.drain()
         ingest = root.find("llm:ingest")
         assert ingest.attributes["ingest"] == "fork"
@@ -263,8 +280,8 @@ class TestForecastTracing:
 
     def test_multiplex_span_records_prompt_budget(self):
         collector = SpanCollector()
-        output = MultiCastForecaster(CONFIG, tracer=Tracer(collector)).forecast(
-            HISTORY, 3
+        output = MultiCastForecaster(tracer=Tracer(collector)).forecast(
+            _spec(CONFIG, HISTORY, 3)
         )
         (root,) = collector.drain()
         mux = root.find("stage:multiplex")
@@ -275,8 +292,8 @@ class TestForecastTracing:
 
     def test_per_call_tracer_overrides_constructor(self):
         collector = SpanCollector()
-        forecaster = MultiCastForecaster(CONFIG)  # built untraced
-        forecaster.forecast(HISTORY, 3, tracer=Tracer(collector))
+        forecaster = MultiCastForecaster()  # built untraced
+        forecaster.forecast(_spec(CONFIG, HISTORY, 3), tracer=Tracer(collector))
         assert len(collector) == 1
 
 

@@ -1,44 +1,119 @@
 """Tests for the top-level package surface and remaining figure drivers."""
 
 import numpy as np
+import pytest
 
 
 class TestTopLevelApi:
     def test_headline_imports(self):
         from repro import (
+            ForecastEngine,
             ForecastOutput,
+            ForecastSpec,
             MultiCastConfig,
             MultiCastForecaster,
             ReproError,
             SaxConfig,
+            Tracer,
             plan_forecast,
         )
 
         assert callable(plan_forecast)
         assert issubclass(ReproError, Exception)
-        del ForecastOutput, MultiCastConfig, MultiCastForecaster, SaxConfig
+        del (
+            ForecastEngine,
+            ForecastOutput,
+            ForecastSpec,
+            MultiCastConfig,
+            MultiCastForecaster,
+            SaxConfig,
+            Tracer,
+        )
 
     def test_package_docstring_example_runs(self):
-        from repro import MultiCastConfig, MultiCastForecaster
+        from repro import ForecastSpec, MultiCastForecaster
         from repro.data import gas_rate
 
         history, future = gas_rate().train_test_split()
-        forecaster = MultiCastForecaster(
-            MultiCastConfig(scheme="vi", num_samples=2)
+        spec = ForecastSpec(
+            series=history,
+            horizon=len(future),
+            scheme="vi",
+            num_samples=2,
         )
-        output = forecaster.forecast(history, horizon=len(future))
+        output = MultiCastForecaster().forecast(spec)
         assert output.values.shape == future.shape
+
+    def test_legacy_forecast_call_warns_but_matches(self):
+        from repro import ForecastSpec, MultiCastConfig, MultiCastForecaster
+        from repro.data import gas_rate
+
+        history, future = gas_rate().train_test_split()
+        config = MultiCastConfig(scheme="vi", num_samples=2)
+        with pytest.warns(DeprecationWarning, match="ForecastSpec"):
+            legacy = MultiCastForecaster(config).forecast(
+                history, horizon=len(future)
+            )
+        spec = ForecastSpec.from_config(
+            config, series=history, horizon=len(future)
+        )
+        modern = MultiCastForecaster().forecast(spec)
+        assert np.array_equal(legacy.values, modern.values)
 
     def test_version_is_exposed(self):
         import repro
 
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_all_names_resolve(self):
         import repro
 
         for name in repro.__all__:
             assert hasattr(repro, name), name
+
+    def test_all_is_curated(self):
+        import repro
+
+        assert sorted(repro.__all__) == sorted(
+            [
+                "ForecastSpec",
+                "MultiCastConfig",
+                "MultiCastForecaster",
+                "SaxConfig",
+                "ForecastOutput",
+                "ForecastEngine",
+                "ForecastRequest",
+                "ForecastResponse",
+                "Tracer",
+                "RunLedger",
+                "plan_forecast",
+                "ReproError",
+                "ConfigError",
+                "DataError",
+                "EncodingError",
+                "FittingError",
+                "GenerationError",
+                "ScalingError",
+                "__version__",
+            ]
+        )
+
+    def test_llm_surface_exposes_batching(self):
+        from repro.llm import (
+            BatchedDecoder,
+            filter_distribution,
+            mask_for_ids,
+        )
+
+        assert callable(filter_distribution)
+        assert callable(mask_for_ids)
+        del BatchedDecoder
+
+    def test_core_surface_exposes_spec(self):
+        import repro.core
+
+        assert "ForecastSpec" in repro.core.__all__
+        assert "EXECUTION_MODES" in repro.core.__all__
 
 
 class TestRemainingFigures:
@@ -73,11 +148,18 @@ class TestCliTableAndFigureVariants:
     def test_cli_table_iii(self, capsys):
         from repro.cli import main
 
-        assert main(["table", "iii", "--samples", "2"]) == 0
+        assert main(["table", "iii", "--num-samples", "2"]) == 0
         assert "LLaMA2" in capsys.readouterr().out
 
     def test_cli_figure_6(self, capsys):
         from repro.cli import main
 
-        assert main(["figure", "6", "--samples", "2"]) == 0
+        assert main(["figure", "6", "--num-samples", "2"]) == 0
+        assert "sax-w3" in capsys.readouterr().out
+
+    def test_cli_legacy_samples_flag_warns(self, capsys):
+        from repro.cli import main
+
+        with pytest.warns(DeprecationWarning, match="num-samples"):
+            assert main(["figure", "6", "--samples", "2"]) == 0
         assert "sax-w3" in capsys.readouterr().out

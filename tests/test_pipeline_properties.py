@@ -12,15 +12,22 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core import MultiCastConfig, MultiCastForecaster, SaxConfig
+from repro.core import ForecastSpec, MultiCastForecaster, SaxConfig
 from repro.data import synthetic_multivariate
 
 _HISTORY = synthetic_multivariate(n=90, num_dims=2, seed=5).values
 
 
 def _forecast(history, scheme="di", sax=None, seed=0):
-    config = MultiCastConfig(scheme=scheme, num_samples=2, sax=sax, seed=seed)
-    return MultiCastForecaster(config).forecast(history, horizon=7)
+    spec = ForecastSpec(
+        series=history,
+        horizon=7,
+        scheme=scheme,
+        num_samples=2,
+        sax=sax,
+        seed=seed,
+    )
+    return MultiCastForecaster().forecast(spec)
 
 
 class TestAffineEquivariance:

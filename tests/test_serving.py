@@ -11,7 +11,12 @@ import time
 import numpy as np
 import pytest
 
-from repro.core import MultiCastConfig, MultiCastForecaster, SaxConfig
+from repro.core import (
+    ForecastSpec,
+    MultiCastConfig,
+    MultiCastForecaster,
+    SaxConfig,
+)
 from repro.data import synthetic_multivariate
 from repro.exceptions import ConfigError, GenerationError
 from repro.llm import ModelSpec, TokenCostModel, register_model
@@ -31,7 +36,8 @@ HISTORY = synthetic_multivariate(n=100, num_dims=2, seed=0).values
 
 def _output(config=None, horizon=5, seed=0):
     config = config or MultiCastConfig(num_samples=2, seed=seed)
-    return MultiCastForecaster(config).forecast(HISTORY, horizon)
+    spec = ForecastSpec.from_config(config, series=HISTORY, horizon=horizon)
+    return MultiCastForecaster().forecast(spec)
 
 
 class _FlakyPPM(PPMLanguageModel):
@@ -249,7 +255,11 @@ class TestEngineEquivalence:
         """The headline determinism property: engine fan-out is bit-identical
         to sequential MultiCastForecaster.forecast under a fixed seed."""
         config = MultiCastConfig(scheme=scheme, num_samples=5, seed=42)
-        sequential = MultiCastForecaster(config).forecast(HISTORY, 7)
+        sequential = MultiCastForecaster().forecast(
+            ForecastSpec.from_config(
+                config, series=HISTORY, horizon=7, execution="sequential"
+            )
+        )
         with ForecastEngine(num_workers=4) as engine:
             served = engine.forecast(ForecastRequest(HISTORY, 7, config=config))
         assert served.ok and not served.partial
@@ -258,7 +268,11 @@ class TestEngineEquivalence:
 
     def test_sax_and_seed_override_equivalence(self):
         config = MultiCastConfig(num_samples=4, sax=SaxConfig(), seed=0)
-        sequential = MultiCastForecaster(config).forecast(HISTORY, 9, seed=5)
+        sequential = MultiCastForecaster().forecast(
+            ForecastSpec.from_config(
+                config, series=HISTORY, horizon=9, seed=5, execution="sequential"
+            )
+        )
         with ForecastEngine(num_workers=3) as engine:
             served = engine.forecast(
                 ForecastRequest(HISTORY, 9, config=config, seed=5)
@@ -398,18 +412,19 @@ class TestBacktestThroughEngine:
         from repro.evaluation import rolling_origin_evaluation
 
         dataset = synthetic_multivariate(n=120, num_dims=2, seed=3)
+        spec = ForecastSpec(num_samples=2)
         sequential = rolling_origin_evaluation(
-            "multicast-di", dataset, horizon=8, num_windows=2, num_samples=2
+            "multicast-di", dataset, horizon=8, num_windows=2, spec=spec
         )
         with ForecastEngine(num_workers=3) as engine:
             served = rolling_origin_evaluation(
                 "multicast-di", dataset, horizon=8, num_windows=2,
-                num_samples=2, engine=engine,
+                spec=spec, engine=engine,
             )
             # A second run over the same windows is answered from cache.
             rerun = rolling_origin_evaluation(
                 "multicast-di", dataset, horizon=8, num_windows=2,
-                num_samples=2, engine=engine,
+                spec=spec, engine=engine,
             )
             assert engine.metrics.counter("cache_hits").value == 2
         assert served.window_rmse == sequential.window_rmse
@@ -442,5 +457,7 @@ class TestForecasterTimings:
             [np.sin(2 * np.pi * t / 12) + 5, np.cos(2 * np.pi * t / 12) + 5],
             axis=1,
         )
-        output = MultiCastForecaster(config).forecast(history, 6)
+        output = MultiCastForecaster().forecast(
+            ForecastSpec.from_config(config, series=history, horizon=6)
+        )
         assert "deseasonalize" in output.timings
