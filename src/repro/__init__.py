@@ -35,9 +35,10 @@ from repro.exceptions import (
     ScalingError,
 )
 from repro.observability import RunLedger, Tracer
+from repro.scheduling import ContinuousScheduler, RadixPrefillTree
 from repro.serving import ForecastEngine, ForecastRequest, ForecastResponse
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ForecastSpec",
@@ -48,6 +49,8 @@ __all__ = [
     "ForecastEngine",
     "ForecastRequest",
     "ForecastResponse",
+    "ContinuousScheduler",
+    "RadixPrefillTree",
     "Tracer",
     "RunLedger",
     "plan_forecast",

@@ -9,6 +9,8 @@ Usage (installed as ``repro-multicast``, or ``python -m repro.cli``)::
     repro-multicast evaluate --dataset weather --methods multicast-di arima
     repro-multicast batch --manifest jobs.json --workers 8 --metrics-out m.json
     repro-multicast batch --manifest jobs.json --ledger runs.jsonl --trace
+    repro-multicast batch --manifest jobs.json --execution continuous \
+        --max-resident-streams 32
     repro-multicast ledger summarize runs.jsonl
     repro-multicast table iv
     repro-multicast figure 2
@@ -205,6 +207,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="sample-draw worker threads")
     batch.add_argument("--request-concurrency", type=int, default=2,
                        help="requests in flight at once")
+    batch.add_argument("--execution", choices=EXECUTION_MODES, default=None,
+                       help="override every job's execution mode; "
+                            "'continuous' joins all jobs in one shared "
+                            "decode loop (bit-identical outputs)")
+    batch.add_argument("--max-resident-streams", type=int, default=64,
+                       help="continuous-scheduler admission cap: total live "
+                            "decode streams across resident requests")
     batch.add_argument("--repeat", type=int, default=1,
                        help="run the whole batch this many times "
                             "(later passes exercise the result cache)")
@@ -412,6 +421,7 @@ def _command_backtest(args) -> int:
 
 
 def _command_batch(args) -> int:
+    import dataclasses
     import json
 
     from repro.exceptions import ConfigError
@@ -429,7 +439,12 @@ def _command_batch(args) -> int:
                 f"job {job.name!r}: unknown dataset {job.dataset!r}; "
                 f"available: {', '.join(sorted(_DATASETS))}"
             )
-        requests.append(job.to_request(series))
+        request = job.to_request(series)
+        if args.execution is not None:
+            # replace() re-runs __post_init__, so the override is validated
+            # exactly like a manifest-specified execution.
+            request = dataclasses.replace(request, execution=args.execution)
+        requests.append(request)
 
     cache = ForecastCache(max_entries=0) if args.no_cache else None
     tracer = None
@@ -442,6 +457,7 @@ def _command_batch(args) -> int:
         num_workers=args.workers,
         cache=cache,
         max_concurrent_requests=args.request_concurrency,
+        max_resident_streams=args.max_resident_streams,
         tracer=tracer,
         ledger=args.ledger,
     ) as engine:

@@ -149,6 +149,7 @@ class MultiCastForecaster:
         state_cache: IngestStateCache | None = None,
         share_prefill: bool = True,
         stop: Callable[[], bool] | None = None,
+        scheduler=None,
     ) -> None:
         self.config = config or MultiCastConfig()
         self._multiplexer: Multiplexer = get_multiplexer(self.config.scheme)
@@ -157,6 +158,7 @@ class MultiCastForecaster:
         self._state_cache = state_cache
         self._share_prefill = share_prefill
         self._stop = stop
+        self._scheduler = scheduler
 
     # -- public API -----------------------------------------------------------
 
@@ -172,8 +174,8 @@ class MultiCastForecaster:
         The spec is self-contained: its pipeline fields replace the
         constructor's ``config`` entirely, and its ``execution`` field
         selects how the sample ensemble is driven (``"batched"`` — the
-        lockstep scheduler, the default — ``"pooled"`` or
-        ``"sequential"``; all bit-identical under the same seed).  The
+        lockstep scheduler, the default — ``"pooled"``, ``"sequential"``
+        or ``"continuous"``; all bit-identical under the same seed).  The
         constructor keeps only execution machinery: sample runner, tracer,
         ingest-state cache, prefill sharing, stop callable.
 
@@ -209,6 +211,7 @@ class MultiCastForecaster:
                 state_cache=self._state_cache,
                 share_prefill=self._share_prefill,
                 stop=self._stop,
+                scheduler=self._scheduler,
             )
             return worker._forecast_impl(
                 spec.series, spec.horizon, spec.seed, tracer, mode=spec.execution
@@ -357,7 +360,7 @@ class MultiCastForecaster:
     ) -> tuple[list[list[str]], int, float, dict]:
         """Draw the configured number of continuations.
 
-        ``mode`` routes the ensemble through one of three executions, all
+        ``mode`` routes the ensemble through one of four executions, all
         bit-identical under the same seed:
 
         * ``"batched"`` — one :class:`~repro.llm.batch.BatchedDecoder`
@@ -366,6 +369,11 @@ class MultiCastForecaster:
           ``sample_draw`` spans); the constructor's ``stop`` callable is
           polled between steps, so a deadline abandons only still-live
           streams and the forecast proceeds on the partial ensemble.
+        * ``"continuous"`` — the streams join the shared cross-request
+          :class:`~repro.scheduling.ContinuousScheduler` (the
+          constructor's injected one, else a transient single-request
+          instance), which also owns prompt ingest through its radix
+          prefill tree when one is attached.
         * ``"pooled"`` — per-draw tasks on the constructor's injected
           runner, or a transient thread pool when none was injected.
         * ``"sequential"`` — per-draw tasks in order on this thread.
@@ -413,6 +421,10 @@ class MultiCastForecaster:
             results, execution_info = self._run_batched(
                 model, prompt_ids, tokens_needed, constraint, seeds,
                 prefill, tracer,
+            )
+        elif mode == "continuous":
+            results, execution_info = self._run_continuous(
+                model, prompt_ids, tokens_needed, constraint, seeds, tracer,
             )
         else:
             runner = self._resolve_runner(mode)
@@ -500,6 +512,62 @@ class MultiCastForecaster:
         if decoder.stopped:
             info["stopped"] = True
         return decoder.results, info
+
+    def _run_continuous(
+        self,
+        model,
+        prompt_ids: list[int],
+        tokens_needed: int,
+        constraint: Constraint,
+        seeds: list[int],
+        tracer,
+    ) -> tuple[list[GenerationResult | None], dict]:
+        """Decode the ensemble through the shared cross-request scheduler.
+
+        With an injected scheduler (the serving engine's), this request's
+        streams join whatever other requests are resident; without one, a
+        transient single-request scheduler runs the same code path.  Either
+        way the results are bit-identical to ``"batched"`` under the same
+        seeds (see :mod:`repro.scheduling`).
+        """
+        scheduler = self._scheduler
+        transient = None
+        if scheduler is None:
+            from repro.scheduling import ContinuousScheduler
+
+            transient = scheduler = ContinuousScheduler(
+                max_resident_streams=max(1, len(seeds))
+            )
+        if scheduler.prefill_tree is None:
+            # No radix tree attached: let the scheduler's fallback prefill
+            # still reuse this forecaster's flat ingest-state cache.
+            model.state_cache = self._state_cache
+        try:
+            handle = scheduler.submit(
+                model,
+                prompt_ids,
+                tokens_needed,
+                [np.random.default_rng(s) for s in seeds],
+                constraint=constraint,
+                temperature=self.config.temperature,
+                tracer=tracer,
+                stop=self._stop,
+            )
+            results = handle.result()
+        finally:
+            if transient is not None:
+                transient.close()
+        info = {
+            "execution": "continuous",
+            "batch_occupancy": list(handle.occupancy),
+            "batch_groups": list(handle.group_counts),
+            "ingest": handle.ingest,
+            "ingested_tokens": handle.ingested_tokens,
+            "queue_wait_seconds": handle.queue_wait_seconds,
+        }
+        if handle.stopped:
+            info["stopped"] = True
+        return results, info
 
     def _make_draw_task(
         self,

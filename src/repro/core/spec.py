@@ -8,9 +8,10 @@ same pipeline settings a little differently.  :class:`ForecastSpec`
 consolidates them: one frozen dataclass carrying the series, the horizon,
 every pipeline knob of :class:`~repro.core.config.MultiCastConfig`, the
 sampling seed, and the execution mode (``"batched"`` — the default
-lockstep scheduler of :mod:`repro.llm.batch` — ``"pooled"`` or
-``"sequential"``; all three produce bit-identical outputs under the same
-seed, so the choice is purely about wall-clock).
+lockstep scheduler of :mod:`repro.llm.batch` — ``"pooled"``,
+``"sequential"`` or ``"continuous"``, the cross-request shared scheduler
+of :mod:`repro.scheduling`; all four produce bit-identical outputs under
+the same seed, so the choice is purely about wall-clock).
 
 Migration (see ``docs/API.md``)::
 
@@ -38,7 +39,7 @@ from repro.exceptions import ConfigError
 __all__ = ["ForecastSpec", "EXECUTION_MODES", "canonicalize_sampling_options"]
 
 #: The execution modes a spec (or serving request) may select.
-EXECUTION_MODES = ("batched", "pooled", "sequential")
+EXECUTION_MODES = ("batched", "pooled", "sequential", "continuous")
 
 #: Legacy spellings of canonical sampling fields, accepted-and-warned for
 #: one release (the kwarg-drift cleanup: ``num_samples`` is canonical).
@@ -96,9 +97,10 @@ class ForecastSpec:
     seed:
         Base RNG seed for the sample ensemble.
     execution:
-        ``"batched"`` (default), ``"pooled"`` or ``"sequential"`` — how
-        the sample ensemble is driven.  Outputs are bit-identical across
-        modes under the same seed.
+        ``"batched"`` (default), ``"pooled"``, ``"sequential"`` or
+        ``"continuous"`` (the cross-request shared scheduler of
+        :mod:`repro.scheduling`) — how the sample ensemble is driven.
+        Outputs are bit-identical across modes under the same seed.
     """
 
     series: np.ndarray | Sequence | None = None

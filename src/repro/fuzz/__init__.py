@@ -10,7 +10,7 @@ with adversarial inputs: constant series, near-zero spans, huge and
 negative magnitudes, subnormals, single-timestamp histories, wide
 dimension counts, and truncated or separator-corrupted generated streams.
 
-Four property families:
+Five property families:
 
 * ``round_trip`` — every scaler either raises a clean
   :class:`~repro.exceptions.ScalingError` (permitted only for extreme
@@ -25,6 +25,12 @@ Four property families:
   (:class:`~repro.llm.batch.BatchedDecoder`) equals per-stream sequential
   decoding bit for bit — tokens and log-probs — across random prompts,
   constraints, heterogeneous budgets, and every registered model.
+* ``sched_equivalence`` — the cross-request
+  :class:`~repro.scheduling.ContinuousScheduler` produces bit-identical
+  results to standalone per-request batched decoding across random
+  interleavings of 2–5 concurrent requests (some sharing prompts, so the
+  radix prefill tree's fork/extend paths are exercised), random admission
+  caps, and concurrent submission threads.
 
 Failures shrink to a minimal counterexample and are written as JSON repro
 case files.  Run from the command line::

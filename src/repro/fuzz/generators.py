@@ -28,12 +28,13 @@ __all__ = [
     "generate_case",
 ]
 
-#: The four property families the harness checks (see package docstring).
+#: The five property families the harness checks (see package docstring).
 FAMILIES = (
     "round_trip",
     "mux_identity",
     "constraint_soundness",
     "decode_equivalence",
+    "sched_equivalence",
 )
 
 #: Scaler kinds fuzzed by the ``round_trip`` family.

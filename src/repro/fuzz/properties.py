@@ -1,4 +1,4 @@
-"""The four property families the fuzz harness checks.
+"""The five property families the fuzz harness checks.
 
 Every check takes a :class:`~repro.fuzz.generators.FuzzCase` and returns
 ``None`` on success or a human-readable failure description.  A property
@@ -13,7 +13,10 @@ The ``decode_equivalence`` family pins the batched-decoding contract: for
 random prompts, constraints, per-stream budgets, and every registered
 simulated model, lockstep :class:`~repro.llm.batch.BatchedDecoder` output
 must equal per-stream sequential decoding **bit for bit** — same tokens,
-same log-probs, float equality, no tolerance.
+same log-probs, float equality, no tolerance.  ``sched_equivalence``
+extends the same contract across requests: the shared
+:class:`~repro.scheduling.ContinuousScheduler` must reproduce standalone
+per-request batched output exactly, whatever the interleaving.
 """
 
 from __future__ import annotations
@@ -74,6 +77,8 @@ def check_case(case: FuzzCase) -> str | None:
             return _check_constraint_soundness(case)
         if case.family == "decode_equivalence":
             return _check_decode_equivalence(case)
+        if case.family == "sched_equivalence":
+            return _check_sched_equivalence(case)
     except ReproError as exc:  # any unexpected library error is a finding
         return f"unexpected {type(exc).__name__}: {exc}"
     except Exception as exc:  # hard crash (numpy/stdlib) is always a finding
@@ -423,4 +428,128 @@ def _check_decode_equivalence(case: FuzzCase) -> str | None:
             )
         if got.log_probs != expected.log_probs:
             return f"stream {index}: batched log-probs differ from sequential"
+    return None
+
+
+# -- family 5: cross-request scheduler equivalence ----------------------------
+
+
+def _check_sched_equivalence(case: FuzzCase) -> str | None:
+    """Continuous scheduling must match per-request batched decoding bit
+    for bit.
+
+    Draws 2–5 concurrent requests over the case's vocabulary — some
+    sharing one prompt (exercising the radix tree's fork/extend paths),
+    with heterogeneous stream counts, token budgets, and model presets —
+    submits them to one :class:`~repro.scheduling.ContinuousScheduler`
+    from multiple threads under a random admission cap, and asserts every
+    request's tokens *and* log-probs equal a standalone
+    :meth:`~repro.llm.simulated.SimulatedLLM.generate_batch` run of the
+    same request (float equality, no tolerance).
+    """
+    import threading
+
+    from repro.llm.sampling import child_seeds
+    from repro.llm.simulated import available_models, get_model
+    from repro.scheduling import ContinuousScheduler, RadixPrefillTree
+
+    codec = make_codec(case)
+    width = codec.num_digits
+    d = case.num_dims
+    if isinstance(codec, DigitCodec):
+        num_values = 10
+    else:
+        num_values = len(codec.alphabet.symbols)
+    sep_id = num_values
+    vocab_size = num_values + 1
+
+    rng = np.random.default_rng(case.seed)
+    constraint = None
+    if case.seed % 2:
+        mux = get_multiplexer(case.scheme)
+        pattern = mux.constraint_pattern(
+            d, width, frozenset(range(num_values)), sep_id
+        )
+        constraint = PeriodicPatternConstraint(pattern)
+
+    presets = available_models()
+    num_requests = int(rng.integers(2, 6))
+    prompt_pool = [
+        [int(t) for t in rng.integers(0, vocab_size, size=int(rng.integers(1, 48)))]
+        for _ in range(max(1, num_requests - 1))
+    ]
+    requests = []
+    for index in range(num_requests):
+        num_streams = int(rng.integers(1, 4))
+        requests.append(
+            {
+                "preset": presets[int(rng.integers(0, len(presets)))],
+                "prompt": prompt_pool[int(rng.integers(0, len(prompt_pool)))],
+                "budgets": [int(b) for b in rng.integers(0, 11, size=num_streams)],
+                "seeds": child_seeds(rng, num_streams),
+            }
+        )
+
+    expected = []
+    for req in requests:
+        llm = get_model(req["preset"], vocab_size=vocab_size)
+        decoder = llm.generate_batch(
+            req["prompt"],
+            req["budgets"],
+            [np.random.default_rng(s) for s in req["seeds"]],
+            constraint=constraint,
+        )
+        expected.append(decoder.results)
+
+    scheduler = ContinuousScheduler(
+        max_resident_streams=int(rng.integers(1, 7)),
+        prefill_tree=RadixPrefillTree(),
+    )
+    handles: list = [None] * num_requests
+    errors: list = []
+
+    def submit(index: int) -> None:
+        req = requests[index]
+        try:
+            handles[index] = scheduler.submit(
+                get_model(req["preset"], vocab_size=vocab_size),
+                req["prompt"],
+                req["budgets"],
+                [np.random.default_rng(s) for s in req["seeds"]],
+                constraint=constraint,
+            )
+        except Exception as exc:  # surfaced as a finding below
+            errors.append(f"request {index}: submit raised {exc!r}")
+
+    threads = [
+        threading.Thread(target=submit, args=(index,))
+        for index in range(num_requests)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    try:
+        if errors:
+            return errors[0]
+        for index, handle in enumerate(handles):
+            got = handle.result(timeout=120)
+            for stream, (want, have) in enumerate(zip(expected[index], got)):
+                if have is None:
+                    return (
+                        f"request {index} stream {stream}: scheduler "
+                        "returned no result"
+                    )
+                if have.tokens != want.tokens:
+                    return (
+                        f"request {index} stream {stream}: scheduled tokens "
+                        f"{have.tokens[:8]}... != batched {want.tokens[:8]}..."
+                    )
+                if have.log_probs != want.log_probs:
+                    return (
+                        f"request {index} stream {stream}: scheduled "
+                        "log-probs differ from batched"
+                    )
+    finally:
+        scheduler.close()
     return None

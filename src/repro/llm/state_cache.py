@@ -20,6 +20,15 @@ Lookups resolve three ways:
 * **miss** — nothing usable is cached: the caller ingests in full and
   deposits the result for the next request.
 
+In-context states cannot be *rewound*: a model prefilled on a long prompt
+is useless for a strictly shorter query, even though that query is a
+prefix of what was ingested.  :meth:`IngestStateCache.ingest` therefore
+deposits **checkpoints** while it ingests — frozen snapshots at doubling
+token boundaries (16, 32, 64, ...) — so a later shorter query resolves to
+the longest cached prefix at or below its length instead of missing
+outright.  (:class:`repro.scheduling.RadixPrefillTree` generalises the
+same idea to a prefix tree shared across unrelated prompts.)
+
 Entries are LRU-evicted by total *token* count (not entry count), since a
 prefilled state's memory footprint scales with its prompt length.
 
@@ -41,7 +50,26 @@ from dataclasses import dataclass
 from repro.exceptions import ConfigError
 from repro.llm.interface import LanguageModel
 
-__all__ = ["IngestLookup", "IngestStateCache"]
+__all__ = ["IngestLookup", "IngestStateCache", "checkpoint_lengths"]
+
+#: Shortest prefix worth snapshotting during ingest; below this the ingest
+#: is cheaper than the bookkeeping.
+CHECKPOINT_FLOOR = 16
+
+
+def checkpoint_lengths(n: int) -> tuple[int, ...]:
+    """Doubling snapshot boundaries strictly below ``n``.
+
+    ``(16, 32, 64, ...)`` up to (excluding) ``n`` — O(log n) checkpoints
+    that guarantee any future prefix query of length ``q >= 16`` finds a
+    cached state covering at least ``q // 2`` tokens.
+    """
+    lengths = []
+    length = CHECKPOINT_FLOOR
+    while length < n:
+        lengths.append(length)
+        length *= 2
+    return tuple(lengths)
 
 
 @dataclass
@@ -145,6 +173,49 @@ class IngestStateCache:
         # Fork outside the lock: cached entries are frozen, so concurrent
         # forks are pure reads, and fork cost must not serialise readers.
         return IngestLookup(model=parent.fork(), matched=best_length, outcome="extend")
+
+    def ingest(
+        self,
+        model_name: str,
+        vocab_size: int,
+        tokens: Sequence[int],
+        model: LanguageModel,
+    ) -> LanguageModel:
+        """Ingest ``tokens`` into a *fresh* ``model``, depositing checkpoints.
+
+        The miss-path counterpart of :meth:`get`: the prompt is ingested in
+        full (bit-identical to ``model.reset(tokens)`` — incremental
+        ``advance`` after a prefix ``reset`` is the same contract the
+        extend path already relies on), but frozen snapshots are deposited
+        at :func:`checkpoint_lengths` boundaries along the way, plus the
+        full prompt.  A later query for any *shorter* prefix of this
+        prompt then resolves to the longest cached checkpoint at or below
+        its length — previously such queries missed outright, because an
+        end state cannot serve a shorter prefix.
+
+        Returns the fully ingested model, which the cache owns (frozen);
+        callers must fork before decoding, exactly as after :meth:`put`.
+        """
+        prompt = tuple(int(t) for t in tokens)
+        if not self.enabled:
+            model.reset(prompt)
+            return model
+        cursor = 0
+        for boundary in checkpoint_lengths(len(prompt)):
+            if cursor == 0:
+                model.reset(prompt[:boundary])
+            else:
+                for token in prompt[cursor:boundary]:
+                    model.advance(token)
+            cursor = boundary
+            self.put(model_name, vocab_size, prompt[:boundary], model.fork())
+        if cursor == 0:
+            model.reset(prompt)
+        else:
+            for token in prompt[cursor:]:
+                model.advance(token)
+        self.put(model_name, vocab_size, prompt, model)
+        return model
 
     def put(
         self,

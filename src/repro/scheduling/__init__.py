@@ -1,0 +1,38 @@
+"""Cross-request continuous batching over the simulated substrates.
+
+:mod:`repro.llm.batch` batches the S sample streams *within* one forecast;
+this package batches *across* forecasts, the way production LLM servers do
+(iteration-level scheduling as in Orca/vLLM, radix-tree prefix caching as
+in SGLang):
+
+* :class:`RadixPrefillTree` — a prefix tree over prompt token sequences
+  with a frozen in-context model snapshot per node, so unrelated requests
+  whose prompts share a prefix dedupe their ingest work.  It generalises
+  :class:`~repro.llm.state_cache.IngestStateCache`'s exact-hit /
+  longest-prefix logic: snapshots are deposited at branch points and at
+  doubling checkpoint boundaries, entries are LRU-evicted by resident
+  tokens, and node refcounts pin state that resident decodes still use.
+* :class:`ContinuousScheduler` — one shared decode loop that many
+  concurrent requests join and retire from mid-flight.  Each iteration
+  scores every resident group with
+  :meth:`~repro.llm.interface.LanguageModel.next_distribution_batch`,
+  each stream samples from its own seed-derived generator, and new
+  requests are admitted between iterations — they never wait for a
+  resident batch to drain.  Results are **bit-identical** to running each
+  request alone with ``execution="batched"`` (pinned by the
+  ``sched_equivalence`` fuzz family and ``tests/test_scheduling.py``).
+
+The serving engine drives this subsystem for ``execution="continuous"``
+requests; see ``docs/ARCHITECTURE.md`` ("Continuous scheduling").
+"""
+
+from repro.scheduling.radix import PrefillResult, RadixLookup, RadixPrefillTree
+from repro.scheduling.scheduler import ContinuousScheduler, ScheduledDecode
+
+__all__ = [
+    "ContinuousScheduler",
+    "PrefillResult",
+    "RadixLookup",
+    "RadixPrefillTree",
+    "ScheduledDecode",
+]

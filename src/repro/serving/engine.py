@@ -7,11 +7,16 @@ a shared thread pool (``execution="pooled"``, the request default; they are
 embarrassingly parallel: the paper medians i.i.d. draws, LLMTime-style) or
 decode in lockstep through one :class:`~repro.llm.batch.BatchedDecoder`
 pass (``execution="batched"``, usually the fastest — see
-``benchmarks/bench_batching.py``), and the serving policies (result cache,
+``benchmarks/bench_batching.py``), or join the engine's *shared*
+cross-request decode loop (``execution="continuous"``, a
+:class:`~repro.scheduling.ContinuousScheduler` backed by a
+:class:`~repro.scheduling.RadixPrefillTree` so requests with overlapping
+histories dedupe their prompt ingest — see
+``benchmarks/bench_scheduler.py``), and the serving policies (result cache,
 deadline, retry, partial-ensemble degradation) wrap the pipeline without
-touching its numerics.  Batched requests honour deadlines by polling
-between decode steps; per-draw retry does not apply to them (the simulated
-substrates never fail transiently mid-decode).
+touching its numerics.  Batched and continuous requests honour deadlines by
+polling between decode steps; per-draw retry does not apply to them (the
+simulated substrates never fail transiently mid-decode).
 
 Determinism is preserved end to end: the forecaster derives one child seed
 per sample *before* dispatch, every draw builds its own
@@ -49,6 +54,7 @@ from repro.llm.interface import GenerationResult
 from repro.llm.state_cache import IngestStateCache
 from repro.observability.ledger import RunLedger
 from repro.observability.spans import NULL_TRACER, Span
+from repro.scheduling import ContinuousScheduler, RadixPrefillTree
 from repro.serving.cache import ForecastCache, forecast_digest
 from repro.serving.metrics import MetricsRegistry
 from repro.serving.policy import Deadline, RetryPolicy
@@ -105,6 +111,16 @@ class ForecastEngine:
     max_concurrent_requests:
         Request-orchestration pool size used by :meth:`submit` /
         :meth:`forecast_batch`.
+    max_resident_streams:
+        Admission cap of the shared continuous scheduler: total live
+        decode streams across all resident ``execution="continuous"``
+        requests.  Requests beyond the cap queue FIFO (the head is always
+        admitted when nothing is resident, so wide requests still run).
+    prefill_tree:
+        Shared :class:`~repro.scheduling.RadixPrefillTree` deduplicating
+        prompt ingest across continuous requests; defaults to an enabled
+        tree.  Pass ``RadixPrefillTree(max_tokens=0)`` to disable radix
+        caching (continuous requests then fall back to ``ingest_cache``).
     tracer:
         Optional :class:`~repro.observability.Tracer`; defaults to the
         no-op tracer (zero overhead, bit-identical results).  When set,
@@ -131,6 +147,8 @@ class ForecastEngine:
         retry: RetryPolicy | None = None,
         metrics: MetricsRegistry | None = None,
         max_concurrent_requests: int = 2,
+        max_resident_streams: int = 64,
+        prefill_tree: RadixPrefillTree | None = None,
         tracer=None,
         ledger: RunLedger | str | None = None,
         sleep=time.sleep,
@@ -141,6 +159,10 @@ class ForecastEngine:
             raise ConfigError(
                 f"max_concurrent_requests must be >= 1, "
                 f"got {max_concurrent_requests}"
+            )
+        if max_resident_streams < 1:
+            raise ConfigError(
+                f"max_resident_streams must be >= 1, got {max_resident_streams}"
             )
         self.cache = ForecastCache() if cache is None else cache
         self.ingest_cache = (
@@ -160,6 +182,12 @@ class ForecastEngine:
         self._requests = ThreadPoolExecutor(
             max_workers=max_concurrent_requests, thread_name_prefix="mc-request"
         )
+        self.prefill_tree = (
+            RadixPrefillTree() if prefill_tree is None else prefill_tree
+        )
+        self.max_resident_streams = max_resident_streams
+        self._scheduler: ContinuousScheduler | None = None
+        self._scheduler_lock = threading.Lock()
         self._closed = False
 
     # -- public API -----------------------------------------------------------
@@ -199,10 +227,13 @@ class ForecastEngine:
         return [future.result() for future in futures]
 
     def metrics_snapshot(self) -> dict:
-        """Current metrics, including live cache statistics."""
+        """Current metrics, including live cache and scheduler statistics."""
         snapshot = self.metrics.snapshot()
         snapshot["cache"] = {"type": "cache", **self.cache.stats}
         snapshot["ingest_cache"] = {"type": "cache", **self.ingest_cache.stats}
+        snapshot["prefill_tree"] = {"type": "cache", **self.prefill_tree.stats}
+        if self._scheduler is not None:
+            snapshot["scheduler"] = {"type": "scheduler", **self._scheduler.stats}
         return snapshot
 
     def close(self) -> None:
@@ -211,6 +242,8 @@ class ForecastEngine:
             self._closed = True
             self._requests.shutdown(wait=True)
             self._samples.shutdown(wait=True)
+            if self._scheduler is not None:
+                self._scheduler.close()
 
     def __enter__(self) -> ForecastEngine:
         return self
@@ -223,6 +256,18 @@ class ForecastEngine:
     def _check_open(self) -> None:
         if self._closed:
             raise ConfigError("engine is closed")
+
+    def _scheduler_instance(self) -> ContinuousScheduler:
+        """The shared continuous scheduler, created on first use."""
+        with self._scheduler_lock:
+            if self._scheduler is None:
+                self._scheduler = ContinuousScheduler(
+                    max_resident_streams=self.max_resident_streams,
+                    prefill_tree=self.prefill_tree,
+                    metrics=self.metrics,
+                    tracer=self.tracer,
+                )
+            return self._scheduler
 
     def _execute(self, request: ForecastRequest) -> ForecastResponse:
         key = forecast_digest(
@@ -266,13 +311,23 @@ class ForecastEngine:
         state = _RequestState(deadline)
         # "sequential" maps to "pooled" here: engine draws always run on
         # the shared sample pool (outputs are bit-identical regardless).
-        execution = "batched" if request.execution == "batched" else "pooled"
+        if request.execution in ("batched", "continuous"):
+            execution = request.execution
+        else:
+            execution = "pooled"
         forecaster = MultiCastForecaster(
             request.config,
             sample_runner=self._make_runner(state),
             tracer=self.tracer,
             state_cache=self.ingest_cache,
-            stop=(lambda: deadline.expired) if execution == "batched" else None,
+            stop=(
+                (lambda: deadline.expired)
+                if execution in ("batched", "continuous")
+                else None
+            ),
+            scheduler=(
+                self._scheduler_instance() if execution == "continuous" else None
+            ),
         )
         spec = ForecastSpec.from_config(
             request.config,
@@ -379,6 +434,11 @@ class ForecastEngine:
             "prompt_tokens": output.prompt_tokens if output else 0,
             "generated_tokens": output.generated_tokens if output else 0,
             "ingest": output.metadata.get("ingest") if output else None,
+            "queue_wait_seconds": (
+                round(output.metadata["queue_wait_seconds"], 9)
+                if output and "queue_wait_seconds" in output.metadata
+                else None
+            ),
             "timings": (
                 {k: round(v, 9) for k, v in output.timings.items()}
                 if output

@@ -50,8 +50,10 @@ class ForecastRequest:
         How the sample ensemble is driven — ``"batched"`` (lockstep
         batched decoding), ``"pooled"`` (the engine's shared sample pool;
         the default, and what ``"sequential"`` also maps to inside the
-        engine, whose draws always run on pool workers) — bit-identical
-        outputs either way, so the result cache ignores it.
+        engine, whose draws always run on pool workers) or
+        ``"continuous"`` (the engine's shared cross-request scheduler;
+        see :mod:`repro.scheduling`) — bit-identical outputs in every
+        mode, so the result cache ignores it.
     """
 
     history: np.ndarray

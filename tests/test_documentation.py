@@ -30,6 +30,7 @@ PACKAGES = [
     "repro.exceptions",
     "repro.serving",
     "repro.observability",
+    "repro.scheduling",
 ]
 
 

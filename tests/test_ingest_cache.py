@@ -337,3 +337,70 @@ class TestBacktestExtension:
         assert stats["misses"] == 1
         assert stats["extends"] == 2
         assert stats["tokens_saved"] > 0
+
+
+class TestIngestCheckpoints:
+    """Shorter-query-after-longer-deposit: the checkpoint regression."""
+
+    def test_checkpoint_lengths_double_below_n(self):
+        from repro.llm.state_cache import checkpoint_lengths
+
+        assert checkpoint_lengths(0) == ()
+        assert checkpoint_lengths(16) == ()
+        assert checkpoint_lengths(17) == (16,)
+        assert checkpoint_lengths(200) == (16, 32, 64, 128)
+
+    def test_shorter_query_after_longer_deposit_extends(self):
+        cache = IngestStateCache()
+        prompt = [int(t) for t in RNG.integers(0, 5, size=150)]
+        model = PPMLanguageModel(5, max_order=4)
+        cache.ingest("m", 5, prompt, model)
+        # Previously this query missed outright: only the 150-token end
+        # state was cached, and in-context state cannot be rewound.
+        lookup = cache.get("m", 5, prompt[:100])
+        assert lookup.outcome == "extend"
+        assert lookup.matched == 64  # longest checkpoint at or below 100
+        for token in prompt[lookup.matched : 100]:
+            lookup.model.advance(token)
+        np.testing.assert_array_equal(
+            lookup.model.next_distribution(),
+            _prefilled(prompt[:100]).next_distribution(),
+        )
+
+    def test_exact_checkpoint_query_forks(self):
+        cache = IngestStateCache()
+        prompt = [int(t) for t in RNG.integers(0, 5, size=70)]
+        cache.ingest("m", 5, prompt, PPMLanguageModel(5, max_order=4))
+        assert cache.get("m", 5, prompt[:32]).outcome == "fork"
+        assert cache.get("m", 5, prompt).outcome == "fork"
+
+    def test_ingest_matches_plain_reset_bitwise(self):
+        cache = IngestStateCache()
+        prompt = [int(t) for t in RNG.integers(0, 5, size=90)]
+        model = cache.ingest("m", 5, prompt, PPMLanguageModel(5, max_order=4))
+        np.testing.assert_array_equal(
+            model.next_distribution(), _prefilled(prompt).next_distribution()
+        )
+
+    def test_disabled_cache_ingest_still_resets(self):
+        cache = IngestStateCache(max_tokens=0)
+        prompt = [0, 1, 2, 3] * 10
+        model = cache.ingest("m", 5, prompt, PPMLanguageModel(5, max_order=4))
+        assert len(cache) == 0
+        np.testing.assert_array_equal(
+            model.next_distribution(), _prefilled(prompt).next_distribution()
+        )
+
+    def test_prefill_then_shorter_prefill_reuses_checkpoint(self):
+        cache = IngestStateCache()
+        llm = get_model("llama2-7b-sim", vocab_size=5, state_cache=cache)
+        prompt = [int(t) for t in RNG.integers(0, 5, size=120)]
+        assert llm.prefill(prompt).outcome == "miss"
+        shorter = llm.prefill(prompt[:90])
+        assert shorter.outcome == "extend"
+        assert shorter.ingested_tokens == 90 - 64
+        fresh = get_model("llama2-7b-sim", vocab_size=5).prefill(prompt[:90])
+        np.testing.assert_array_equal(
+            shorter.model.next_distribution(),
+            fresh.model.next_distribution(),
+        )

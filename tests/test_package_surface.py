@@ -63,7 +63,7 @@ class TestTopLevelApi:
     def test_version_is_exposed(self):
         import repro
 
-        assert repro.__version__ == "1.1.0"
+        assert repro.__version__ == "1.2.0"
 
     def test_all_names_resolve(self):
         import repro
@@ -84,6 +84,8 @@ class TestTopLevelApi:
                 "ForecastEngine",
                 "ForecastRequest",
                 "ForecastResponse",
+                "ContinuousScheduler",
+                "RadixPrefillTree",
                 "Tracer",
                 "RunLedger",
                 "plan_forecast",
@@ -114,6 +116,21 @@ class TestTopLevelApi:
 
         assert "ForecastSpec" in repro.core.__all__
         assert "EXECUTION_MODES" in repro.core.__all__
+
+    def test_scheduling_surface(self):
+        import repro.scheduling
+        from repro.core.spec import EXECUTION_MODES
+
+        assert "continuous" in EXECUTION_MODES
+        for name in (
+            "ContinuousScheduler",
+            "RadixPrefillTree",
+            "PrefillResult",
+            "RadixLookup",
+            "ScheduledDecode",
+        ):
+            assert name in repro.scheduling.__all__
+            assert hasattr(repro.scheduling, name)
 
 
 class TestRemainingFigures:

@@ -31,6 +31,7 @@ DEFAULT_TARGETS = (
     "src/repro/observability",
     "src/repro/llm",
     "src/repro/fuzz",
+    "src/repro/scheduling",
 )
 
 
