@@ -1,0 +1,170 @@
+"""Gateway load-test bench: SLO behaviour of the async front door.
+
+One harness (:func:`repro.loadtest.run_loadtest`), three regimes over a
+synthetic ledger-shaped workload on the cheap ``uniform-sim`` model:
+
+* **steady** — 10⁴ requests offered open-loop at a rate the gateway
+  sustains: deadline hit-rate should be ~1.0 and shed rate 0;
+* **burst** — the same workload offered far faster than the engine can
+  serve with a small ``max_pending``: the gateway must shed (typed
+  ``Overloaded``, never a hang) while the admitted slice still meets
+  its deadlines;
+* **closed** — fixed-concurrency closed-loop, measuring sustainable
+  throughput.
+
+The workload repeats 50 distinct request shapes, so the run also
+reports how much traffic the single-flight coalescer and the result
+cache absorbed — the reason p50 sits far below a cold forecast.
+
+Run standalone to (re)generate ``BENCH_loadtest.json`` at the repo
+root::
+
+    PYTHONPATH=src python benchmarks/bench_loadtest.py
+
+``--smoke`` runs a small steady-state replay and asserts **zero SLO
+violations at trivial load** — the CI entry point.  Through pytest
+(``pytest benchmarks/bench_loadtest.py``) the full acceptance criteria
+are asserted on the 10⁴-request steady case.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.loadtest import LoadTestConfig, SLOThresholds, run_loadtest
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_loadtest.json"
+
+MODEL = "uniform-sim"  # cheap substrate: the bench measures the gateway
+REQUESTS = 10_000
+DISTINCT = 50  # ~200 arrivals per shape: real coalesce/cache pressure
+RATE = 2000.0  # offered load for the steady open-loop case
+DEADLINE = 2.0  # generous per-request deadline (seconds)
+STEADY_SLO = SLOThresholds(
+    min_deadline_hit_rate=0.99, max_shed_rate=0.0, max_failed_rate=0.0
+)
+
+
+def _steady() -> dict:
+    """10⁴ requests open-loop at a sustainable offered rate."""
+    report = run_loadtest(
+        LoadTestConfig(
+            requests=REQUESTS,
+            driver="open",
+            rate=RATE,
+            distinct=DISTINCT,
+            model=MODEL,
+            deadline_seconds=DEADLINE,
+        )
+    )
+    return {"report": report.to_dict(), "violations": report.violations(STEADY_SLO)}
+
+
+def _burst() -> dict:
+    """Overload: tiny pending budget, effectively unbounded offered rate."""
+    report = run_loadtest(
+        LoadTestConfig(
+            requests=2000,
+            driver="open",
+            rate=50_000.0,
+            distinct=DISTINCT,
+            model=MODEL,
+            max_pending=8,
+            use_result_cache=False,  # keep requests slow enough to pile up
+            deadline_seconds=DEADLINE,
+        )
+    )
+    return {"report": report.to_dict()}
+
+
+def _closed() -> dict:
+    """Sustainable throughput at fixed concurrency."""
+    report = run_loadtest(
+        LoadTestConfig(
+            requests=2000,
+            driver="closed",
+            concurrency=16,
+            distinct=DISTINCT,
+            model=MODEL,
+        )
+    )
+    return {"report": report.to_dict()}
+
+
+def run() -> dict:
+    report = {
+        "workload": {
+            "model": MODEL,
+            "requests": REQUESTS,
+            "distinct_shapes": DISTINCT,
+            "offered_rate_rps": RATE,
+            "deadline_seconds": DEADLINE,
+        },
+        "steady": _steady(),
+        "burst": _burst(),
+        "closed": _closed(),
+    }
+    BENCH_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def smoke() -> None:
+    """CI entry point: trivial load, zero SLO violations, nothing written."""
+    report = run_loadtest(
+        LoadTestConfig(
+            requests=300,
+            driver="open",
+            rate=400.0,
+            distinct=20,
+            model=MODEL,
+            deadline_seconds=DEADLINE,
+        )
+    )
+    violations = report.violations(STEADY_SLO)
+    print(report.summary())
+    assert not violations, f"SLO violations at trivial load: {violations}"
+
+
+def test_loadtest_bench(emit):
+    report = run()
+    steady = report["steady"]["report"]
+    burst = report["burst"]["report"]
+    closed = report["closed"]["report"]
+    emit(
+        "loadtest",
+        "\n".join(
+            [
+                f"gateway load test on {MODEL} "
+                f"({REQUESTS} requests, {DISTINCT} shapes):",
+                f"  steady @ {RATE:.0f} rps: "
+                f"hit-rate {steady['deadline_hit_rate']:.4f}  "
+                f"p50 {steady['latency_p50'] * 1e3:.2f} ms  "
+                f"p99 {steady['latency_p99'] * 1e3:.2f} ms  "
+                f"shed {steady['shed_rate']:.3f}  "
+                f"coalesce {steady['coalesce_rate']:.3f}  "
+                f"cached {steady['cache_hit_rate']:.3f}",
+                f"  burst (max_pending=8): shed {burst['shed_rate']:.3f}  "
+                f"admitted hit-rate {burst['deadline_hit_rate']:.4f}",
+                f"  closed (c=16): {closed['throughput_rps']:.0f} req/s  "
+                f"p99 {closed['latency_p99'] * 1e3:.2f} ms",
+            ]
+        ),
+    )
+    # Acceptance criteria from the gateway issue: >= 10^4 replayed
+    # requests reporting deadline hit-rate, p99, shed and coalesce rates.
+    assert steady["total"] >= 10_000
+    assert not report["steady"]["violations"]
+    # Overload must shed at the door instead of queueing unboundedly.
+    assert burst["shed"] > 0
+    # Repeated shapes must be absorbed by coalescing and/or the cache.
+    assert steady["coalesce_rate"] + steady["cache_hit_rate"] > 0.5
+
+
+if __name__ == "__main__":
+    if "--smoke" in sys.argv[1:]:
+        smoke()
+    else:
+        print(json.dumps(run(), indent=2))
+        print(f"wrote {BENCH_PATH}")

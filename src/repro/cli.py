@@ -11,6 +11,10 @@ Usage (installed as ``repro-multicast``, or ``python -m repro.cli``)::
     repro-multicast batch --manifest jobs.json --ledger runs.jsonl --trace
     repro-multicast batch --manifest jobs.json --execution continuous \
         --max-resident-streams 32
+    repro-multicast serve --manifest jobs.json --max-pending 32 \
+        --quota-rate 10 --ledger runs.jsonl
+    repro-multicast loadtest --requests 5000 --rate 1000 --deadline 2.0
+    repro-multicast loadtest --replay-ledger runs.jsonl --driver closed
     repro-multicast ledger summarize runs.jsonl
     repro-multicast table iv
     repro-multicast figure 2
@@ -227,6 +231,78 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--trace", action="store_true",
                        help="trace every request; with --ledger, records "
                             "carry full span trees")
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a manifest through the async gateway "
+             "(admission control, quotas, coalescing)",
+    )
+    serve.add_argument("--manifest", required=True,
+                       help="JSON manifest of forecast jobs (see docs/API.md)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="sample-draw worker threads")
+    serve.add_argument("--request-concurrency", type=int, default=2,
+                       help="engine requests in flight at once")
+    serve.add_argument("--max-pending", type=int, default=64,
+                       help="admission bound: requests beyond this are shed "
+                            "with a typed Overloaded error")
+    serve.add_argument("--quota-rate", type=float, default=None,
+                       help="per-tenant sustained requests/second "
+                            "(default: unlimited)")
+    serve.add_argument("--quota-burst", type=float, default=1.0,
+                       help="per-tenant burst allowance (bucket size)")
+    serve.add_argument("--no-coalesce", action="store_true",
+                       help="disable single-flight coalescing of identical "
+                            "in-flight requests")
+    serve.add_argument("--execution", choices=EXECUTION_MODES, default=None,
+                       help="override every job's execution mode")
+    serve.add_argument("--metrics-out",
+                       help="write the engine's metrics snapshot to this JSON path")
+    serve.add_argument("--ledger",
+                       help="append one JSONL run-ledger record per request "
+                            "(admission outcomes included)")
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="replay or synthesize a workload against the gateway and "
+             "report SLO metrics",
+    )
+    loadtest.add_argument("--requests", type=int, default=1000,
+                          help="total arrivals to offer")
+    loadtest.add_argument("--driver", choices=("open", "closed"),
+                          default="open",
+                          help="open-loop (fixed offered rate) or "
+                               "closed-loop (fixed concurrency)")
+    loadtest.add_argument("--rate", type=float, default=200.0,
+                          help="open-loop offered rate, requests/second")
+    loadtest.add_argument("--concurrency", type=int, default=8,
+                          help="closed-loop in-flight workers")
+    loadtest.add_argument("--replay-ledger", default=None,
+                          help="rebuild the workload from this run-ledger "
+                               "JSONL instead of synthesizing")
+    loadtest.add_argument("--distinct", type=int, default=50,
+                          help="distinct request shapes in a synthetic "
+                               "workload (repetition drives coalescing)")
+    loadtest.add_argument("--seed", type=int, default=0)
+    loadtest.add_argument("--model", default="uniform-sim",
+                          help="backend model for the workload")
+    _add_samples_argument(loadtest)
+    loadtest.add_argument("--horizon", type=int, default=3)
+    loadtest.add_argument("--deadline", type=float, default=None,
+                          help="per-request deadline in seconds")
+    loadtest.add_argument("--execution", choices=EXECUTION_MODES,
+                          default="batched")
+    loadtest.add_argument("--max-pending", type=int, default=64)
+    loadtest.add_argument("--quota-rate", type=float, default=None)
+    loadtest.add_argument("--quota-burst", type=float, default=1.0)
+    loadtest.add_argument("--no-cache", action="store_true",
+                          help="disable the engine's result cache")
+    loadtest.add_argument("--no-coalesce", action="store_true")
+    loadtest.add_argument("--json-out", default=None,
+                          help="write the full report as JSON to this path")
+    loadtest.add_argument("--ledger-out", default=None,
+                          help="run ledger written by the gateway during "
+                               "the test (replayable by --replay-ledger)")
 
     ledger = sub.add_parser(
         "ledger", help="inspect run-ledger files written by batch --ledger"
@@ -481,6 +557,124 @@ def _command_batch(args) -> int:
     return 1 if failed else 0
 
 
+def _command_serve(args) -> int:
+    import asyncio
+    import dataclasses
+    import json
+
+    from repro.exceptions import ConfigError
+    from repro.gateway import (
+        ForecastGateway,
+        Overloaded,
+        QuotaExceeded,
+        TenantQuota,
+    )
+    from repro.serving import ForecastEngine, load_manifest
+
+    jobs = load_manifest(args.manifest)
+    requests = []
+    for job in jobs:
+        if job.csv is not None:
+            series = np.asarray(load_csv(job.csv).values)
+        elif job.dataset in _DATASETS:
+            series = np.asarray(_DATASETS[job.dataset]().values)
+        else:
+            raise ConfigError(
+                f"job {job.name!r}: unknown dataset {job.dataset!r}; "
+                f"available: {', '.join(sorted(_DATASETS))}"
+            )
+        request = job.to_request(series)
+        if args.execution is not None:
+            request = dataclasses.replace(request, execution=args.execution)
+        requests.append(request)
+
+    quota = (
+        TenantQuota(rate=args.quota_rate, burst=args.quota_burst)
+        if args.quota_rate is not None
+        else None
+    )
+    engine = ForecastEngine(
+        num_workers=args.workers,
+        max_concurrent_requests=args.request_concurrency,
+        ledger=args.ledger,
+    )
+
+    async def _serve_all() -> int:
+        rejected = 0
+        failed = 0
+        async with ForecastGateway(
+            engine,
+            max_pending=args.max_pending,
+            default_quota=quota,
+            coalesce=not args.no_coalesce,
+        ) as gateway:
+            handles = []
+            for request in requests:
+                try:
+                    handles.append(await gateway.submit(request))
+                except (Overloaded, QuotaExceeded) as error:
+                    rejected += 1
+                    print(f"  {request.name or 'request'}: REJECTED {error}")
+            for handle in handles:
+                response = await gateway.result(handle)
+                flags = " [coalesced]" if handle.coalesced else ""
+                print(f"  {response.summary()}{flags}")
+                if not response.ok:
+                    failed += 1
+            stats = gateway.stats()["admission"]
+        print(f"jobs: {len(requests)}  failed: {failed}  "
+              f"rejected: {rejected}  shed: {stats['shed']}  "
+              f"quota: {stats['quota_rejected']}")
+        return 1 if (failed or rejected) else 0
+
+    try:
+        code = asyncio.run(_serve_all())
+        if args.metrics_out:
+            with open(args.metrics_out, "w") as handle:
+                json.dump(engine.metrics_snapshot(), handle, indent=2)
+            print(f"metrics written to {args.metrics_out}")
+        if args.ledger:
+            print(f"ledger: {engine.ledger.records_written} records "
+                  f"appended to {args.ledger}")
+    finally:
+        engine.close()
+    return code
+
+
+def _command_loadtest(args) -> int:
+    import json
+
+    from repro.loadtest import LoadTestConfig, run_loadtest
+
+    config = LoadTestConfig(
+        requests=args.requests,
+        driver=args.driver,
+        rate=args.rate,
+        concurrency=args.concurrency,
+        ledger_path=args.replay_ledger,
+        distinct=args.distinct,
+        seed=args.seed,
+        horizon=args.horizon,
+        num_samples=_resolve_samples(args, default=2),
+        model=args.model,
+        execution=args.execution,
+        deadline_seconds=args.deadline,
+        max_pending=args.max_pending,
+        quota_rate=args.quota_rate,
+        quota_burst=args.quota_burst,
+        coalesce=not args.no_coalesce,
+        use_result_cache=not args.no_cache,
+        ledger_out=args.ledger_out,
+    )
+    report = run_loadtest(config)
+    print(report.summary())
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print(f"report written to {args.json_out}")
+    return 0
+
+
 def _command_ledger(args) -> int:
     import json
 
@@ -502,6 +696,8 @@ _COMMANDS = {
     "plan": _command_plan,
     "backtest": _command_backtest,
     "batch": _command_batch,
+    "serve": _command_serve,
+    "loadtest": _command_loadtest,
     "ledger": _command_ledger,
     "list": _command_list,
 }

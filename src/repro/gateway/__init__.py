@@ -1,0 +1,37 @@
+"""Async serving gateway: admission control, coalescing, and streaming.
+
+The package splits into three layers:
+
+* :mod:`repro.gateway.admission` — the door: bounded-pending load
+  shedding (:class:`Overloaded`) and per-tenant token-bucket quotas
+  (:class:`QuotaExceeded`, :class:`TenantQuota`, :class:`TokenBucket`);
+* :mod:`repro.gateway.handles` — the ticket: :class:`GatewayHandle`,
+  :class:`HandleStatus`, :class:`StreamEvent`;
+* :mod:`repro.gateway.gateway` — :class:`ForecastGateway` itself, the
+  asyncio front door over :class:`~repro.serving.engine.ForecastEngine`
+  with ``submit`` / ``poll`` / ``result`` / ``stream``.
+
+See ``docs/SERVING.md`` for the end-to-end operations guide.
+"""
+
+from repro.gateway.admission import (
+    AdmissionController,
+    Overloaded,
+    QuotaExceeded,
+    TenantQuota,
+    TokenBucket,
+)
+from repro.gateway.gateway import ForecastGateway
+from repro.gateway.handles import GatewayHandle, HandleStatus, StreamEvent
+
+__all__ = [
+    "AdmissionController",
+    "ForecastGateway",
+    "GatewayHandle",
+    "HandleStatus",
+    "Overloaded",
+    "QuotaExceeded",
+    "StreamEvent",
+    "TenantQuota",
+    "TokenBucket",
+]

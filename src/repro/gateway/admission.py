@@ -1,0 +1,232 @@
+"""Admission control for the asyncio gateway: shedding and tenant quotas.
+
+A front door that accepts every request just moves the overload problem
+one layer down — under burst the engine's queue grows without bound and
+*every* request misses its deadline.  The gateway instead makes two
+decisions at the door, both O(1):
+
+* **Load shedding** — at most ``max_pending`` requests may be admitted
+  and not yet finished; request ``max_pending + 1`` is rejected with a
+  typed :class:`Overloaded` (never an unbounded queue, never a hang).
+  Shedding is deterministic: admission order decides, so a burst of
+  ``max_pending + k`` concurrent submissions sheds exactly the last
+  ``k``.
+* **Per-tenant quotas** — each tenant draws from a :class:`TokenBucket`
+  (sustained ``rate`` requests/second, ``burst`` headroom).  An empty
+  bucket rejects with a typed :class:`QuotaExceeded` carrying the
+  ``retry_after`` hint, so one chatty tenant cannot starve the rest.
+
+Both rejections subclass :class:`~repro.exceptions.ReproError`, surface
+immediately (admission happens before any engine work), and are recorded
+in the gateway's metrics and run ledger with ``admission="shed"`` /
+``"quota"``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigError, ReproError
+
+__all__ = [
+    "AdmissionController",
+    "Overloaded",
+    "QuotaExceeded",
+    "TenantQuota",
+    "TokenBucket",
+]
+
+
+class Overloaded(ReproError):
+    """The gateway's pending set is full; the request was shed, not queued.
+
+    Carries ``pending`` (admitted-but-unfinished requests at rejection
+    time) and ``max_pending`` (the admission bound) so callers can back
+    off proportionally.
+    """
+
+    def __init__(self, message: str, *, pending: int, max_pending: int) -> None:
+        super().__init__(message)
+        self.pending = pending
+        self.max_pending = max_pending
+
+
+class QuotaExceeded(ReproError):
+    """The tenant's token bucket is empty; the request was rejected.
+
+    ``retry_after`` is the seconds until the bucket refills enough for
+    one request — the standard backoff hint.
+    """
+
+    def __init__(self, message: str, *, tenant: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        self.retry_after = retry_after
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """One tenant's sustained request budget.
+
+    ``rate`` is requests per second added to the bucket; ``burst`` is the
+    bucket capacity — how many requests a quiet tenant may fire at once
+    before the rate limit bites.
+    """
+
+    rate: float
+    burst: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ConfigError(f"quota rate must be > 0, got {self.rate}")
+        if self.burst < 1:
+            raise ConfigError(f"quota burst must be >= 1, got {self.burst}")
+
+
+class TokenBucket:
+    """The classic token bucket, with an injectable clock for tests.
+
+    Starts full.  ``try_acquire`` either takes ``amount`` tokens and
+    returns True, or leaves the bucket untouched and returns False —
+    there is no blocking acquire; the gateway *rejects* rather than
+    queues, so backpressure stays visible to callers.
+    """
+
+    def __init__(self, rate: float, burst: float = 1.0, *, clock=time.monotonic) -> None:
+        if rate <= 0:
+            raise ConfigError(f"rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ConfigError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._updated)
+        self._updated = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    def try_acquire(self, amount: float = 1.0) -> bool:
+        """Take ``amount`` tokens if available; never blocks."""
+        with self._lock:
+            self._refill()
+            if self._tokens + 1e-12 >= amount:
+                self._tokens -= amount
+                return True
+            return False
+
+    def retry_after(self, amount: float = 1.0) -> float:
+        """Seconds until ``amount`` tokens will be available (0 if now)."""
+        with self._lock:
+            self._refill()
+            deficit = amount - self._tokens
+            return max(0.0, deficit / self.rate)
+
+    @property
+    def tokens(self) -> float:
+        """The current token level (refilled to now)."""
+        with self._lock:
+            self._refill()
+            return self._tokens
+
+
+class AdmissionController:
+    """The gateway's two admission gates: a pending bound and tenant buckets.
+
+    ``max_pending`` bounds admitted-but-unfinished requests (coalesced
+    followers are free — they add no engine work).  ``default_quota``
+    applies to every tenant without an explicit entry in
+    ``tenant_quotas``; ``None`` means unlimited.  All methods are
+    thread-safe (releases arrive from engine worker threads).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_pending: int = 64,
+        default_quota: TenantQuota | None = None,
+        tenant_quotas: dict[str, TenantQuota] | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        if max_pending < 1:
+            raise ConfigError(f"max_pending must be >= 1, got {max_pending}")
+        self.max_pending = max_pending
+        self._default_quota = default_quota
+        self._quota_config = dict(tenant_quotas or {})
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._pending = 0
+        self._shed = 0
+        self._quota_rejected = 0
+        self._lock = threading.Lock()
+
+    def _bucket(self, tenant: str) -> TokenBucket | None:
+        quota = self._quota_config.get(tenant, self._default_quota)
+        if quota is None:
+            return None
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(quota.rate, quota.burst, clock=self._clock)
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def charge(self, tenant: str) -> None:
+        """Debit one request from the tenant's bucket, or reject.
+
+        Raises :class:`QuotaExceeded` (with a ``retry_after`` hint) when
+        the bucket is empty.  Tenants with no configured quota always
+        pass.
+        """
+        with self._lock:
+            bucket = self._bucket(tenant)
+        if bucket is not None and not bucket.try_acquire():
+            retry_after = bucket.retry_after()
+            with self._lock:
+                self._quota_rejected += 1
+            raise QuotaExceeded(
+                f"tenant {tenant!r} is over quota; retry in "
+                f"{retry_after:.3f}s",
+                tenant=tenant,
+                retry_after=retry_after,
+            )
+
+    def acquire(self) -> None:
+        """Claim one pending slot, or shed with :class:`Overloaded`."""
+        with self._lock:
+            if self._pending >= self.max_pending:
+                self._shed += 1
+                raise Overloaded(
+                    f"gateway overloaded: {self._pending} requests pending "
+                    f"(max_pending={self.max_pending})",
+                    pending=self._pending,
+                    max_pending=self.max_pending,
+                )
+            self._pending += 1
+
+    def release(self) -> None:
+        """Return a pending slot once its request finished."""
+        with self._lock:
+            self._pending = max(0, self._pending - 1)
+
+    @property
+    def pending(self) -> int:
+        """Admitted-but-unfinished requests right now."""
+        with self._lock:
+            return self._pending
+
+    @property
+    def stats(self) -> dict:
+        """Pending level plus cumulative shed/quota rejections."""
+        with self._lock:
+            return {
+                "pending": self._pending,
+                "max_pending": self.max_pending,
+                "shed": self._shed,
+                "quota_rejected": self._quota_rejected,
+            }

@@ -1,0 +1,44 @@
+"""Ledger-replay load testing for the serving gateway.
+
+The package turns "does the gateway hold up under load?" into a
+repeatable measurement:
+
+* :mod:`repro.loadtest.workload` — arrival lists, synthesized
+  (:func:`synthesize_workload`) or rebuilt from run-ledger JSONL
+  (:func:`replay_workload`);
+* :mod:`repro.loadtest.drivers` — open-loop (fixed offered rate, no
+  coordinated omission) and closed-loop (fixed concurrency) drivers;
+* :mod:`repro.loadtest.report` — :class:`LoadTestReport` with deadline
+  hit-rate, p50/p95/p99 latency, shed/coalesce/cache-hit rates, and SLO
+  gating via :class:`SLOThresholds`;
+* :mod:`repro.loadtest.harness` — :func:`run_loadtest`, the blocking
+  entry point shared by ``repro-cli loadtest`` and
+  ``benchmarks/bench_loadtest.py``.
+"""
+
+from repro.loadtest.drivers import (
+    RequestSample,
+    run_closed_loop,
+    run_open_loop,
+)
+from repro.loadtest.harness import LoadTestConfig, run_loadtest
+from repro.loadtest.report import LoadTestReport, SLOThresholds, build_report
+from repro.loadtest.workload import (
+    WorkloadItem,
+    replay_workload,
+    synthesize_workload,
+)
+
+__all__ = [
+    "LoadTestConfig",
+    "LoadTestReport",
+    "RequestSample",
+    "SLOThresholds",
+    "WorkloadItem",
+    "build_report",
+    "replay_workload",
+    "run_closed_loop",
+    "run_loadtest",
+    "run_open_loop",
+    "synthesize_workload",
+]

@@ -193,21 +193,45 @@ class ForecastEngine:
     # -- public API -----------------------------------------------------------
 
     def forecast(
-        self, request: ForecastRequest | ForecastSpec
+        self,
+        request: ForecastRequest | ForecastSpec,
+        *,
+        on_progress=None,
+        ledger_extra: dict | None = None,
     ) -> ForecastResponse:
         """Serve one request on the calling thread (draws still fan out).
 
         Accepts a :class:`ForecastRequest` or, directly, an executable
         :class:`~repro.core.spec.ForecastSpec` (wrapped via
         :meth:`ForecastRequest.from_spec` with default serving options).
+
+        ``on_progress`` is an optional ``(completed, requested)`` callable
+        invoked from worker threads as sample draws retire (pooled
+        execution only — lockstep modes retire their streams inside one
+        decode pass); the gateway uses it to stream partial-ensemble
+        progress.  ``ledger_extra`` carries admission metadata
+        (``tenant``, ``admission``, ``enqueued_at``) from the gateway into
+        the request span and ledger record; neither affects the forecast.
         """
         self._check_open()
-        return self._execute(self._coerce(request))
+        return self._execute(self._coerce(request), on_progress, ledger_extra)
 
-    def submit(self, request: ForecastRequest | ForecastSpec) -> Future:
-        """Enqueue a request (or spec); returns a Future of :class:`ForecastResponse`."""
+    def submit(
+        self,
+        request: ForecastRequest | ForecastSpec,
+        *,
+        on_progress=None,
+        ledger_extra: dict | None = None,
+    ) -> Future:
+        """Enqueue a request (or spec); returns a Future of :class:`ForecastResponse`.
+
+        Accepts the same ``on_progress``/``ledger_extra`` hooks as
+        :meth:`forecast`.
+        """
         self._check_open()
-        return self._requests.submit(self._execute, self._coerce(request))
+        return self._requests.submit(
+            self._execute, self._coerce(request), on_progress, ledger_extra
+        )
 
     @staticmethod
     def _coerce(request: ForecastRequest | ForecastSpec) -> ForecastRequest:
@@ -269,7 +293,20 @@ class ForecastEngine:
                 )
             return self._scheduler
 
-    def _execute(self, request: ForecastRequest) -> ForecastResponse:
+    def _execute(
+        self,
+        request: ForecastRequest,
+        on_progress=None,
+        ledger_extra: dict | None = None,
+    ) -> ForecastResponse:
+        admission = dict(ledger_extra) if ledger_extra else {}
+        enqueued_at = admission.pop("enqueued_at", None)
+        if enqueued_at is not None:
+            queue_wait = time.perf_counter() - enqueued_at
+            admission["gateway_queue_wait_seconds"] = queue_wait
+            self.metrics.histogram("gateway_queue_wait_seconds").observe(
+                queue_wait
+            )
         key = forecast_digest(
             request.history, request.config, request.horizon, request.seed
         )
@@ -280,18 +317,30 @@ class ForecastEngine:
             horizon=int(request.horizon),
             seed=int(request.effective_seed),
         ) as span:
-            response = self._serve(request, key, span)
+            if span.is_recording:
+                if request.tenant:
+                    span.set_attribute("tenant", request.tenant)
+                if "admission" in admission:
+                    span.set_attribute("admission", admission["admission"])
+                if "gateway_queue_wait_seconds" in admission:
+                    span.set_attribute(
+                        "queue_wait",
+                        round(admission["gateway_queue_wait_seconds"], 9),
+                    )
+            response = self._serve(request, key, span, on_progress)
             if span.is_recording:
                 span.set_attribute("cache_hit", response.cache_hit)
                 span.set_attribute("outcome", _outcome(response))
                 span.set_attribute("attempts", response.attempts)
                 response.trace = span
         if self.ledger is not None:
-            self.ledger.append(self._ledger_record(request, response, key, span))
+            self.ledger.append(
+                self._ledger_record(request, response, key, span, admission)
+            )
         return response
 
     def _serve(
-        self, request: ForecastRequest, key: str, span: Span
+        self, request: ForecastRequest, key: str, span: Span, on_progress=None
     ) -> ForecastResponse:
         started = time.perf_counter()
         self.metrics.counter("requests_total").inc()
@@ -317,7 +366,7 @@ class ForecastEngine:
             execution = "pooled"
         forecaster = MultiCastForecaster(
             request.config,
-            sample_runner=self._make_runner(state),
+            sample_runner=self._make_runner(state, on_progress),
             tracer=self.tracer,
             state_cache=self.ingest_cache,
             stop=(
@@ -403,17 +452,27 @@ class ForecastEngine:
         response: ForecastResponse,
         key: str,
         span: Span,
+        admission: dict | None = None,
     ) -> dict:
         """One self-contained JSONL record for the run ledger.
 
         The ``metrics`` field is a compact counter snapshot at record time
         (request totals, cache hits, failures) — enough to cross-check a
         ``ledger summarize`` report against a ``--metrics-out`` dump.
+        ``admission`` carries the gateway's outcome and queue wait when the
+        request arrived through one (``admission="direct"`` otherwise).
         """
         output = response.output
+        admission = admission or {}
+        gateway_wait = admission.get("gateway_queue_wait_seconds")
         record = {
             "unix_time": round(time.time(), 3),
             "name": request.name,
+            "tenant": request.tenant,
+            "admission": admission.get("admission", "direct"),
+            "gateway_queue_wait_seconds": (
+                round(gateway_wait, 9) if gateway_wait is not None else None
+            ),
             "outcome": _outcome(response),
             "config_hash": key,
             "seed": int(request.effective_seed),
@@ -455,7 +514,7 @@ class ForecastEngine:
 
     # -- sample fan-out -------------------------------------------------------
 
-    def _make_runner(self, state: _RequestState):
+    def _make_runner(self, state: _RequestState, on_progress=None):
         """Build the per-request sample runner handed to the forecaster.
 
         Tasks go to the shared sample pool; each is wrapped in the retry
@@ -463,6 +522,11 @@ class ForecastEngine:
         still pending when it expires are abandoned (reported as ``None``),
         which downstream becomes a partial-ensemble forecast — or, when
         nothing finished in time, a deadline error.
+
+        ``on_progress`` (when given) is called as ``(completed, total)``
+        from pool threads each time a draw finishes successfully — the
+        gateway's streaming hook.  Progress is advisory: a callback that
+        raises is dropped, never the draw.
         """
 
         def runner(
@@ -472,6 +536,24 @@ class ForecastEngine:
                 self._samples.submit(self._draw_with_retry, task, state)
                 for task in tasks
             ]
+            if on_progress is not None:
+                total = len(tasks)
+                progress_lock = threading.Lock()
+                completed_box = [0]
+
+                def _notify(future) -> None:
+                    if future.cancelled() or future.exception() is not None:
+                        return
+                    with progress_lock:
+                        completed_box[0] += 1
+                        completed = completed_box[0]
+                    try:
+                        on_progress(completed, total)
+                    except Exception:  # noqa: BLE001 - advisory hook
+                        pass
+
+                for future in futures:
+                    future.add_done_callback(_notify)
             results: list[GenerationResult | None] = []
             for future in futures:
                 try:

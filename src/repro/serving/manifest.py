@@ -17,6 +17,8 @@ one per series/configuration pair::
 ``num_samples`` is the canonical sample-count key (``samples`` stays
 accepted as a short alias); ``execution`` selects ``"pooled"`` (default)
 or ``"batched"`` ensemble decoding, with bit-identical outputs.
+``tenant`` attributes the job to a tenant for gateway quota accounting
+and ledger attribution (see ``docs/SERVING.md``).
 
 A bare top-level list is accepted too.  Unknown keys are rejected early so
 a typo (``"smaples"``) fails the whole manifest instead of silently running
@@ -57,7 +59,7 @@ _CONFIG_KEYS = {
 
 _JOB_KEYS = frozenset(_CONFIG_KEYS) | {
     "name", "dataset", "csv", "horizon", "sax", "deadline", "use_cache",
-    "execution",
+    "execution", "tenant",
 }
 
 
@@ -73,6 +75,7 @@ class BatchJob:
     deadline: float | None = None
     use_cache: bool = True
     execution: str = "pooled"
+    tenant: str = ""
 
     def to_request(self, history: np.ndarray) -> ForecastRequest:
         """Bind this job's settings to a concrete history array.
@@ -86,6 +89,7 @@ class BatchJob:
             deadline_seconds=self.deadline,
             use_cache=self.use_cache,
             name=self.name,
+            tenant=self.tenant,
             execution=self.execution,
         )
 
@@ -136,6 +140,7 @@ def _parse_job(index: int, raw: dict) -> BatchJob:
         deadline=raw.get("deadline"),
         use_cache=bool(raw.get("use_cache", True)),
         execution=str(raw.get("execution", "pooled")),
+        tenant=str(raw.get("tenant", "")),
     )
 
 

@@ -46,6 +46,11 @@ class ForecastRequest:
         store) for this request.
     name:
         Caller-chosen label, echoed in the response (batch manifests use it).
+    tenant:
+        Owning tenant for multi-tenant serving (the gateway's quota and
+        ledger attribution key).  Deliberately **not** part of the result
+        digest: identical specs from different tenants coalesce to one
+        computation.  Empty for direct engine calls.
     execution:
         How the sample ensemble is driven — ``"batched"`` (lockstep
         batched decoding), ``"pooled"`` (the engine's shared sample pool;
@@ -63,6 +68,7 @@ class ForecastRequest:
     deadline_seconds: float | None = None
     use_cache: bool = True
     name: str = ""
+    tenant: str = ""
     execution: str = "pooled"
 
     def __post_init__(self) -> None:
@@ -87,6 +93,7 @@ class ForecastRequest:
         deadline_seconds: float | None = None,
         use_cache: bool = True,
         name: str = "",
+        tenant: str = "",
     ) -> "ForecastRequest":
         """Wrap an executable :class:`~repro.core.spec.ForecastSpec`.
 
@@ -102,6 +109,7 @@ class ForecastRequest:
             deadline_seconds=deadline_seconds,
             use_cache=use_cache,
             name=name,
+            tenant=tenant,
             execution=spec.execution,
         )
 

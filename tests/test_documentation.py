@@ -31,6 +31,8 @@ PACKAGES = [
     "repro.serving",
     "repro.observability",
     "repro.scheduling",
+    "repro.gateway",
+    "repro.loadtest",
 ]
 
 
@@ -110,6 +112,7 @@ DOCUMENTS = [
     "docs/TUTORIAL.md",
     "docs/ARCHITECTURE.md",
     "docs/OBSERVABILITY.md",
+    "docs/SERVING.md",
 ]
 
 #: Substitutions applied before execution to keep the suite fast — the
