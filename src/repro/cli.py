@@ -241,6 +241,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="JSON manifest of forecast jobs (see docs/API.md)")
     serve.add_argument("--workers", type=int, default=4,
                        help="sample-draw worker threads")
+    serve.add_argument("--shards", type=int, default=0,
+                       help="decode worker *processes*: 0 serves in-process, "
+                            "N >= 1 stands up a ShardedEngine with N shards "
+                            "(bit-identical results; see docs/SERVING.md)")
     serve.add_argument("--request-concurrency", type=int, default=2,
                        help="engine requests in flight at once")
     serve.add_argument("--max-pending", type=int, default=64,
@@ -298,6 +302,9 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--no-cache", action="store_true",
                           help="disable the engine's result cache")
     loadtest.add_argument("--no-coalesce", action="store_true")
+    loadtest.add_argument("--shards", type=int, default=0,
+                          help="decode worker processes behind the gateway "
+                               "(0 = in-process engine)")
     loadtest.add_argument("--json-out", default=None,
                           help="write the full report as JSON to this path")
     loadtest.add_argument("--ledger-out", default=None,
@@ -593,11 +600,20 @@ def _command_serve(args) -> int:
         if args.quota_rate is not None
         else None
     )
-    engine = ForecastEngine(
-        num_workers=args.workers,
-        max_concurrent_requests=args.request_concurrency,
-        ledger=args.ledger,
-    )
+    if args.shards > 0:
+        from repro.sharding import ShardedEngine
+
+        engine = ShardedEngine(
+            num_shards=args.shards,
+            worker_threads=args.workers,
+            ledger=args.ledger,
+        )
+    else:
+        engine = ForecastEngine(
+            num_workers=args.workers,
+            max_concurrent_requests=args.request_concurrency,
+            ledger=args.ledger,
+        )
 
     async def _serve_all() -> int:
         rejected = 0
@@ -665,6 +681,7 @@ def _command_loadtest(args) -> int:
         coalesce=not args.no_coalesce,
         use_result_cache=not args.no_cache,
         ledger_out=args.ledger_out,
+        shards=args.shards,
     )
     report = run_loadtest(config)
     print(report.summary())

@@ -10,7 +10,7 @@ with adversarial inputs: constant series, near-zero spans, huge and
 negative magnitudes, subnormals, single-timestamp histories, wide
 dimension counts, and truncated or separator-corrupted generated streams.
 
-Five property families:
+Six property families:
 
 * ``round_trip`` — every scaler either raises a clean
   :class:`~repro.exceptions.ScalingError` (permitted only for extreme
@@ -31,6 +31,11 @@ Five property families:
   interleavings of 2–5 concurrent requests (some sharing prompts, so the
   radix prefill tree's fork/extend paths are exercised), random admission
   caps, and concurrent submission threads.
+* ``sharded_equivalence`` — a multi-process
+  :class:`~repro.sharding.ShardedEngine` produces bit-identical forecasts
+  (values, samples, and demultiplexed row counts) to the in-process
+  engine across shard counts 1, 2 and 4, random schemes, horizons, and
+  both batched and continuous execution.
 
 Failures shrink to a minimal counterexample and are written as JSON repro
 case files.  Run from the command line::

@@ -28,13 +28,14 @@ __all__ = [
     "generate_case",
 ]
 
-#: The five property families the harness checks (see package docstring).
+#: The six property families the harness checks (see package docstring).
 FAMILIES = (
     "round_trip",
     "mux_identity",
     "constraint_soundness",
     "decode_equivalence",
     "sched_equivalence",
+    "sharded_equivalence",
 )
 
 #: Scaler kinds fuzzed by the ``round_trip`` family.

@@ -1,4 +1,4 @@
-"""The five property families the fuzz harness checks.
+"""The six property families the fuzz harness checks.
 
 Every check takes a :class:`~repro.fuzz.generators.FuzzCase` and returns
 ``None`` on success or a human-readable failure description.  A property
@@ -17,6 +17,10 @@ same log-probs, float equality, no tolerance.  ``sched_equivalence``
 extends the same contract across requests: the shared
 :class:`~repro.scheduling.ContinuousScheduler` must reproduce standalone
 per-request batched output exactly, whatever the interleaving.
+``sharded_equivalence`` extends it across *processes*: a
+:class:`~repro.sharding.ShardedEngine` with 1, 2 or 4 decode workers must
+reproduce the in-process engine's forecast values, samples, and
+demultiplexed row counts exactly under a fixed seed.
 """
 
 from __future__ import annotations
@@ -79,6 +83,8 @@ def check_case(case: FuzzCase) -> str | None:
             return _check_decode_equivalence(case)
         if case.family == "sched_equivalence":
             return _check_sched_equivalence(case)
+        if case.family == "sharded_equivalence":
+            return _check_sharded_equivalence(case)
     except ReproError as exc:  # any unexpected library error is a finding
         return f"unexpected {type(exc).__name__}: {exc}"
     except Exception as exc:  # hard crash (numpy/stdlib) is always a finding
@@ -552,4 +558,98 @@ def _check_sched_equivalence(case: FuzzCase) -> str | None:
                     )
     finally:
         scheduler.close()
+    return None
+
+
+# -- family 6: multi-process sharded engine equivalence -----------------------
+
+#: Shard counts every ``sharded_equivalence`` case is checked against.
+_SHARD_COUNTS = (1, 2, 4)
+
+#: Module-cached engines, keyed by shard count (0 = the in-process
+#: baseline).  Worker processes cost hundreds of milliseconds to spawn, so
+#: they are shared across fuzz cases and closed once at interpreter exit;
+#: every request runs with ``use_cache=False`` so no result state leaks
+#: between cases.
+_shard_engines: dict = {}
+
+
+def _close_shard_engines() -> None:
+    """atexit hook: shut down every cached fuzz engine."""
+    for engine in list(_shard_engines.values()):
+        engine.close()
+    _shard_engines.clear()
+
+
+def _shard_engine(num_shards: int):
+    """The cached engine for ``num_shards`` (0 = in-process), lazily built."""
+    import atexit
+
+    from repro.serving.engine import ForecastEngine
+    from repro.sharding import ShardedEngine
+
+    engine = _shard_engines.get(num_shards)
+    if engine is None:
+        if not _shard_engines:
+            atexit.register(_close_shard_engines)
+        if num_shards == 0:
+            engine = ForecastEngine(num_workers=2)
+        else:
+            engine = ShardedEngine(num_shards=num_shards, worker_threads=2)
+        _shard_engines[num_shards] = engine
+    return engine
+
+
+def _check_sharded_equivalence(case: FuzzCase) -> str | None:
+    """Multi-process sharding must not change a single forecast bit.
+
+    Derives a tame request from the case's seed and scheme (adversarial
+    magnitudes belong to ``round_trip``; this family pins the *serving*
+    contract, so the pipeline itself must succeed), runs it through the
+    in-process :class:`~repro.serving.engine.ForecastEngine` and through
+    :class:`~repro.sharding.ShardedEngine` instances with 1, 2 and 4
+    decode worker processes, and asserts the forecast values, the sample
+    ensemble, and the demultiplexed row counts are identical across all
+    four — float equality, no tolerance.  Execution alternates between
+    ``"batched"`` and ``"continuous"`` by seed parity so both in-worker
+    decode paths are covered.
+    """
+    from repro.core.config import MultiCastConfig
+    from repro.serving.request import ForecastRequest
+
+    rng = np.random.default_rng(case.seed)
+    n = int(rng.integers(8, 24))
+    d = int(rng.integers(1, 4))
+    history = np.cumsum(rng.standard_normal((n, d)), axis=0)
+    request = ForecastRequest(
+        history=history,
+        horizon=int(rng.integers(2, 6)),
+        config=MultiCastConfig(
+            scheme=case.scheme,
+            num_digits=min(case.num_digits, 3),
+            num_samples=int(rng.integers(2, 4)),
+            seed=int(rng.integers(0, 2**31)),
+        ),
+        use_cache=False,
+        name=f"fuzz-sharded-{case.seed}",
+        execution="batched" if case.seed % 2 == 0 else "continuous",
+    )
+
+    baseline = _shard_engine(0).forecast(request)
+    if not baseline.ok:
+        return f"in-process engine failed: {baseline.error}"
+    for num_shards in _SHARD_COUNTS:
+        response = _shard_engine(num_shards).forecast(request)
+        if not response.ok:
+            return f"{num_shards}-shard engine failed: {response.error}"
+        if response.output.samples.shape != baseline.output.samples.shape:
+            return (
+                f"{num_shards}-shard demux row count "
+                f"{response.output.samples.shape} != in-process "
+                f"{baseline.output.samples.shape}"
+            )
+        if not np.array_equal(response.output.values, baseline.output.values):
+            return f"{num_shards}-shard forecast values differ from in-process"
+        if not np.array_equal(response.output.samples, baseline.output.samples):
+            return f"{num_shards}-shard sample ensemble differs from in-process"
     return None

@@ -382,7 +382,13 @@ class ForecastGateway:
     def _ledger_coalesced(
         self, follower: GatewayHandle, response: ForecastResponse
     ) -> None:
-        """One ledger record for a follower resolved from its leader."""
+        """One ledger record for a follower resolved from its leader.
+
+        The ``ingest`` field records ``"coalesced"`` — the follower did no
+        ingest of its own (the leader's record carries the real
+        miss/extend/fork outcome), and copying the leader's value here
+        would double-count ingest work in ledger audits.
+        """
         outcome = "failed" if not response.ok else (
             "partial" if response.partial else "ok"
         )
@@ -393,6 +399,7 @@ class ForecastGateway:
             error=response.error,
             cache_hit=response.cache_hit,
             wall_seconds=time.perf_counter() - follower.submitted_at,
+            ingest="coalesced",
         )
 
     def _ledger_append(
@@ -404,6 +411,7 @@ class ForecastGateway:
         error: str | None = None,
         cache_hit: bool = False,
         wall_seconds: float = 0.0,
+        ingest: str | None = None,
     ) -> None:
         ledger = self.engine.ledger
         if ledger is None:
@@ -435,7 +443,7 @@ class ForecastGateway:
                 "wall_seconds": round(wall_seconds, 9),
                 "prompt_tokens": 0,
                 "generated_tokens": 0,
-                "ingest": None,
+                "ingest": ingest,
                 "queue_wait_seconds": None,
                 "timings": {},
                 "spans": None,

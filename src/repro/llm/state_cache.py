@@ -30,7 +30,12 @@ outright.  (:class:`repro.scheduling.RadixPrefillTree` generalises the
 same idea to a prefix tree shared across unrelated prompts.)
 
 Entries are LRU-evicted by total *token* count (not entry count), since a
-prefilled state's memory footprint scales with its prompt length.
+prefilled state's memory footprint scales with its prompt length.  An
+optional **spill tier** (``spill=``, duck-typed; see
+:class:`repro.sharding.SpillStore`) turns eviction into demotion: evicted
+states are serialized to a shared store, and a lookup that misses both
+memory tiers consults it before reporting a miss — so prefill state
+survives process restarts and migrates across sharded workers.
 
 Thread-safety contract: cached models are **frozen** — :meth:`get` hands
 back the shared instance (or a private fork for the extend case) and every
@@ -105,12 +110,21 @@ class IngestStateCache:
         entries are evicted once the budget is exceeded.  ``0`` builds a
         disabled cache (every ``get`` misses, every ``put`` is dropped), so
         callers can switch caching off without branching.
+    spill:
+        Optional second tier (duck-typed; anything with
+        ``store(model_name, vocab_size, tokens, model)`` and
+        ``fetch(model_name, vocab_size, tokens) -> (model | None, matched)``
+        — :class:`repro.sharding.SpillStore` is the shipped
+        implementation).  Evicted entries are demoted into it, and
+        lookups that miss memory consult it before reporting a miss.
     """
 
-    def __init__(self, max_tokens: int = 262_144) -> None:
+    def __init__(self, max_tokens: int = 262_144, *, spill=None) -> None:
         if max_tokens < 0:
             raise ConfigError(f"max_tokens must be >= 0, got {max_tokens}")
         self.max_tokens = max_tokens
+        self.spill = spill
+        self._spill_hits = 0
         self._lock = threading.Lock()
         self._entries: OrderedDict[tuple, LanguageModel] = OrderedDict()
         self._total_tokens = 0
@@ -137,10 +151,13 @@ class IngestStateCache:
         Prefers an exact match (``"fork"``); otherwise the *longest* cached
         strict prefix under the same ``(model_name, vocab_size)`` namespace
         (``"extend"``, returning a private fork prefilled to ``matched``
-        tokens); otherwise a ``"miss"``.
+        tokens); otherwise the spill tier, when one is attached; otherwise
+        a ``"miss"``.  A spill hit is promoted back into the memory tier.
         """
         prompt = tuple(int(t) for t in tokens)
         namespace = (model_name, int(vocab_size))
+        parent = None
+        best_length = 0
         with self._lock:
             if not self.enabled:
                 self._misses += 1
@@ -154,7 +171,6 @@ class IngestStateCache:
                 self._tokens_saved += len(prompt)
                 return IngestLookup(model=exact, matched=len(prompt), outcome="fork")
             best_key = None
-            best_length = 0
             for key in self._entries:
                 cached_tokens = key[2]
                 if (
@@ -163,16 +179,34 @@ class IngestStateCache:
                     and prompt[: len(cached_tokens)] == cached_tokens
                 ):
                     best_key, best_length = key, len(cached_tokens)
-            if best_key is None:
-                self._misses += 1
-                return IngestLookup(model=None, matched=0, outcome="miss")
-            self._entries.move_to_end(best_key)
-            parent = self._entries[best_key]
-            self._extends += 1
-            self._tokens_saved += best_length
-        # Fork outside the lock: cached entries are frozen, so concurrent
-        # forks are pure reads, and fork cost must not serialise readers.
-        return IngestLookup(model=parent.fork(), matched=best_length, outcome="extend")
+            if best_key is not None:
+                self._entries.move_to_end(best_key)
+                parent = self._entries[best_key]
+                self._extends += 1
+                self._tokens_saved += best_length
+        if parent is not None:
+            # Fork outside the lock: cached entries are frozen, so concurrent
+            # forks are pure reads, and fork cost must not serialise readers.
+            return IngestLookup(
+                model=parent.fork(), matched=best_length, outcome="extend"
+            )
+        if self.spill is not None:
+            loaded, matched = self.spill.fetch(model_name, vocab_size, prompt)
+            if loaded is not None:
+                outcome = "fork" if matched == len(prompt) else "extend"
+                with self._lock:
+                    if outcome == "fork":
+                        self._hits += 1
+                    else:
+                        self._extends += 1
+                    self._spill_hits += 1
+                    self._tokens_saved += matched
+                # Promote: the next lookup for this prompt should hit memory.
+                self.put(model_name, vocab_size, prompt[:matched], loaded.fork())
+                return IngestLookup(model=loaded, matched=matched, outcome=outcome)
+        with self._lock:
+            self._misses += 1
+        return IngestLookup(model=None, matched=0, outcome="miss")
 
     def ingest(
         self,
@@ -227,12 +261,15 @@ class IngestStateCache:
         """Deposit a prefilled model, taking ownership of it.
 
         The caller must not mutate ``model`` afterwards (fork it instead).
-        Prompts longer than the whole budget are not cached at all.
+        Prompts longer than the whole budget are not cached at all.  With a
+        spill tier attached, entries this deposit evicts are demoted to it
+        (serialized outside the lock) instead of destroyed.
         """
         prompt = tuple(int(t) for t in tokens)
         if not self.enabled or len(prompt) > self.max_tokens:
             return
         key = self._key(model_name, vocab_size, prompt)
+        demoted = []
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
@@ -241,9 +278,13 @@ class IngestStateCache:
             self._entries[key] = model
             self._total_tokens += len(prompt)
             while self._total_tokens > self.max_tokens:
-                evicted_key, _ = self._entries.popitem(last=False)
+                evicted_key, evicted_model = self._entries.popitem(last=False)
                 self._total_tokens -= len(evicted_key[2])
                 self._evictions += 1
+                if self.spill is not None:
+                    demoted.append((evicted_key, evicted_model))
+        for (name, vocab, evicted_tokens), evicted_model in demoted:
+            self.spill.store(name, vocab, evicted_tokens, evicted_model)
 
     def clear(self) -> None:
         """Drop every entry (hit/extend/miss statistics are kept)."""
@@ -269,6 +310,7 @@ class IngestStateCache:
                 "misses": self._misses,
                 "evictions": self._evictions,
                 "tokens_saved": self._tokens_saved,
+                "spill_hits": self._spill_hits,
                 "hit_rate": (self._hits + self._extends) / lookups if lookups else 0.0,
             }
 

@@ -42,9 +42,13 @@ class LoadTestConfig:
     (``"open"``, paced by ``rate`` requests/second) or
     :func:`~repro.loadtest.drivers.run_closed_loop` (``"closed"``, paced
     by ``concurrency`` in-flight workers).  ``ledger_path`` switches the
-    workload source from synthesis to ledger replay.  The remaining
-    fields mirror :func:`~repro.loadtest.workload.synthesize_workload`
-    and the gateway's admission knobs.
+    workload source from synthesis to ledger replay.  ``shards`` selects
+    the engine behind the gateway: ``0`` (default) serves in-process,
+    ``N >= 1`` stands up a :class:`~repro.sharding.ShardedEngine` with
+    ``N`` decode worker processes (bit-identical results; see
+    ``docs/SERVING.md``, "Scaling out").  The remaining fields mirror
+    :func:`~repro.loadtest.workload.synthesize_workload` and the
+    gateway's admission knobs.
     """
 
     requests: int = 1000
@@ -67,6 +71,7 @@ class LoadTestConfig:
     use_result_cache: bool = True
     tenants: tuple[str, ...] = ("alpha", "beta", "gamma")
     ledger_out: str | None = field(default=None)
+    shards: int = 0
 
     def __post_init__(self) -> None:
         if self.driver not in _DRIVERS:
@@ -75,6 +80,8 @@ class LoadTestConfig:
             )
         if self.requests < 1:
             raise ConfigError(f"requests must be >= 1, got {self.requests}")
+        if self.shards < 0:
+            raise ConfigError(f"shards must be >= 0, got {self.shards}")
 
 
 def _build_workload(config: LoadTestConfig) -> list[WorkloadItem]:
@@ -125,10 +132,21 @@ def run_loadtest(
     ``config.ledger_path`` is set, synthesis otherwise).
     """
     items = workload if workload is not None else _build_workload(config)
-    engine = ForecastEngine(
-        cache=None if config.use_result_cache else ForecastCache(max_entries=0),
-        ledger=config.ledger_out,
-    )
+    if config.shards > 0:
+        from repro.sharding import ShardedEngine
+
+        engine = ShardedEngine(
+            num_shards=config.shards,
+            result_cache_entries=128 if config.use_result_cache else 0,
+            ledger=config.ledger_out,
+        )
+    else:
+        engine = ForecastEngine(
+            cache=None
+            if config.use_result_cache
+            else ForecastCache(max_entries=0),
+            ledger=config.ledger_out,
+        )
     quota = (
         TenantQuota(rate=config.quota_rate, burst=config.quota_burst)
         if config.quota_rate is not None

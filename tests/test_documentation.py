@@ -33,6 +33,7 @@ PACKAGES = [
     "repro.scheduling",
     "repro.gateway",
     "repro.loadtest",
+    "repro.sharding",
 ]
 
 

@@ -309,6 +309,11 @@ def test_gateway_ledger_records_admission_outcomes(tmp_path):
     coalesced = by_admission["coalesced"]
     assert coalesced["tenant"] == "b"
     assert coalesced["outcome"] == "ok"
+    # The follower did no ingest of its own: its record must say
+    # "coalesced", not echo the leader's miss/extend/fork (which lives on
+    # the admitted record), and not the pre-fix hardcoded None.
+    assert coalesced["ingest"] == "coalesced"
+    assert by_admission["admitted"]["ingest"] in {"miss", "extend", "fork"}
     quota = by_admission["quota"]
     assert quota["outcome"] == "failed"
     assert quota["tenant"] == "a"

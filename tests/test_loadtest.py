@@ -213,11 +213,35 @@ def test_run_loadtest_replays_its_own_ledger(tmp_path):
     assert replayed.failed == 0
 
 
+def test_run_loadtest_over_sharded_engine(tmp_path):
+    ledger_path = tmp_path / "sharded.jsonl"
+    report = run_loadtest(
+        LoadTestConfig(
+            requests=30,
+            rate=300.0,
+            distinct=5,
+            shards=2,
+            ledger_out=str(ledger_path),
+        )
+    )
+    assert report.total == 30
+    assert report.failed == 0
+    records = [
+        json.loads(line)
+        for line in ledger_path.read_text().splitlines()
+        if line.strip()
+    ]
+    served = [r for r in records if r["admission"] == "admitted"]
+    assert served and all(r["shard"] in (0, 1) for r in served)
+
+
 def test_loadtest_config_validates():
     with pytest.raises(ConfigError):
         LoadTestConfig(driver="sideways")
     with pytest.raises(ConfigError):
         LoadTestConfig(requests=0)
+    with pytest.raises(ConfigError):
+        LoadTestConfig(shards=-1)
 
 
 def test_cli_loadtest_subcommand(tmp_path, capsys):

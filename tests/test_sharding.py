@@ -1,0 +1,370 @@
+"""Tests for multi-process sharded serving: routing, spill tier, recovery.
+
+The load-bearing contract is bit-identity: a :class:`ShardedEngine` with
+any shard count must produce byte-for-byte the single-process engine's
+forecasts under fixed seeds — sharding buys throughput, never a different
+answer.  The crash tests use the engine's ``chaos_delay_seconds``
+failure-injection knob to hold a request in-flight deterministically
+while its worker is killed.
+"""
+
+import asyncio
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import ForecastSpec, MultiCastConfig
+from repro.data import synthetic_multivariate
+from repro.exceptions import ConfigError
+from repro.gateway import ForecastGateway
+from repro.llm.simulated import get_model
+from repro.llm.state_cache import IngestStateCache
+from repro.observability import SpanCollector, Tracer
+from repro.serving import ForecastEngine, ForecastRequest
+from repro.sharding import (
+    ShardedEngine,
+    SpillStore,
+    rendezvous_ranking,
+    rendezvous_shard,
+)
+
+HISTORY = synthetic_multivariate(n=64, num_dims=2, seed=9).values
+
+MODEL_NAME = "uniform-sim"
+VOCAB = 4096
+
+
+def _spec(seed=0, execution="batched", num_samples=2, horizon=4):
+    config = MultiCastConfig(
+        num_samples=num_samples, model=MODEL_NAME, seed=seed
+    )
+    return ForecastSpec.from_config(
+        config, series=HISTORY, horizon=horizon, execution=execution
+    )
+
+
+def _prefilled(prompt):
+    """A substrate model prefilled on ``prompt`` (what the cache stores)."""
+    model = get_model(MODEL_NAME, vocab_size=VOCAB).spec.factory(VOCAB)
+    model.reset(prompt)
+    return model
+
+
+# -- rendezvous routing --------------------------------------------------------
+
+
+def test_rendezvous_is_deterministic_and_in_range():
+    shards = [0, 1, 2, 3]
+    for key in ("abcd" * 8, "0123" * 8, "ffff" * 8):
+        first = rendezvous_shard(key, shards)
+        assert first in shards
+        assert rendezvous_shard(key, shards) == first
+        ranking = rendezvous_ranking(key, shards)
+        assert sorted(ranking) == shards  # a permutation, no repeats
+
+
+def test_rendezvous_rejects_empty_shard_list():
+    with pytest.raises(Exception):
+        rendezvous_ranking("aa", [])
+
+
+def test_rendezvous_spreads_keys_roughly_evenly():
+    shards = [0, 1, 2, 3]
+    rng = np.random.default_rng(0)
+    counts = {shard: 0 for shard in shards}
+    for _ in range(2000):
+        key = "".join(rng.choice(list("0123456789abcdef"), size=16))
+        counts[rendezvous_shard(key, shards)] += 1
+    for count in counts.values():
+        assert 0.15 * 2000 < count < 0.35 * 2000, counts
+
+
+def test_rendezvous_disruption_is_minimal():
+    """Removing one shard only moves the keys that lived on it."""
+    shards = [0, 1, 2, 3]
+    rng = np.random.default_rng(1)
+    keys = [
+        "".join(rng.choice(list("0123456789abcdef"), size=16))
+        for _ in range(500)
+    ]
+    before = {key: rendezvous_shard(key, shards) for key in keys}
+    survivors = [0, 1, 3]
+    for key in keys:
+        after = rendezvous_shard(key, survivors)
+        if before[key] != 2:
+            assert after == before[key]
+        else:
+            assert after in survivors
+
+
+# -- spill store ---------------------------------------------------------------
+
+
+def test_spill_store_validates_budget(tmp_path):
+    with pytest.raises(ConfigError):
+        SpillStore(tmp_path, max_tokens=-1)
+    disabled = SpillStore(tmp_path / "off", max_tokens=0)
+    assert not disabled.enabled
+    disabled.store(MODEL_NAME, VOCAB, (1, 2, 3), _prefilled((1, 2, 3)))
+    assert disabled.fetch(MODEL_NAME, VOCAB, (1, 2, 3)) == (None, 0)
+
+
+def test_eviction_demotes_into_spill_and_lookup_promotes_back(tmp_path):
+    spill = SpillStore(tmp_path, max_tokens=10_000)
+    cache = IngestStateCache(max_tokens=40, spill=spill)
+    short = tuple(range(20))
+    long = tuple(range(100, 130))
+    cache.put(MODEL_NAME, VOCAB, short, _prefilled(short))
+    cache.put(MODEL_NAME, VOCAB, long, _prefilled(long))  # evicts `short`
+    assert spill.stats["entries"] == 1
+
+    lookup = cache.get(MODEL_NAME, VOCAB, short)
+    assert lookup.outcome == "fork"
+    assert lookup.matched == len(short)
+    assert cache.stats["spill_hits"] == 1
+    # Promotion: the next lookup resolves from memory, not the spill tier.
+    hits_before = spill.stats["hits"]
+    assert cache.get(MODEL_NAME, VOCAB, short).outcome == "fork"
+    assert spill.stats["hits"] == hits_before
+
+
+def test_spill_state_migrates_across_cache_instances(tmp_path):
+    """Worker A's eviction is worker B's warm start (shared directory)."""
+    prompt = tuple(range(24))
+    first = IngestStateCache(
+        max_tokens=24, spill=SpillStore(tmp_path, max_tokens=10_000)
+    )
+    first.put(MODEL_NAME, VOCAB, prompt, _prefilled(prompt))
+    filler = tuple(range(500, 524))
+    # The second put busts the budget and demotes `prompt` into the spill.
+    first.put(MODEL_NAME, VOCAB, filler, _prefilled(filler))
+
+    second = IngestStateCache(
+        max_tokens=1000, spill=SpillStore(tmp_path, max_tokens=10_000)
+    )
+    lookup = second.get(MODEL_NAME, VOCAB, prompt)
+    assert lookup.outcome == "fork"
+    assert lookup.matched == len(prompt)
+
+
+def test_spill_fetch_probes_checkpoint_prefixes(tmp_path):
+    spill = SpillStore(tmp_path, max_tokens=10_000)
+    prompt = tuple(range(200, 264))  # 64 tokens
+    spill.store(MODEL_NAME, VOCAB, prompt[:16], _prefilled(prompt[:16]))
+    model, matched = spill.fetch(MODEL_NAME, VOCAB, prompt)
+    assert model is not None
+    assert matched == 16  # the doubling checkpoint, not a full-prompt hit
+
+
+def test_corrupt_spill_entry_is_dropped_not_raised(tmp_path):
+    spill = SpillStore(tmp_path, max_tokens=10_000)
+    prompt = tuple(range(20))
+    spill.store(MODEL_NAME, VOCAB, prompt, _prefilled(prompt))
+    path = spill._path(MODEL_NAME, VOCAB, prompt)
+    path.write_bytes(b"not a pickle")
+    model, matched = spill.fetch(MODEL_NAME, VOCAB, prompt)
+    assert model is None and matched == 0
+    assert spill.stats["corrupt_dropped"] == 1
+    assert not path.exists()
+
+
+def test_spill_evicts_oldest_down_to_token_budget(tmp_path):
+    spill = SpillStore(tmp_path, max_tokens=50)
+    for start in (0, 1000, 2000, 3000):
+        prompt = tuple(range(start, start + 20))
+        spill.store(MODEL_NAME, VOCAB, prompt, _prefilled(prompt))
+        time.sleep(0.01)  # distinct mtimes make LRU order deterministic
+    stats = spill.stats
+    assert stats["total_tokens"] <= 50
+    assert stats["evictions"] == 2
+    # The newest entry survived.
+    newest = tuple(range(3000, 3020))
+    model, matched = spill.fetch(MODEL_NAME, VOCAB, newest)
+    assert model is not None and matched == len(newest)
+
+
+# -- sharded engine: bit-identity ----------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def sharded_engine():
+    with ShardedEngine(num_shards=2, worker_threads=2) as engine:
+        yield engine
+
+
+@pytest.mark.parametrize("execution", ["batched", "continuous"])
+def test_sharded_forecasts_bit_identical_to_in_process(
+    sharded_engine, execution
+):
+    specs = [_spec(seed=seed, execution=execution) for seed in (7, 8, 9)]
+    with ForecastEngine() as engine:
+        baseline = [engine.forecast(spec) for spec in specs]
+    for spec, expected in zip(specs, baseline):
+        assert expected.ok
+        # Cold pass, then warm (the worker's result cache must not change
+        # a bit either).
+        for _ in range(2):
+            response = sharded_engine.forecast(spec)
+            assert response.ok, response.error
+            assert (
+                response.output.values.tobytes()
+                == expected.output.values.tobytes()
+            )
+            assert (
+                response.output.samples.tobytes()
+                == expected.output.samples.tobytes()
+            )
+
+
+def test_warm_repeat_hits_the_worker_result_cache(sharded_engine):
+    spec = _spec(seed=77)
+    first = sharded_engine.forecast(spec)
+    second = sharded_engine.forecast(spec)
+    assert first.ok and second.ok
+    assert second.cache_hit
+
+
+def test_metrics_snapshot_reports_per_shard_health(sharded_engine):
+    sharded_engine.forecast(_spec(seed=78))
+    snapshot = sharded_engine.metrics_snapshot()
+    assert snapshot["shard_requests_total"]["value"] >= 1
+    shards = snapshot["shards"]
+    assert set(shards) == {"0", "1"}
+    for entry in shards.values():
+        assert entry["healthy"]
+        assert isinstance(entry["worker_pid"], int)
+    assert sum(entry["dispatched_total"] for entry in shards.values()) >= 1
+
+
+def test_sharded_engine_validates_configuration():
+    with pytest.raises(ConfigError):
+        ShardedEngine(num_shards=0)
+    with pytest.raises(ConfigError):
+        ShardedEngine(num_shards=1, max_attempts=0)
+
+
+def test_ledger_records_carry_shard_identity(tmp_path):
+    ledger_path = tmp_path / "shard.jsonl"
+    with ShardedEngine(
+        num_shards=2, worker_threads=2, ledger=str(ledger_path)
+    ) as engine:
+        response = engine.forecast(_spec(seed=31))
+        assert response.ok
+    record = json.loads(ledger_path.read_text().splitlines()[0])
+    assert record["shard"] in (0, 1)
+    assert isinstance(record["worker_pid"], int)
+    assert record["attempts"] == 1
+    assert record["outcome"] == "ok"
+
+
+# -- sharded engine: crash recovery --------------------------------------------
+
+
+def _await_inflight(engine, timeout=5.0):
+    """The shard currently serving a request (its worker mid-chaos-delay)."""
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        target = next(
+            (shard for shard in engine._shards if shard.inflight > 0), None
+        )
+        if target is not None and target.process.is_alive():
+            # Give the worker a beat to dequeue the task before the kill.
+            time.sleep(0.2)
+            return target
+        time.sleep(0.01)
+    raise AssertionError("no shard picked up the request in time")
+
+
+def test_worker_death_mid_request_retries_on_another_shard():
+    tracer = Tracer(SpanCollector())
+    with ShardedEngine(
+        num_shards=2,
+        worker_threads=2,
+        chaos_delay_seconds=0.6,
+        tracer=tracer,
+    ) as engine:
+        future = engine.submit(_spec(seed=3))
+        victim = _await_inflight(engine)
+        victim.process.terminate()
+
+        response = future.result(timeout=30)
+        assert response.ok, response.error
+        assert response.attempts == 2
+
+        dispatches = [
+            span
+            for span in response.trace.walk()
+            if span.name == "shard:dispatch"
+        ]
+        assert [span.attributes["attempt"] for span in dispatches] == [1, 2]
+        assert dispatches[1].attributes["shard"] != victim.index
+
+        snapshot = engine.metrics_snapshot()
+        assert snapshot["shard_restarts"]["value"] == 1
+        assert snapshot["shard_retries"]["value"] == 1
+        assert snapshot["shards"][str(victim.index)]["restarts"] == 1
+
+        # The restarted shard is healthy and serves again.
+        again = engine.forecast(_spec(seed=4))
+        assert again.ok
+
+
+def test_exhausted_retries_surface_as_typed_shard_failure(tmp_path):
+    ledger_path = tmp_path / "failures.jsonl"
+    with ShardedEngine(
+        num_shards=1,
+        worker_threads=2,
+        max_attempts=1,
+        chaos_delay_seconds=0.6,
+        ledger=str(ledger_path),
+    ) as engine:
+        future = engine.submit(_spec(seed=5))
+        victim = _await_inflight(engine)
+        victim.process.terminate()
+
+        response = future.result(timeout=30)
+        assert not response.ok
+        assert response.error.startswith("ShardFailure")
+        assert response.attempts == 1
+        assert engine.metrics_snapshot()["shard_failures"]["value"] == 1
+    record = json.loads(ledger_path.read_text().splitlines()[0])
+    assert record["outcome"] == "failed"
+    assert record["attempts"] == 1
+    assert record["shard"] is None
+
+
+# -- gateway over a sharded engine ---------------------------------------------
+
+
+def test_gateway_over_sharded_engine_is_bit_identical(tmp_path):
+    ledger_path = tmp_path / "gateway-sharded.jsonl"
+    spec = _spec(seed=21)
+    with ForecastEngine() as engine:
+        direct = engine.forecast(ForecastRequest.from_spec(spec))
+    assert direct.ok
+
+    async def through_gateway():
+        engine = ShardedEngine(
+            num_shards=2, worker_threads=2, ledger=str(ledger_path)
+        )
+        try:
+            async with ForecastGateway(engine) as gateway:
+                handle = await gateway.submit(spec, tenant="t")
+                return await gateway.result(handle)
+        finally:
+            engine.close()
+
+    served = asyncio.run(through_gateway())
+    assert served.ok
+    assert served.values.tobytes() == direct.values.tobytes()
+    assert (
+        served.output.samples.tobytes() == direct.output.samples.tobytes()
+    )
+    record = json.loads(ledger_path.read_text().splitlines()[0])
+    assert record["admission"] == "admitted"
+    assert record["tenant"] == "t"
+    assert record["shard"] in (0, 1)
+    assert isinstance(record["worker_pid"], int)
+    assert record["gateway_queue_wait_seconds"] >= 0

@@ -34,6 +34,7 @@ DEFAULT_TARGETS = (
     "src/repro/scheduling",
     "src/repro/gateway",
     "src/repro/loadtest",
+    "src/repro/sharding",
 )
 
 #: Where to look for packages that exist but are *not* gated, so the gap
