@@ -18,6 +18,7 @@ surface (see docs/API.md for the map).
 """
 
 from repro.core import (
+    PROMPT_STRATEGIES,
     ForecastOutput,
     ForecastSpec,
     MultiCastConfig,
@@ -37,6 +38,7 @@ from repro.exceptions import (
 from repro.observability import RunLedger, Tracer
 from repro.scheduling import ContinuousScheduler, RadixPrefillTree
 from repro.serving import ForecastEngine, ForecastRequest, ForecastResponse
+from repro.strategies import PromptStrategy
 
 __version__ = "1.2.0"
 
@@ -46,6 +48,8 @@ __all__ = [
     "MultiCastForecaster",
     "SaxConfig",
     "ForecastOutput",
+    "PromptStrategy",
+    "PROMPT_STRATEGIES",
     "ForecastEngine",
     "ForecastRequest",
     "ForecastResponse",

@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.core import (
     EXECUTION_MODES,
+    PROMPT_STRATEGIES,
     ForecastSpec,
     MultiCastConfig,
     MultiCastForecaster,
@@ -94,6 +95,24 @@ def _load_dataset(args) -> Dataset:
     return _DATASETS[args.dataset or "gas_rate"]()
 
 
+def _ensure_writable(path: str | None, flag: str) -> None:
+    """Fail fast when an output path cannot possibly be written.
+
+    Checked before any forecasting work starts, so a typo'd ``--output``
+    directory surfaces as a normal CLI error up front instead of a raw
+    traceback after the (expensive) run has already completed.
+    """
+    if path is None:
+        return
+    import os
+
+    parent = os.path.dirname(path) or "."
+    if not os.path.isdir(parent):
+        raise ReproError(f"{flag} directory does not exist: {parent}")
+    if os.path.isdir(path):
+        raise ReproError(f"{flag} path is a directory: {path}")
+
+
 def _add_samples_argument(parser: argparse.ArgumentParser) -> None:
     """Add the canonical ``--num-samples`` flag plus its deprecated alias."""
     parser.add_argument(
@@ -144,6 +163,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--execution", choices=EXECUTION_MODES, default="batched",
         help="how the sample ensemble is decoded (bit-identical outputs; "
              "batched is usually fastest)",
+    )
+    forecast.add_argument(
+        "--strategy", choices=PROMPT_STRATEGIES, default="default",
+        help="prompt strategy: how history is serialised into the prompt "
+             "('default' keeps the classic digit/SAX pipeline; see "
+             "docs/ARCHITECTURE.md)",
+    )
+    forecast.add_argument(
+        "--patch-length", type=int, default=None,
+        help="patch width for --strategy patch (timestamps aggregated "
+             "per prompt token group; default 6)",
     )
     forecast.add_argument(
         "--horizon", type=int, default=None,
@@ -201,6 +231,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--execution", choices=EXECUTION_MODES, default="batched",
         help="ensemble decoding for MultiCast windows (bit-identical outputs)",
     )
+    backtest.add_argument(
+        "--strategy", choices=PROMPT_STRATEGIES, default="default",
+        help="prompt strategy for MultiCast windows",
+    )
 
     batch = sub.add_parser(
         "batch", help="forecast many series/configs concurrently from a manifest"
@@ -215,6 +249,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override every job's execution mode; "
                             "'continuous' joins all jobs in one shared "
                             "decode loop (bit-identical outputs)")
+    batch.add_argument("--strategy", choices=PROMPT_STRATEGIES, default=None,
+                       help="override every job's prompt strategy")
     batch.add_argument("--max-resident-streams", type=int, default=64,
                        help="continuous-scheduler admission cap: total live "
                             "decode streams across resident requests")
@@ -327,6 +363,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _command_forecast(args) -> int:
+    _ensure_writable(args.output, "--output")
     dataset = _load_dataset(args)
     sax = None
     if args.sax_segment is not None:
@@ -341,6 +378,9 @@ def _command_forecast(args) -> int:
     else:
         history, actual = np.asarray(dataset.values), None
         horizon = args.horizon
+    spec_kwargs = {}
+    if args.patch_length is not None:
+        spec_kwargs["patch_length"] = args.patch_length
     spec = ForecastSpec(
         series=history,
         horizon=horizon,
@@ -351,6 +391,8 @@ def _command_forecast(args) -> int:
         sax=sax,
         seed=args.seed,
         execution=args.execution,
+        strategy=args.strategy,
+        **spec_kwargs,
     )
     tracer = None
     if args.trace:
@@ -431,6 +473,7 @@ def _command_table(args) -> int:
 
 
 def _command_figure(args) -> int:
+    _ensure_writable(args.csv_out, "--csv-out")
     figure = _figure_functions()[args.which](num_samples=_resolve_samples(args))
     print(figure.render())
     if args.csv_out:
@@ -478,7 +521,11 @@ def _command_backtest(args) -> int:
     spec = None
     options = {}
     if args.method.startswith("multicast"):
-        spec = ForecastSpec(num_samples=num_samples, execution=args.execution)
+        spec = ForecastSpec(
+            num_samples=num_samples,
+            execution=args.execution,
+            strategy=args.strategy,
+        )
     elif args.method == "llmtime":
         options["num_samples"] = num_samples
     engine = None
@@ -510,6 +557,8 @@ def _command_batch(args) -> int:
     from repro.exceptions import ConfigError
     from repro.serving import ForecastCache, ForecastEngine, load_manifest
 
+    _ensure_writable(args.metrics_out, "--metrics-out")
+    _ensure_writable(args.ledger, "--ledger")
     jobs = load_manifest(args.manifest)
     requests = []
     for job in jobs:
@@ -527,6 +576,11 @@ def _command_batch(args) -> int:
             # replace() re-runs __post_init__, so the override is validated
             # exactly like a manifest-specified execution.
             request = dataclasses.replace(request, execution=args.execution)
+        if args.strategy is not None:
+            request = dataclasses.replace(
+                request,
+                config=dataclasses.replace(request.config, strategy=args.strategy),
+            )
         requests.append(request)
 
     cache = ForecastCache(max_entries=0) if args.no_cache else None
@@ -578,6 +632,8 @@ def _command_serve(args) -> int:
     )
     from repro.serving import ForecastEngine, load_manifest
 
+    _ensure_writable(args.metrics_out, "--metrics-out")
+    _ensure_writable(args.ledger, "--ledger")
     jobs = load_manifest(args.manifest)
     requests = []
     for job in jobs:
@@ -662,6 +718,8 @@ def _command_loadtest(args) -> int:
 
     from repro.loadtest import LoadTestConfig, run_loadtest
 
+    _ensure_writable(args.json_out, "--json-out")
+    _ensure_writable(args.ledger_out, "--ledger-out")
     config = LoadTestConfig(
         requests=args.requests,
         driver=args.driver,
@@ -726,6 +784,11 @@ def main(argv: list[str] | None = None) -> int:
     try:
         return _COMMANDS[args.command](args)
     except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        # filesystem problems with user-supplied paths (unwritable output,
+        # a directory where a file was expected) are user errors, not bugs.
         print(f"error: {error}", file=sys.stderr)
         return 2
 

@@ -1,7 +1,7 @@
 """MultiCast core: multiplexers, configuration, and the forecaster."""
 
 from repro.core.aggregation import AGGREGATION_METHODS, aggregate_samples
-from repro.core.config import MultiCastConfig, SaxConfig
+from repro.core.config import PROMPT_STRATEGIES, MultiCastConfig, SaxConfig
 from repro.core.forecaster import (
     MultiCastForecaster,
     SampleRunner,
@@ -27,6 +27,7 @@ __all__ = [
     "SaxConfig",
     "ForecastSpec",
     "EXECUTION_MODES",
+    "PROMPT_STRATEGIES",
     "MultiCastForecaster",
     "SampleRunner",
     "run_sequentially",

@@ -14,7 +14,14 @@ from repro.core.multiplex import MULTIPLEX_SCHEMES
 from repro.exceptions import ConfigError
 from repro.sax.encoder import SaxAlphabet
 
-__all__ = ["MultiCastConfig", "SaxConfig"]
+__all__ = ["MultiCastConfig", "SaxConfig", "PROMPT_STRATEGIES"]
+
+#: The prompt-strategy names a config (or spec) may select.  ``"default"``
+#: preserves the pre-strategy pipeline exactly: the raw digit path, or the
+#: SAX path when ``sax`` is set.  The registry itself lives in
+#: :mod:`repro.strategies`; the name tuple lives here so the config layer
+#: can validate without importing the strategy implementations.
+PROMPT_STRATEGIES = ("default", "digit", "sax", "patch", "decompose", "auto")
 
 
 @dataclass(frozen=True)
@@ -86,6 +93,18 @@ class MultiCastConfig:
     max_context_tokens:
         Prompt budget; histories that serialise longer are truncated to the
         most recent timestamps that fit.
+    strategy:
+        Prompt-strategy name from :data:`PROMPT_STRATEGIES` — how the
+        series becomes tokens (and back).  ``"default"`` (the paper's
+        pipeline, selected by ``sax``), ``"digit"``/``"sax"`` to force one
+        of those paths, ``"patch"`` (per-patch aggregate statistics,
+        :class:`~repro.strategies.PatchAggregateStrategy`),
+        ``"decompose"`` (trend/seasonal/residual forecast as separate
+        sub-requests and recombined), or ``"auto"`` (picked per series
+        from length, dimensionality and detected seasonality).
+    patch_length:
+        Patch width of the ``"patch"`` strategy (timestamps aggregated
+        per emitted row); ignored by the other strategies.
     seed:
         Base RNG seed for reproducible sampling.
     """
@@ -100,6 +119,8 @@ class MultiCastConfig:
     deseasonalize: int | str | None = None
     temperature: float | None = None
     max_context_tokens: int = 4096
+    strategy: str = "default"
+    patch_length: int = 6
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -133,3 +154,12 @@ class MultiCastConfig:
             )
         if self.max_context_tokens < 8:
             raise ConfigError("max_context_tokens must be >= 8")
+        if self.strategy not in PROMPT_STRATEGIES:
+            raise ConfigError(
+                f"strategy must be one of {PROMPT_STRATEGIES}, "
+                f"got {self.strategy!r}"
+            )
+        if self.patch_length < 1:
+            raise ConfigError(
+                f"patch_length must be >= 1, got {self.patch_length}"
+            )

@@ -17,6 +17,13 @@ segment replaces ``num_digits`` digit tokens per timestamp — the >10×
 execution-time win of Tables VIII-IX — and the multiplexers run unchanged
 over symbol cells.  Generated symbols are decoded back to piecewise-constant
 values through the per-dimension encoder.
+
+The serialisation half of both paths lives in :mod:`repro.strategies`
+(``DigitStrategy`` and ``SaxStrategy``, plus the patch-aggregate,
+decompose-then-forecast and auto strategies); the forecaster keeps the
+sampling half — validation, seasonal adjustment, prompt ingest, the
+ingest-state cache, batched/continuous/pooled decoding — and hands it to
+the selected strategy through :class:`_StrategyContext`.
 """
 
 from __future__ import annotations
@@ -27,17 +34,17 @@ import threading
 import warnings
 from collections.abc import Callable
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
 
 import numpy as np
 
-from repro.core.aggregation import aggregate_samples
 from repro.core.config import MultiCastConfig
-from repro.core.multiplex import Multiplexer, SaxSymbolCodec, get_multiplexer
+from repro.core.multiplex import Multiplexer, get_multiplexer
 from repro.core.output import ForecastOutput
 from repro.core.spec import ForecastSpec
 from repro.core.timing import StageClock
 from repro.decomposition import SeasonalAdjuster, estimate_period
-from repro.encoding import SEPARATOR, DigitCodec, digit_vocabulary, sax_vocabulary
+from repro.encoding import SEPARATOR
 from repro.encoding.vocabulary import Vocabulary
 from repro.exceptions import ConfigError, DataError, GenerationError
 from repro.llm import (
@@ -51,9 +58,6 @@ from repro.llm.interface import GenerationResult
 from repro.llm.simulated import PrefilledSession, SimulatedLLM
 from repro.llm.state_cache import IngestStateCache
 from repro.observability.spans import NULL_TRACER
-from repro.sax.encoder import SaxEncoder
-from repro.sax.paa import num_segments
-from repro.scaling import FixedDigitScaler, MultivariateScaler
 
 __all__ = ["MultiCastForecaster", "SampleRunner", "SampleTask", "run_sequentially"]
 
@@ -252,6 +256,11 @@ class MultiCastForecaster:
         if horizon < 1:
             raise DataError(f"horizon must be >= 1, got {horizon}")
 
+        # Deferred: repro.strategies imports core submodules, so a
+        # module-level import here would cycle when the strategies
+        # package is imported first.
+        from repro.strategies.base import resolve_strategy
+
         tracer = self._tracer if tracer is None else tracer
         with tracer.span(
             "forecast",
@@ -268,14 +277,9 @@ class MultiCastForecaster:
                 with clock.stage("deseasonalize"):
                     adjusters, values = self._seasonal_adjust(values)
 
-            if self.config.sax is None:
-                output = self._forecast_raw(
-                    values, horizon, seed, clock, tracer, mode
-                )
-            else:
-                output = self._forecast_sax(
-                    values, horizon, seed, clock, tracer, mode
-                )
+            strategy = resolve_strategy(self.config.strategy, self.config)
+            context = _StrategyContext(self, clock, tracer, mode)
+            output = strategy.forecast(values, horizon, seed, context)
 
             if adjusters is not None:
                 with clock.stage("deseasonalize"):
@@ -287,6 +291,8 @@ class MultiCastForecaster:
                     "completed_samples", output.metadata.get("completed_samples")
                 )
                 root.set_attribute("generated_tokens", output.generated_tokens)
+                root.set_attribute("prompt_tokens", output.prompt_tokens)
+                root.set_attribute("strategy", output.metadata.get("strategy"))
                 root.set_attribute("wall_seconds", round(clock.total, 9))
                 root.finish(at=root.start_time + clock.total)
         output.assert_timing_invariant()
@@ -628,165 +634,76 @@ class MultiCastForecaster:
         pad = np.tile(rows[-1], (horizon - rows.shape[0], 1))
         return np.vstack([rows, pad])
 
-    # -- raw digit pipeline -----------------------------------------------------
 
-    def _forecast_raw(
+class _StrategyContext:
+    """:class:`~repro.strategies.base.StrategyContext` backed by a forecaster.
+
+    Duck-typed rather than subclassed — the strategies package imports core
+    submodules, so inheriting here would make the interface ABC part of an
+    import cycle.  One context serves one request: it binds the request's
+    stage clock, tracer and resolved execution mode over the forecaster's
+    shared generation machinery.
+    """
+
+    def __init__(
         self,
-        values: np.ndarray,
-        horizon: int,
-        seed: int | None,
+        forecaster: MultiCastForecaster,
         clock: StageClock,
-        tracer=NULL_TRACER,
-        mode: str | None = None,
-    ) -> ForecastOutput:
-        config = self.config
-        n, d = values.shape
+        tracer,
+        mode: str | None,
+    ) -> None:
+        self.config = forecaster.config
+        self.clock = clock
+        self.multiplexer = forecaster._multiplexer
+        self._forecaster = forecaster
+        self._tracer = tracer
+        self._mode = mode
 
-        with clock.stage("scale"):
-            scaler = MultivariateScaler(
-                lambda: FixedDigitScaler(num_digits=config.num_digits)
-            ).fit(values)
-            codes = scaler.transform(values).astype(np.int64)
-            codes = self._truncate_rows(codes, config.num_digits)
-
-        with clock.stage("multiplex") as mux_span:
-            codec = DigitCodec(config.num_digits)
-            vocabulary = digit_vocabulary()
-            stream = self._multiplexer.mux(codes, codec) + [SEPARATOR]
-            prompt_ids = vocabulary.encode(stream)
-            tokens_needed = horizon * self._multiplexer.tokens_per_timestamp(
-                d, config.num_digits
-            )
-            constraint = self._constraint(
-                vocabulary, "0123456789", d, config.num_digits
-            )
-            mux_span.set_attribute("prompt_tokens", len(prompt_ids))
-            mux_span.set_attribute("tokens_needed", tokens_needed)
-
-        with clock.stage("generate") as generate_span:
-            streams, generated, simulated, ingest_info = self._run_samples(
-                vocabulary, prompt_ids, tokens_needed, constraint, seed,
-                tracer, generate_span, mode,
-            )
-
-        with clock.stage("demultiplex"):
-            sample_values = np.empty((len(streams), horizon, d))
-            for s, tokens in enumerate(streams):
-                rows = self._multiplexer.demux(
-                    tokens, d, codec, row_offset=codes.shape[0]
-                )
-                rows = self._fit_rows(
-                    rows.astype(float), horizon, d, fallback=codes[-1].astype(float)
-                )
-                sample_values[s] = scaler.inverse_transform(rows)
-
-        with clock.stage("aggregate"):
-            point = aggregate_samples(sample_values, config.aggregation)
-        return ForecastOutput(
-            values=point,
-            samples=sample_values,
-            prompt_tokens=len(prompt_ids),
-            generated_tokens=generated,
-            simulated_seconds=simulated,
-            model_name=config.model,
-            metadata={
-                "method": f"multicast-{self._multiplexer.name}",
-                "sax": False,
-                "requested_samples": config.num_samples,
-                "completed_samples": len(streams),
-                **ingest_info,
-            },
+    def run_samples(
+        self, vocabulary, prompt_ids, tokens_needed, constraint, seed,
+        generate_span,
+    ):
+        """Draw the sample ensemble (see `MultiCastForecaster._run_samples`)."""
+        return self._forecaster._run_samples(
+            vocabulary, prompt_ids, tokens_needed, constraint, seed,
+            self._tracer, generate_span, self._mode,
         )
 
-    # -- SAX pipeline -------------------------------------------------------------
-
-    def _forecast_sax(
-        self,
-        values: np.ndarray,
-        horizon: int,
-        seed: int | None,
-        clock: StageClock,
-        tracer=NULL_TRACER,
-        mode: str | None = None,
-    ) -> ForecastOutput:
-        config = self.config
-        sax = config.sax
-        n, d = values.shape
-        alphabet = sax.alphabet()
-
-        with clock.stage("scale"):
-            encoders = []
-            words = []
-            for k in range(d):
-                encoder = SaxEncoder(
-                    sax.segment_length, alphabet, reconstruction=sax.reconstruction
-                ).fit(values[:, k])
-                encoders.append(encoder)
-                words.append(encoder.encode(values[:, k]))
-
-            codec = SaxSymbolCodec(alphabet)
-            # Symbol indices per segment per dimension: the SAX "code matrix".
-            symbol_codes = np.asarray(
-                [[alphabet.index_of(s) for s in word] for word in words],
-                dtype=np.int64,
-            ).T
-            symbol_codes = self._truncate_rows(symbol_codes, width=1)
-
-        with clock.stage("multiplex") as mux_span:
-            vocabulary = sax_vocabulary(alphabet.symbols)
-            stream = self._multiplexer.mux(symbol_codes, codec) + [SEPARATOR]
-            prompt_ids = vocabulary.encode(stream)
-
-            horizon_segments = num_segments(horizon, sax.segment_length)
-            tokens_needed = (
-                horizon_segments * self._multiplexer.tokens_per_timestamp(d, 1)
-            )
-            constraint = self._constraint(vocabulary, alphabet.symbols, d, 1)
-            mux_span.set_attribute("prompt_tokens", len(prompt_ids))
-            mux_span.set_attribute("tokens_needed", tokens_needed)
-
-        with clock.stage("generate") as generate_span:
-            streams, generated, simulated, ingest_info = self._run_samples(
-                vocabulary, prompt_ids, tokens_needed, constraint, seed,
-                tracer, generate_span, mode,
-            )
-
-        with clock.stage("demultiplex"):
-            sample_values = np.empty((len(streams), horizon, d))
-            for s, tokens in enumerate(streams):
-                rows = self._multiplexer.demux(
-                    tokens, d, codec, row_offset=symbol_codes.shape[0]
-                )
-                rows = self._fit_rows(
-                    rows.astype(float),
-                    horizon_segments,
-                    d,
-                    fallback=symbol_codes[-1].astype(float),
-                ).astype(int)
-                for k in range(d):
-                    symbols = [alphabet.symbols[i] for i in rows[:, k]]
-                    decoded = encoders[k].decode(
-                        symbols, n=horizon_segments * sax.segment_length
-                    )
-                    sample_values[s, :, k] = decoded[:horizon]
-
-        with clock.stage("aggregate"):
-            point = aggregate_samples(sample_values, config.aggregation)
-        return ForecastOutput(
-            values=point,
-            samples=sample_values,
-            prompt_tokens=len(prompt_ids),
-            generated_tokens=generated,
-            simulated_seconds=simulated,
-            model_name=config.model,
-            metadata={
-                "method": f"multicast-{self._multiplexer.name}",
-                "sax": True,
-                "segment_length": sax.segment_length,
-                "alphabet_size": sax.alphabet_size,
-                "alphabet_kind": sax.alphabet_kind,
-                "requested_samples": config.num_samples,
-                "completed_samples": len(streams),
-                **ingest_info,
-            },
+    def constraint(self, vocabulary, value_tokens, num_dims, width):
+        """The generation constraint for the request's scheme and codec."""
+        return self._forecaster._constraint(
+            vocabulary, value_tokens, num_dims, width
         )
+
+    def truncate_rows(self, matrix, width):
+        """Drop old rows so the serialised prompt fits the token budget."""
+        return self._forecaster._truncate_rows(matrix, width)
+
+    def fit_rows(self, rows, horizon, num_dims, fallback):
+        """Truncate or pad a demultiplexed sample to exactly ``horizon`` rows."""
+        return self._forecaster._fit_rows(rows, horizon, num_dims, fallback)
+
+    def subforecast(self, values, horizon, seed, label=""):
+        """Run a nested forecast through the full request machinery.
+
+        The sub-request shares the parent's execution mode, sample runner,
+        ingest-state cache, prefill sharing, stop callable and scheduler —
+        so it hits the ingest cache and the batched decoder exactly like a
+        top-level request — but always runs the ``"default"`` strategy
+        (composites never recurse) and never re-applies seasonal
+        adjustment (the composite strategy owns seasonality).
+        """
+        parent = self._forecaster
+        worker = MultiCastForecaster(
+            replace(parent.config, strategy="default", deseasonalize=None),
+            sample_runner=parent._sample_runner,
+            tracer=self._tracer,
+            state_cache=parent._state_cache,
+            share_prefill=parent._share_prefill,
+            stop=parent._stop,
+            scheduler=parent._scheduler,
+        )
+        with self._tracer.span("subforecast", label=label):
+            return worker._forecast_impl(
+                values, horizon, seed, self._tracer, mode=self._mode
+            )

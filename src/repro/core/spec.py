@@ -33,10 +33,15 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.core.config import MultiCastConfig, SaxConfig
+from repro.core.config import PROMPT_STRATEGIES, MultiCastConfig, SaxConfig
 from repro.exceptions import ConfigError
 
-__all__ = ["ForecastSpec", "EXECUTION_MODES", "canonicalize_sampling_options"]
+__all__ = [
+    "ForecastSpec",
+    "EXECUTION_MODES",
+    "PROMPT_STRATEGIES",
+    "canonicalize_sampling_options",
+]
 
 #: The execution modes a spec (or serving request) may select.
 EXECUTION_MODES = ("batched", "pooled", "sequential", "continuous")
@@ -89,11 +94,14 @@ class ForecastSpec:
         Steps to forecast past the end of the series (``None`` only for
         templates).
     scheme, num_digits, num_samples, model, aggregation, sax,
-    structured_constraint, deseasonalize, temperature, max_context_tokens:
+    structured_constraint, deseasonalize, temperature, max_context_tokens,
+    strategy, patch_length:
         The pipeline knobs of :class:`~repro.core.config.MultiCastConfig`,
         with identical names, defaults and validation.  ``sax`` also
         accepts a plain dict (handy in JSON manifests), coerced to a
-        :class:`~repro.core.config.SaxConfig`.
+        :class:`~repro.core.config.SaxConfig`.  ``strategy`` selects the
+        prompt strategy (:data:`PROMPT_STRATEGIES`; ``"default"``
+        preserves the pre-strategy pipeline bit for bit).
     seed:
         Base RNG seed for the sample ensemble.
     execution:
@@ -115,6 +123,8 @@ class ForecastSpec:
     deseasonalize: int | str | None = None
     temperature: float | None = None
     max_context_tokens: int = 4096
+    strategy: str = "default"
+    patch_length: int = 6
     seed: int = 0
     execution: str = "batched"
 
@@ -147,6 +157,8 @@ class ForecastSpec:
             deseasonalize=self.deseasonalize,
             temperature=self.temperature,
             max_context_tokens=self.max_context_tokens,
+            strategy=self.strategy,
+            patch_length=self.patch_length,
             seed=int(self.seed),
         )
 
@@ -218,6 +230,8 @@ class ForecastSpec:
             deseasonalize=config.deseasonalize,
             temperature=config.temperature,
             max_context_tokens=config.max_context_tokens,
+            strategy=config.strategy,
+            patch_length=config.patch_length,
             seed=config.seed if seed is None else int(seed),
             execution=execution,
         )
@@ -228,5 +242,6 @@ class ForecastSpec:
             f"ForecastSpec(series_shape={shape}, horizon={self.horizon}, "
             f"scheme={self.scheme!r}, model={self.model!r}, "
             f"num_samples={self.num_samples}, sax={self.sax is not None}, "
-            f"seed={self.seed}, execution={self.execution!r})"
+            f"strategy={self.strategy!r}, seed={self.seed}, "
+            f"execution={self.execution!r})"
         )

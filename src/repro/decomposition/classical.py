@@ -23,6 +23,11 @@ from repro.exceptions import DataError
 
 __all__ = ["centered_moving_average", "ClassicalDecomposition", "SeasonalAdjuster"]
 
+#: Magnitude beyond which the decomposition arithmetic is renormalised
+#: first: component differences can exceed the float64 range for series
+#: near it.  Tame series stay on the historical bit-exact path.
+_RESCALE_GATE = 1e150
+
 
 def centered_moving_average(x: np.ndarray, window: int) -> np.ndarray:
     """Centered MA with edge extension; even windows use half-end-weights.
@@ -35,6 +40,8 @@ def centered_moving_average(x: np.ndarray, window: int) -> np.ndarray:
     series = np.asarray(x, dtype=float)
     if series.ndim != 1:
         raise DataError(f"expected a 1-D series, got shape {series.shape}")
+    if not np.isfinite(series).all():
+        raise DataError("series contains NaN or inf")
     if window < 2 or window > series.size:
         raise DataError(
             f"window must be in [2, {series.size}], got {window}"
@@ -66,23 +73,50 @@ class ClassicalDecomposition:
 
     @classmethod
     def fit(cls, x: np.ndarray, period: int) -> "ClassicalDecomposition":
+        """Decompose ``x`` with seasonality ``period``.
+
+        The components recombine to the input within ulp-level tolerance
+        (``residual`` is computed by exact subtraction).  Finite input of
+        any magnitude either decomposes — extreme magnitudes are
+        renormalised internally so the arithmetic cannot overflow — or
+        raises a typed :class:`~repro.exceptions.DataError` when a
+        component itself exceeds the float64 range (e.g. a seasonal swing
+        wider than the representable maximum); NaN/inf input always
+        raises :class:`~repro.exceptions.DataError`.
+        """
         series = np.asarray(x, dtype=float)
         if series.ndim != 1:
             raise DataError(f"expected a 1-D series, got shape {series.shape}")
+        if not np.isfinite(series).all():
+            raise DataError("series contains NaN or inf")
         if period < 2:
             raise DataError(f"period must be >= 2, got {period}")
         if series.size < 2 * period:
             raise DataError(
                 f"series of {series.size} points too short for period {period}"
             )
-        trend = centered_moving_average(series, period)
-        detrended = series - trend
+        scale = float(np.max(np.abs(series)))
+        rescaled = scale > _RESCALE_GATE
+        work = series / scale if rescaled else series
+        trend = centered_moving_average(work, period)
+        detrended = work - trend
         profile = np.empty(period)
         for phase in range(period):
             profile[phase] = detrended[phase::period].mean()
         profile -= profile.mean()  # additive seasonality sums to zero
         seasonal = profile[np.arange(series.size) % period]
-        residual = series - trend - seasonal
+        residual = work - trend - seasonal
+        if rescaled:
+            with np.errstate(over="ignore"):
+                trend = trend * scale
+                profile = profile * scale
+                residual = residual * scale
+            components = np.concatenate([trend, profile, residual])
+            if not np.isfinite(components).all():
+                raise DataError(
+                    "decomposition components exceed the float64 range "
+                    f"for this series (magnitude {scale:.3g})"
+                )
         return cls(
             period=period,
             trend=trend,

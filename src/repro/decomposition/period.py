@@ -8,6 +8,17 @@ from repro.exceptions import FittingError
 
 __all__ = ["estimate_period"]
 
+#: Magnitude beyond which the detrend/autocorrelation arithmetic is
+#: renormalised first: squared terms overflow float64 past ~1e154, and
+#: denormal inputs underflow to a zero denominator.  Tame series stay on
+#: the historical bit-exact path.
+_RESCALE_GATE = 1e150
+
+#: Peak-to-peak variation below this fraction of the series magnitude is
+#: indistinguishable from floating-point noise around a constant — no
+#: autocorrelation of it is meaningful seasonality.
+_CONSTANT_RTOL = 1e-12
+
 
 def estimate_period(x: np.ndarray, max_period: int | None = None) -> int:
     """Dominant seasonality by autocorrelation peak.
@@ -16,23 +27,54 @@ def estimate_period(x: np.ndarray, max_period: int | None = None) -> int:
     series and returns the lag with the highest autocorrelation, requiring
     it to be a genuine *local* peak; returns 1 (no seasonality) when the
     best peak is weak (< 0.2).
+
+    The result is always an ``int >= 1`` for finite input: constant and
+    near-constant series (variation at floating-point-noise level) report
+    no seasonality rather than a spurious noise peak, and extreme
+    magnitudes (up to the float64 range, down to denormals) are
+    renormalised internally instead of overflowing the autocorrelation.
+    Non-finite values and series shorter than 8 points raise
+    :class:`~repro.exceptions.FittingError`.
     """
     series = np.asarray(x, dtype=float)
     if series.ndim != 1 or series.size < 8:
         raise FittingError("estimate_period needs a 1-D series of >= 8 points")
+    if not np.isfinite(series).all():
+        raise FittingError("estimate_period requires finite values")
     n = series.size
     max_period = n // 3 if max_period is None else min(max_period, n - 2)
     if max_period < 2:
         return 1
+    scale = float(np.max(np.abs(series)))
+    if scale == 0.0:
+        return 1  # identically zero: nothing to correlate
+    with np.errstate(over="ignore"):
+        spread = float(np.ptp(series))
+    if np.isfinite(spread) and spread <= _CONSTANT_RTOL * scale:
+        return 1  # constant up to floating-point noise
+    if scale > _RESCALE_GATE or scale < 1.0 / _RESCALE_GATE:
+        series = series / scale
     detrended = series - np.polyval(np.polyfit(np.arange(n), series, 1), np.arange(n))
     centred = detrended - detrended.mean()
-    denom = float(centred @ centred)
-    if denom == 0.0:
+    if np.max(np.abs(centred)) <= _CONSTANT_RTOL * np.max(np.abs(series)):
+        # the detrend residual is floating-point noise around the fitted
+        # line (e.g. an exact linear ramp): correlating it manufactures a
+        # spurious period out of rounding patterns.
         return 1
-    acf = np.array([
-        float(centred[lag:] @ centred[:-lag]) / denom
-        for lag in range(1, max_period + 1)
-    ])
+    with np.errstate(over="ignore", invalid="ignore"):
+        denom = float(centred @ centred)
+        if not np.isfinite(denom):
+            # long series can still overflow the sum of squares below the
+            # rescale gate; normalising the residual fixes the ratio.
+            centred = centred / np.max(np.abs(centred))
+            denom = float(centred @ centred)
+        if denom == 0.0 or not np.isfinite(denom):
+            return 1
+        acf = np.array([
+            float(centred[lag:] @ centred[:-lag]) / denom
+            for lag in range(1, max_period + 1)
+        ])
+    acf = np.where(np.isfinite(acf), acf, 0.0)
     best_lag, best_value = 1, 0.0
     for lag in range(2, max_period):
         value = acf[lag - 1]

@@ -28,7 +28,7 @@ __all__ = [
     "generate_case",
 ]
 
-#: The six property families the harness checks (see package docstring).
+#: The eight property families the harness checks (see package docstring).
 FAMILIES = (
     "round_trip",
     "mux_identity",
@@ -36,6 +36,8 @@ FAMILIES = (
     "decode_equivalence",
     "sched_equivalence",
     "sharded_equivalence",
+    "decomposition_roundtrip",
+    "strategy_equivalence",
 )
 
 #: Scaler kinds fuzzed by the ``round_trip`` family.

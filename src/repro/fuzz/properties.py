@@ -1,4 +1,4 @@
-"""The six property families the fuzz harness checks.
+"""The eight property families the fuzz harness checks.
 
 Every check takes a :class:`~repro.fuzz.generators.FuzzCase` and returns
 ``None`` on success or a human-readable failure description.  A property
@@ -21,6 +21,16 @@ per-request batched output exactly, whatever the interleaving.
 :class:`~repro.sharding.ShardedEngine` with 1, 2 or 4 decode workers must
 reproduce the in-process engine's forecast values, samples, and
 demultiplexed row counts exactly under a fixed seed.
+
+``decomposition_roundtrip`` pins the classical-decomposition contract on
+adversarial series: for finite input either the fit succeeds with finite
+components that recombine to the input at ulp tolerance (and a zero-sum
+seasonal profile), or it refuses with a typed error — and refusing a tame
+input is a failure; ``estimate_period`` must never crash on finite input.
+``strategy_equivalence`` pins the prompt-strategy determinism contract:
+every registered strategy must produce bit-identical forecasts across
+``batched`` vs ``continuous`` execution and cold vs warm ingest-state
+caches.
 """
 
 from __future__ import annotations
@@ -85,6 +95,10 @@ def check_case(case: FuzzCase) -> str | None:
             return _check_sched_equivalence(case)
         if case.family == "sharded_equivalence":
             return _check_sharded_equivalence(case)
+        if case.family == "decomposition_roundtrip":
+            return _check_decomposition_roundtrip(case)
+        if case.family == "strategy_equivalence":
+            return _check_strategy_equivalence(case)
     except ReproError as exc:  # any unexpected library error is a finding
         return f"unexpected {type(exc).__name__}: {exc}"
     except Exception as exc:  # hard crash (numpy/stdlib) is always a finding
@@ -652,4 +666,151 @@ def _check_sharded_equivalence(case: FuzzCase) -> str | None:
             return f"{num_shards}-shard forecast values differ from in-process"
         if not np.array_equal(response.output.samples, baseline.output.samples):
             return f"{num_shards}-shard sample ensemble differs from in-process"
+    return None
+
+
+# -- family 7: classical decomposition round trip ------------------------------
+
+
+def _check_decomposition_roundtrip(case: FuzzCase) -> str | None:
+    """Decomposition must round-trip at ulp tolerance or refuse cleanly.
+
+    Each dimension of the case's adversarial series is fit with a
+    seed-derived period.  Finite input must either decompose into finite
+    components whose sum matches the input at ulp-scaled tolerance (with a
+    zero-sum seasonal profile), or raise a typed
+    :class:`~repro.exceptions.DataError` — and refusing a *tame* series
+    (magnitude below 1e100) that is long enough for the period is itself a
+    failure.  Non-finite input must always raise the typed error, and
+    :func:`~repro.decomposition.estimate_period` must never crash on
+    finite input of any magnitude.
+    """
+    from repro.decomposition import ClassicalDecomposition, estimate_period
+    from repro.exceptions import DataError, FittingError
+
+    arr = np.asarray(case.values, dtype=float)
+    period = 2 + case.seed % 7
+    n = case.num_steps
+    for k in range(case.num_dims):
+        col = arr[:, k]
+        finite = bool(np.isfinite(col).all())
+        if finite and n >= 8:
+            try:
+                detected = estimate_period(col)
+            except FittingError:
+                return f"dim {k}: estimate_period refused a finite series"
+            if not isinstance(detected, int) or detected < 1:
+                return f"dim {k}: estimate_period returned {detected!r}"
+
+        try:
+            fit = ClassicalDecomposition.fit(col, period)
+        except DataError:
+            if not finite or n < 2 * period:
+                continue  # the typed refusal is the contract here
+            if float(np.abs(col).max()) <= _TAME_MAGNITUDE:
+                return (
+                    f"dim {k}: decomposition refused a tame series "
+                    f"(period {period}, n={n})"
+                )
+            continue  # extreme magnitudes may refuse cleanly
+        if not finite:
+            return f"dim {k}: decomposition accepted non-finite input"
+        if n < 2 * period:
+            return f"dim {k}: decomposition accepted n={n} < 2x period {period}"
+
+        seasonal = fit.seasonal_at(np.arange(n))
+        components = np.concatenate([fit.trend, seasonal, fit.residual])
+        if not np.isfinite(components).all():
+            return f"dim {k}: decomposition produced non-finite components"
+        scale = max(float(np.abs(col).max()), 1.0)
+        profile_sum = abs(float(fit.seasonal_profile.sum()))
+        if profile_sum > 64 * np.finfo(float).eps * scale * period:
+            return f"dim {k}: seasonal profile sums to {profile_sum:.3g}, not 0"
+        with np.errstate(over="ignore", invalid="ignore"):
+            recon = fit.trend + seasonal + fit.residual
+        err = float(np.abs(recon - col).max())
+        if not np.isfinite(err) or err > 64 * np.finfo(float).eps * scale:
+            return (
+                f"dim {k}: round-trip error {err:.6g} exceeds ulp tolerance "
+                f"at scale {scale:.6g}"
+            )
+    return None
+
+
+# -- family 8: prompt-strategy determinism -------------------------------------
+
+
+def _check_strategy_equivalence(case: FuzzCase) -> str | None:
+    """Every prompt strategy must be deterministic across execution modes
+    and ingest-cache temperature.
+
+    Derives a tame request from the case's seed (adversarial magnitudes
+    belong to ``round_trip``/``decomposition_roundtrip``; this family pins
+    the *orchestration* contract, so the pipeline itself must succeed),
+    selects a strategy from :data:`~repro.core.config.PROMPT_STRATEGIES`
+    by seed, and runs the identical spec through ``batched`` and
+    ``continuous`` execution, each against a cold and then a warm
+    :class:`~repro.llm.state_cache.IngestStateCache`.  All four forecasts
+    — point values and the full sample ensemble — must be bit-identical,
+    and each must report the selected strategy in its metadata.
+    """
+    from repro.core.config import PROMPT_STRATEGIES, MultiCastConfig
+    from repro.core.forecaster import MultiCastForecaster
+    from repro.core.spec import ForecastSpec
+    from repro.llm.state_cache import IngestStateCache
+
+    rng = np.random.default_rng(case.seed)
+    n = int(rng.integers(12, 40))
+    d = int(rng.integers(1, 4))
+    history = np.cumsum(rng.standard_normal((n, d)), axis=0)
+    strategy = PROMPT_STRATEGIES[case.seed % len(PROMPT_STRATEGIES)]
+    sax = None
+    if case.codec.startswith("sax"):
+        sax = {
+            "segment_length": case.segment_length,
+            "alphabet_size": max(2, min(case.alphabet_size, 10)),
+        }
+    spec_fields = dict(
+        horizon=int(rng.integers(2, 8)),
+        scheme=case.scheme,
+        num_digits=min(case.num_digits, 3),
+        num_samples=int(rng.integers(2, 4)),
+        seed=int(rng.integers(0, 2**31)),
+        strategy=strategy,
+        patch_length=int(rng.integers(1, 5)),
+        sax=sax,
+    )
+
+    outputs = {}
+    for mode in ("batched", "continuous"):
+        cache = IngestStateCache()
+        for temperature in ("cold", "warm"):
+            forecaster = MultiCastForecaster(state_cache=cache)
+            output = forecaster.forecast(
+                ForecastSpec(series=history, execution=mode, **spec_fields)
+            )
+            reported = str(output.metadata.get("strategy", ""))
+            if strategy not in ("default", "auto") and reported != strategy:
+                return (
+                    f"{mode}/{temperature}: metadata reports strategy "
+                    f"{reported!r}, spec asked for {strategy!r}"
+                )
+            if strategy == "auto" and not reported.startswith("auto"):
+                return (
+                    f"{mode}/{temperature}: auto selection not recorded "
+                    f"(metadata strategy {reported!r})"
+                )
+            outputs[(mode, temperature)] = output
+
+    baseline = outputs[("batched", "cold")]
+    for key, output in outputs.items():
+        if output.samples.shape != baseline.samples.shape:
+            return (
+                f"{key[0]}/{key[1]}: sample shape {output.samples.shape} "
+                f"!= batched/cold {baseline.samples.shape}"
+            )
+        if not np.array_equal(output.values, baseline.values):
+            return f"{key[0]}/{key[1]}: forecast values differ from batched/cold"
+        if not np.array_equal(output.samples, baseline.samples):
+            return f"{key[0]}/{key[1]}: sample ensemble differs from batched/cold"
     return None

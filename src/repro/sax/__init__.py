@@ -8,7 +8,7 @@ or digital (``0``-``9``); the digital alphabet is capped at 10 symbols, which
 is why Table IX reports N/A for digital SAX at alphabet size 20.
 """
 
-from repro.sax.paa import inverse_paa, paa
+from repro.sax.paa import inverse_paa, num_segments, paa, paa_weights
 from repro.sax.breakpoints import (
     gaussian_breakpoints,
     interval_expected_values,
@@ -19,7 +19,9 @@ from repro.sax.encoder import SaxAlphabet, SaxEncoder
 
 __all__ = [
     "paa",
+    "paa_weights",
     "inverse_paa",
+    "num_segments",
     "gaussian_breakpoints",
     "interval_midpoints",
     "interval_expected_values",

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.exceptions import DataError
 
-__all__ = ["paa", "inverse_paa", "num_segments"]
+__all__ = ["paa", "inverse_paa", "num_segments", "paa_weights"]
 
 
 def num_segments(n: int, segment_length: int) -> int:
@@ -26,11 +26,29 @@ def num_segments(n: int, segment_length: int) -> int:
     return -(-n // segment_length)  # ceil division
 
 
+def paa_weights(n: int, segment_length: int) -> np.ndarray:
+    """How many values each PAA segment averages over.
+
+    Every segment weighs ``segment_length`` values except possibly the
+    last, which weighs exactly the ``n - (k - 1) * segment_length`` values
+    the series actually contains — never zero-padded, never truncated.
+    The weights always sum to ``n``, which is the invariant the trailing
+    partial window of :func:`paa` relies on (pinned in ``tests/test_sax.py``).
+    """
+    k = num_segments(n, segment_length)
+    weights = np.full(k, segment_length, dtype=int)
+    weights[-1] = n - (k - 1) * segment_length
+    return weights
+
+
 def paa(x: np.ndarray, segment_length: int) -> np.ndarray:
     """Compress ``x`` to per-segment means.
 
     Returns an array of ``ceil(len(x) / segment_length)`` coefficients; the
-    last coefficient averages the (possibly shorter) trailing window.
+    last coefficient averages the (possibly shorter) trailing window — see
+    :func:`paa_weights` for the exact weighting.  Windows whose plain sum
+    would overflow float64 are averaged divide-first, so any finite input
+    yields the mathematically correct (finite, when representable) mean.
     """
     arr = np.asarray(x, dtype=float)
     if arr.ndim != 1:
@@ -40,7 +58,14 @@ def paa(x: np.ndarray, segment_length: int) -> np.ndarray:
     coefficients = np.empty(k, dtype=float)
     for i in range(k):
         window = arr[i * segment_length : (i + 1) * segment_length]
-        coefficients[i] = window.mean()
+        with np.errstate(over="ignore", invalid="ignore"):
+            mean = window.mean()
+        if not np.isfinite(mean) and np.isfinite(window).all():
+            # the sum overflowed float64 before the divide; dividing each
+            # term first keeps the intermediate in range (the true mean is
+            # always <= max|window|, hence representable).
+            mean = float(np.sum(window / window.size))
+        coefficients[i] = mean
     return coefficients
 
 

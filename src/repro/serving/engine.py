@@ -485,6 +485,11 @@ class ForecastEngine:
                 if output
                 else request.execution
             ),
+            "strategy": (
+                output.metadata.get("strategy", request.config.strategy)
+                if output
+                else request.config.strategy
+            ),
             "cache_hit": response.cache_hit,
             "partial": response.partial,
             "attempts": response.attempts,

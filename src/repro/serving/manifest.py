@@ -17,6 +17,9 @@ one per series/configuration pair::
 ``num_samples`` is the canonical sample-count key (``samples`` stays
 accepted as a short alias); ``execution`` selects ``"pooled"`` (default)
 or ``"batched"`` ensemble decoding, with bit-identical outputs.
+``strategy`` picks a prompt strategy (``"patch"``, ``"decompose"``,
+``"auto"``, ...) and ``patch_length`` sizes the patch strategy's
+aggregation window — both validated by ``MultiCastConfig``.
 ``tenant`` attributes the job to a tenant for gateway quota accounting
 and ledger attribution (see ``docs/SERVING.md``).
 
@@ -55,6 +58,8 @@ _CONFIG_KEYS = {
     "temperature": "temperature",
     "max_context_tokens": "max_context_tokens",
     "seed": "seed",
+    "strategy": "strategy",
+    "patch_length": "patch_length",
 }
 
 _JOB_KEYS = frozenset(_CONFIG_KEYS) | {

@@ -143,9 +143,105 @@ class TestCli:
         assert code == 0
         assert out_path.exists()
 
+    def test_forecast_strategy_flag(self, capsys):
+        code = main([
+            "forecast", "--dataset", "gas_rate", "--num-samples", "2",
+            "--horizon", "4", "--strategy", "patch", "--patch-length", "4",
+        ])
+        assert code == 0
+        assert "tokens:" in capsys.readouterr().out
+
+    def test_batch_strategy_override(self, tmp_path, capsys):
+        import json
+
+        manifest = tmp_path / "jobs.json"
+        manifest.write_text(json.dumps({"jobs": [
+            {"name": "j", "dataset": "gas_rate", "horizon": 2,
+             "num_samples": 2, "strategy": "patch", "patch_length": 3},
+        ]}))
+        ledger = tmp_path / "runs.jsonl"
+        code = main([
+            "batch", "--manifest", str(manifest),
+            "--strategy", "default", "--ledger", str(ledger),
+        ])
+        assert code == 0
+        record = json.loads(ledger.read_text().splitlines()[0])
+        # "default" resolves to the concrete digit pipeline; the ledger
+        # records the strategy that actually ran.
+        assert record["strategy"] == "digit"
+
+    def test_ledger_records_strategy(self, tmp_path):
+        import json
+
+        manifest = tmp_path / "jobs.json"
+        manifest.write_text(json.dumps({"jobs": [
+            {"name": "j", "dataset": "gas_rate", "horizon": 2,
+             "num_samples": 2, "strategy": "patch"},
+        ]}))
+        ledger = tmp_path / "runs.jsonl"
+        assert main(["batch", "--manifest", str(manifest),
+                     "--ledger", str(ledger)]) == 0
+        record = json.loads(ledger.read_text().splitlines()[0])
+        assert record["strategy"] == "patch"
+
+    def test_output_to_missing_directory_fails_fast(self, capsys):
+        # regression: this used to run the whole forecast, then crash with
+        # a raw FileNotFoundError traceback at save time.
+        code = main([
+            "forecast", "--dataset", "gas_rate", "--num-samples", "2",
+            "--horizon", "3", "--output", "/nonexistent_dir_xyz/out.csv",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "--output" in err
+
+    def test_output_path_is_directory_rejected(self, tmp_path, capsys):
+        code = main([
+            "forecast", "--dataset", "gas_rate", "--num-samples", "2",
+            "--horizon", "3", "--output", str(tmp_path),
+        ])
+        assert code == 2
+        assert "directory" in capsys.readouterr().err
+
+    def test_metrics_out_missing_directory_fails_fast(self, tmp_path, capsys):
+        import json
+
+        manifest = tmp_path / "jobs.json"
+        manifest.write_text(json.dumps({"jobs": [
+            {"name": "j", "dataset": "gas_rate", "horizon": 2,
+             "num_samples": 2},
+        ]}))
+        code = main([
+            "batch", "--manifest", str(manifest),
+            "--metrics-out", "/nonexistent_dir_xyz/m.json",
+        ])
+        assert code == 2
+        assert "--metrics-out" in capsys.readouterr().err
+
+    def test_ledger_summarize_on_directory_reports_error(self, tmp_path, capsys):
+        # regression: raw IsADirectoryError traceback before OSError was
+        # treated as a user error.
+        code = main(["ledger", "summarize", str(tmp_path)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_backtest_strategy_flag(self, capsys):
+        code = main([
+            "backtest", "--dataset", "gas_rate", "--horizon", "5",
+            "--windows", "2", "--num-samples", "2", "--strategy", "patch",
+        ])
+        assert code == 0
+        assert "RMSE" in capsys.readouterr().out
+
     def test_parser_rejects_unknown_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["transmogrify"])
+
+    def test_parser_rejects_unknown_strategy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["forecast", "--dataset", "gas_rate", "--strategy", "bogus"]
+            )
 
     def test_parser_rejects_csv_and_dataset_together(self):
         with pytest.raises(SystemExit):

@@ -200,3 +200,121 @@ class TestDeseasonalizedForecasting:
             )
         )
         assert output.values.shape == (9, 1)
+
+
+class TestEstimatePeriodEdgeCases:
+    """Regression pins for the constant/extreme-magnitude bug sweep."""
+
+    def test_constant_series_reports_no_seasonality(self):
+        for level in (0.0, 3.0, -7.5, 1e9, 1.5e308, 5e-324):
+            assert estimate_period(np.full(50, level)) == 1
+
+    def test_near_constant_fp_noise_reports_no_seasonality(self):
+        rng = np.random.default_rng(0)
+        x = np.full(64, 1e9) + rng.standard_normal(64) * 1e-4
+        assert estimate_period(x) == 1
+
+    def test_exact_linear_ramp_reports_no_seasonality(self):
+        # Regression: the detrend residual of an exact ramp is pure
+        # rounding noise; correlating it used to manufacture period 5.
+        assert estimate_period(np.arange(1000.0) * 7.3) == 1
+        assert estimate_period(np.arange(1000.0) * 1e300) == 1
+
+    def test_extreme_magnitudes_never_crash_and_stay_correct(self):
+        t = np.arange(96)
+        seasonal = np.sin(2 * np.pi * t / 12)
+        for scale in (1e-300, 1e-30, 1.0, 1e30, 1e307):
+            assert estimate_period(seasonal * scale) == 12
+
+    def test_alternating_extremes_detect_period_two(self):
+        assert estimate_period(np.tile([1.5e308, -1.5e308], 32)) == 2
+
+    def test_huge_random_walk_returns_valid_period(self):
+        rng = np.random.default_rng(0)
+        period = estimate_period(np.cumsum(rng.standard_normal(64)) * 1e305)
+        assert isinstance(period, int) and period >= 1
+
+    def test_non_finite_input_raises_typed_error(self):
+        from repro.exceptions import FittingError
+
+        bad = np.arange(16.0)
+        for poison in (np.nan, np.inf, -np.inf):
+            x = bad.copy()
+            x[5] = poison
+            with pytest.raises(FittingError, match="finite"):
+                estimate_period(x)
+
+    def test_short_series_raises_typed_error(self):
+        from repro.exceptions import FittingError
+
+        with pytest.raises(FittingError, match=">= 8"):
+            estimate_period(np.arange(7.0))
+
+    def test_no_warnings_on_edge_inputs(self):
+        import warnings
+
+        rng = np.random.default_rng(1)
+        edge_inputs = [
+            np.full(50, 1.5e308),
+            np.tile([1.5e308, -1.5e308], 32),
+            np.cumsum(rng.standard_normal(64)) * 1e305,
+            rng.standard_normal(32) * 5e-324,
+            np.arange(1000.0) * 1e300,
+        ]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            for x in edge_inputs:
+                assert estimate_period(x) >= 1
+
+
+class TestDecompositionRoundTripEdgeCases:
+    """Regression pins: components recombine to the input at ulp tolerance."""
+
+    @staticmethod
+    def _assert_roundtrip(x, period):
+        d = ClassicalDecomposition.fit(x, period)
+        recon = d.trend + d.seasonal_at(np.arange(x.size)) + d.residual
+        assert np.isfinite(recon).all()
+        scale = max(1.0, float(np.max(np.abs(x))))
+        assert np.max(np.abs(recon - x)) <= 16 * np.finfo(float).eps * scale
+
+    def test_round_trip_huge_magnitudes(self):
+        rng = np.random.default_rng(0)
+        self._assert_roundtrip(np.cumsum(rng.standard_normal(48)) * 1e305, 6)
+        self._assert_roundtrip(np.full(24, 1.5e308), 4)
+
+    def test_round_trip_alternating_extremes_exact(self):
+        # The components in normalised units are exactly representable,
+        # so the rescaled recombination is exact.
+        self._assert_roundtrip(np.tile([1.5e308, -1.5e308], 12), 4)
+
+    def test_round_trip_denormals(self):
+        rng = np.random.default_rng(1)
+        self._assert_roundtrip(rng.standard_normal(36) * 5e-320, 4)
+
+    def test_component_overflow_raises_typed_error(self):
+        # The detrended amplitude here is 1.5 x 1.7e308 — beyond float64 —
+        # so the seasonal component itself is unrepresentable; the fit
+        # must refuse with a typed error, never return inf components.
+        x = np.tile([1.7e308, -1.7e308, -1.7e308, -1.7e308], 8)
+        with pytest.raises(DataError, match="float64 range"):
+            ClassicalDecomposition.fit(x, 4)
+
+    def test_nan_and_inf_input_raise_typed_error(self):
+        base = _seasonal_series(n=48)
+        for poison in (np.nan, np.inf, -np.inf):
+            x = base.copy()
+            x[10] = poison
+            with pytest.raises(DataError, match="NaN or inf"):
+                ClassicalDecomposition.fit(x, 12)
+        with pytest.raises(DataError, match="NaN or inf"):
+            centered_moving_average(np.array([1.0, np.nan, 3.0, 4.0]), 2)
+
+    def test_tame_path_unchanged_bitwise(self):
+        # The rescale gate must not touch ordinary magnitudes: the fit of
+        # a tame series is bit-identical to the pre-gate implementation.
+        x = _seasonal_series(n=96, noise=0.3, seed=5)
+        d = ClassicalDecomposition.fit(x, 12)
+        recon = d.trend + d.seasonal_at(np.arange(x.size)) + d.residual
+        assert np.max(np.abs(recon - x)) <= 4 * np.finfo(float).eps * np.max(np.abs(x))
+        assert abs(d.seasonal_profile.sum()) < 1e-12

@@ -81,6 +81,8 @@ class TestTopLevelApi:
                 "MultiCastForecaster",
                 "SaxConfig",
                 "ForecastOutput",
+                "PromptStrategy",
+                "PROMPT_STRATEGIES",
                 "ForecastEngine",
                 "ForecastRequest",
                 "ForecastResponse",

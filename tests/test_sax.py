@@ -269,3 +269,66 @@ def test_breakpoints_symmetry_property(alphabet_size):
 def test_inverse_normal_cdf_inverts_cdf_property(p):
     x = inverse_normal_cdf(p)
     assert 0.5 * math.erfc(-x / math.sqrt(2)) == pytest.approx(p, abs=1e-9)
+
+
+class TestPaaEdgeCases:
+    """Regression pins for the non-multiple-length / overflow bug sweep."""
+
+    def test_weights_cover_series_exactly(self):
+        from repro.sax import paa_weights
+
+        for n in (1, 5, 6, 7, 12, 13, 100):
+            for w in (1, 2, 3, 5, 8, 200):
+                weights = paa_weights(n, w)
+                assert weights.sum() == n  # never truncated, never padded
+                assert weights.size == num_segments(n, w)
+                assert (weights[:-1] == w).all()
+                assert 1 <= weights[-1] <= w
+
+    def test_last_frame_mean_uses_exact_weighting(self):
+        from repro.sax import paa_weights
+
+        # 7 values, window 3: the last segment holds exactly one value;
+        # zero-padding would bias it toward 0, truncation would drop it.
+        x = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 100.0])
+        coefficients = paa(x, 3)
+        assert coefficients[-1] == 100.0
+        weights = paa_weights(x.size, 3)
+        starts = np.concatenate([[0], np.cumsum(weights)[:-1]])
+        manual = np.array([
+            x[s : s + w].sum() / w for s, w in zip(starts, weights)
+        ])
+        np.testing.assert_array_equal(coefficients, manual)
+
+    def test_constant_series_is_exactly_preserved_at_any_length(self):
+        for n in (5, 7, 10, 11):
+            np.testing.assert_array_equal(paa(np.full(n, 5.5), 4), 5.5)
+
+    def test_extreme_magnitude_windows_do_not_overflow(self):
+        # Regression: the plain window sum hits inf at ~1.5e308 x 3; the
+        # mean must still come out finite (it is <= max|window|).
+        np.testing.assert_array_equal(paa(np.full(7, 1.5e308), 3), 1.5e308)
+        mixed = np.array([1.7e308, 1.7e308, -1.7e308, 1.0])
+        coefficients = paa(mixed, 3)
+        assert np.isfinite(coefficients).all()
+        assert np.isclose(coefficients[0], 1.7e308 / 3, rtol=1e-12)
+        assert coefficients[1] == 1.0
+
+    def test_overflow_path_emits_no_warnings(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            paa(np.full(9, 1.7e308), 4)
+            paa(np.array([1.7e308, -1.7e308, 1.7e308]), 3)
+
+    def test_tame_path_bitwise_unchanged(self):
+        # The overflow fallback must not perturb ordinary inputs: the
+        # coefficient is still the plain numpy window mean, bit for bit.
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal(23) * 1e6
+        coefficients = paa(x, 5)
+        expected = np.array(
+            [x[i : i + 5].mean() for i in range(0, 23, 5)]
+        )
+        np.testing.assert_array_equal(coefficients, expected)

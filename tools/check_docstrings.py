@@ -35,6 +35,7 @@ DEFAULT_TARGETS = (
     "src/repro/gateway",
     "src/repro/loadtest",
     "src/repro/sharding",
+    "src/repro/strategies",
 )
 
 #: Where to look for packages that exist but are *not* gated, so the gap
