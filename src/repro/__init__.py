@@ -17,8 +17,13 @@ The headline API is re-exported here; the subpackages hold the full
 surface (see docs/API.md for the map).
 """
 
+from repro.adapters import ForecastingHorizon
+from repro.adapters import MultiCastForecaster as MultiCastEstimator
+from repro.baselines import available_estimators, make_estimator
 from repro.core import (
     PROMPT_STRATEGIES,
+    BaseEstimator,
+    Estimator,
     ForecastOutput,
     ForecastSpec,
     MultiCastConfig,
@@ -39,11 +44,21 @@ from repro.observability import RunLedger, Tracer
 from repro.scheduling import ContinuousScheduler, RadixPrefillTree
 from repro.serving import ForecastEngine, ForecastRequest, ForecastResponse
 from repro.strategies import PromptStrategy
+from repro.sweeps import SweepReport, SweepRunner, SweepSpec
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ForecastSpec",
+    "Estimator",
+    "BaseEstimator",
+    "MultiCastEstimator",
+    "ForecastingHorizon",
+    "make_estimator",
+    "available_estimators",
+    "SweepSpec",
+    "SweepRunner",
+    "SweepReport",
     "MultiCastConfig",
     "MultiCastForecaster",
     "SaxConfig",

@@ -1,0 +1,16 @@
+"""Ecosystem-facing estimator adapters (sktime-style, sktime optional).
+
+The MultiCast pipeline drops into external backtesting suites through
+:class:`MultiCastForecaster` — an sktime-flavoured estimator
+(``fit``/``predict``, :class:`ForecastingHorizon`-like horizon handling,
+``get_params``/``set_params``/``get_test_params``) built on the same
+:class:`~repro.core.spec.ForecastSpec` surface as every other entry
+point.  sktime itself is a *soft* dependency: nothing here imports it,
+and sktime's own ``ForecastingHorizon`` objects are accepted by duck
+typing when present.
+"""
+
+from repro.adapters.horizon import ForecastingHorizon, coerce_horizon
+from repro.adapters.multicast import MultiCastForecaster
+
+__all__ = ["ForecastingHorizon", "coerce_horizon", "MultiCastForecaster"]

@@ -1,0 +1,121 @@
+"""A minimal, dependency-free ``ForecastingHorizon``.
+
+sktime indexes forecasts by a ``ForecastingHorizon`` — a sorted set of
+integer steps, either *relative* to the end of the training series
+(``[1, 2, 3]`` = the next three timestamps) or *absolute* (positions on
+the training index).  The adapter needs those semantics without
+importing sktime, so this module reimplements the tiny subset used here;
+:func:`coerce_horizon` also accepts sktime's own objects by duck typing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.exceptions import ConfigError
+
+__all__ = ["ForecastingHorizon", "coerce_horizon"]
+
+
+class ForecastingHorizon:
+    """A sorted tuple of integer forecast steps, relative or absolute.
+
+    ``ForecastingHorizon([1, 2, 3])`` names the next three timestamps
+    after the training cutoff; ``ForecastingHorizon([10, 11],
+    is_relative=False)`` names absolute positions on the training index
+    (resolved against the cutoff by :meth:`to_relative`).  A bare int
+    ``h`` means the full range ``1..h`` — the Estimator-protocol
+    convention, so adapter and baselines stay sweepable through one
+    surface.
+    """
+
+    def __init__(self, values=1, is_relative: bool = True) -> None:
+        if isinstance(values, (int, np.integer)):
+            if values < 1:
+                raise ConfigError(f"horizon must be >= 1, got {values}")
+            steps = tuple(range(1, int(values) + 1)) if is_relative else (int(values),)
+        elif isinstance(values, Iterable):
+            steps = tuple(sorted(int(v) for v in values))
+            if not steps:
+                raise ConfigError("ForecastingHorizon needs at least one step")
+            if len(set(steps)) != len(steps):
+                raise ConfigError(f"duplicate horizon steps in {steps}")
+        else:
+            raise ConfigError(
+                f"cannot build a ForecastingHorizon from {type(values).__name__}"
+            )
+        self._values = steps
+        self._is_relative = bool(is_relative)
+
+    @property
+    def values(self) -> tuple[int, ...]:
+        """The sorted steps."""
+        return self._values
+
+    @property
+    def is_relative(self) -> bool:
+        """Whether the steps count from the training cutoff."""
+        return self._is_relative
+
+    def to_relative(self, cutoff: int) -> "ForecastingHorizon":
+        """This horizon as steps past ``cutoff`` (the training length)."""
+        if self._is_relative:
+            relative = self._values
+        else:
+            relative = tuple(v - int(cutoff) for v in self._values)
+        bad = [v for v in relative if v < 1]
+        if bad:
+            raise ConfigError(
+                f"horizon steps must land past the training cutoff "
+                f"{cutoff}; offending relative steps: {bad}"
+            )
+        return ForecastingHorizon(relative, is_relative=True)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self):
+        return iter(self._values)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, ForecastingHorizon)
+            and self._values == other._values
+            and self._is_relative == other._is_relative
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ForecastingHorizon({list(self._values)}, "
+            f"is_relative={self._is_relative})"
+        )
+
+
+def coerce_horizon(fh, cutoff: int) -> np.ndarray:
+    """Resolve any horizon spelling to a sorted array of relative steps.
+
+    Accepts an int (``h`` → ``1..h``), an iterable of steps, one of our
+    :class:`ForecastingHorizon` objects, or a duck-typed sktime
+    ``ForecastingHorizon`` (anything with ``to_relative``; converted via
+    its public API, so the adapter works with sktime installed without
+    importing it).
+    """
+    if isinstance(fh, ForecastingHorizon):
+        return np.asarray(fh.to_relative(cutoff).values, dtype=int)
+    if hasattr(fh, "to_relative") and hasattr(fh, "is_relative"):
+        # Duck-typed sktime ForecastingHorizon.  Its to_relative wants the
+        # cutoff as a pandas index value; for integer-indexed series the
+        # training length works directly.
+        try:
+            relative = fh.to_relative(cutoff)
+            steps = [int(v) for v in np.asarray(list(relative))]
+        except Exception as error:  # pragma: no cover - sktime-specific
+            raise ConfigError(
+                f"could not resolve foreign ForecastingHorizon {fh!r}: {error}"
+            ) from error
+        return coerce_horizon(steps, cutoff)
+    return np.asarray(
+        ForecastingHorizon(fh).to_relative(cutoff).values, dtype=int
+    )

@@ -26,6 +26,7 @@ from __future__ import annotations
 import numpy as np
 from scipy import optimize
 
+from repro.core.estimator import BaseEstimator, positional_shim
 from repro.exceptions import FittingError
 
 __all__ = ["ARIMA", "auto_arima", "difference", "undifference", "kpss_statistic"]
@@ -132,20 +133,24 @@ def _css_residuals(
     return e
 
 
-class ARIMA:
+class ARIMA(BaseEstimator):
     """AutoRegressive Integrated Moving Average forecaster.
 
     Parameters
     ----------
     order:
-        The classical ``(p, d, q)`` triple.
+        The classical ``(p, d, q)`` triple (keyword-only under the
+        Estimator API; legacy positional calls warn).
 
     Call :meth:`fit` with a 1-D history, then :meth:`forecast` for point
     forecasts at any horizon.  After fitting, :attr:`aic` exposes the model
     selection criterion used by :func:`auto_arima`.
     """
 
-    def __init__(self, order: tuple[int, int, int] = (2, 0, 1)) -> None:
+    _TEST_PARAMS = ({"order": (1, 0, 0)},)
+
+    @positional_shim("order")
+    def __init__(self, *, order: tuple[int, int, int] = (2, 0, 1)) -> None:
         p, d, q = order
         if min(p, d, q) < 0:
             raise FittingError(f"order components must be >= 0, got {order}")
@@ -330,7 +335,7 @@ def auto_arima(
             if p == 0 and q == 0 and d == 0:
                 continue
             try:
-                model = ARIMA((p, d, q)).fit(series)
+                model = ARIMA(order=(p, d, q)).fit(series)
             except (FittingError, np.linalg.LinAlgError):
                 continue
             if model.aic < best_aic:

@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 from scipy import optimize
 
+from repro.core.estimator import BaseEstimator, positional_shim
 from repro.decomposition.period import estimate_period
 from repro.exceptions import FittingError
 
@@ -48,13 +49,17 @@ def _validated_series(x: np.ndarray, minimum: int) -> np.ndarray:
     return series
 
 
-class SimpleExponentialSmoothing:
+class SimpleExponentialSmoothing(BaseEstimator):
     """SES: ``level_t = alpha * y_t + (1 - alpha) * level_{t-1}``.
 
     ``alpha=None`` (default) fits the smoothing constant by SSE.
+    ``alpha`` is keyword-only under the Estimator API.
     """
 
-    def __init__(self, alpha: float | None = None) -> None:
+    _TEST_PARAMS = ({}, {"alpha": 0.5})
+
+    @positional_shim("alpha")
+    def __init__(self, *, alpha: float | None = None) -> None:
         if alpha is not None and not 0.0 < alpha <= 1.0:
             raise FittingError(f"alpha must be in (0, 1], got {alpha}")
         self.alpha = alpha
@@ -101,7 +106,7 @@ class SimpleExponentialSmoothing:
         return np.full(horizon, self._level)
 
 
-class HoltLinear:
+class HoltLinear(BaseEstimator):
     """Holt's linear trend method, optionally damped.
 
     State equations (phi = 1 gives the classic undamped form)::
@@ -109,9 +114,14 @@ class HoltLinear:
         level_t = alpha * y_t + (1 - alpha) * (level + phi * trend)
         trend_t = beta * (level_t - level) + (1 - beta) * phi * trend
         yhat_{t+h} = level + (phi + ... + phi^h) * trend
+
+    ``damping`` is keyword-only under the Estimator API.
     """
 
-    def __init__(self, damping: float = 1.0) -> None:
+    _TEST_PARAMS = ({}, {"damping": 0.9})
+
+    @positional_shim("damping")
+    def __init__(self, *, damping: float = 1.0) -> None:
         if not 0.0 < damping <= 1.0:
             raise FittingError(f"damping must be in (0, 1], got {damping}")
         self.damping = damping
@@ -162,16 +172,20 @@ class HoltLinear:
         return level + damping_sums * trend
 
 
-class HoltWinters:
+class HoltWinters(BaseEstimator):
     """Additive Holt-Winters: level + trend + seasonal components.
 
     Parameters
     ----------
     period:
-        Season length (must divide into at least two full seasons of data).
+        Season length (must divide into at least two full seasons of
+        data).  Keyword-only under the Estimator API.
     """
 
-    def __init__(self, period: int) -> None:
+    _TEST_PARAMS = ({"period": 4},)
+
+    @positional_shim("period")
+    def __init__(self, *, period: int) -> None:
         if period < 2:
             raise FittingError(f"period must be >= 2, got {period}")
         self.period = period
@@ -241,7 +255,7 @@ class HoltWinters:
         return level + steps * trend + seasonal[indices]
 
 
-class Theta:
+class Theta(BaseEstimator):
     """The standard two-line theta method (Assimakopoulos & Nikolopoulos).
 
     Decomposition: the theta=0 line is the linear regression on time (pure

@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines.lstm import AdamOptimizer, _clip_gradients, _sigmoid
+from repro.core.estimator import BaseEstimator, positional_shim
 from repro.exceptions import FittingError
 from repro.scaling import MinMaxScaler, MultivariateScaler
 
@@ -128,15 +129,24 @@ class GRUNetwork:
         return grads
 
 
-class GRUForecaster:
+class GRUForecaster(BaseEstimator):
     """Windowed multivariate forecaster around :class:`GRUNetwork`.
 
     Same protocol as :class:`~repro.baselines.lstm.LSTMForecaster`; see
-    that class for parameter semantics.
+    that class for parameter semantics.  All parameters are keyword-only
+    under the Estimator API; legacy positional calls warn.
     """
 
+    _TEST_PARAMS = (
+        {"window": 3, "hidden_size": 4, "epochs": 1, "batch_size": 8},
+    )
+
+    @positional_shim(
+        "window", "hidden_size", "epochs", "learning_rate", "batch_size", "seed"
+    )
     def __init__(
         self,
+        *,
         window: int = 12,
         hidden_size: int = 64,
         epochs: int = 30,

@@ -12,11 +12,13 @@ the paper's accuracy and timing comparisons apples-to-apples.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.aggregation import AGGREGATION_METHODS, aggregate_samples
+from repro.core.estimator import BaseEstimator, positional_shim
 from repro.core.output import ForecastOutput
 from repro.encoding import (
     SEPARATOR,
@@ -25,7 +27,7 @@ from repro.encoding import (
     parse_token_stream,
     render_token_stream,
 )
-from repro.exceptions import ConfigError, DataError
+from repro.exceptions import ConfigError, DataError, FittingError
 from repro.llm import PeriodicPatternConstraint, child_seeds, get_model
 from repro.scaling import FixedDigitScaler
 
@@ -69,15 +71,85 @@ def _truncate_to_group_boundary(ids: list[int], limit: int, separator_id: int) -
     return tail[first_separator + 1 :]
 
 
-class LLMTime:
-    """Univariate zero-shot forecaster, applied per dimension for 2-D input."""
+class LLMTime(BaseEstimator):
+    """Univariate zero-shot forecaster, applied per dimension for 2-D input.
 
-    def __init__(self, config: LLMTimeConfig | None = None) -> None:
-        self.config = config or LLMTimeConfig()
+    The canonical constructor takes the configuration fields as flat
+    keywords (the Estimator API); the legacy ``LLMTime(config)`` /
+    ``LLMTime(config=...)`` spellings keep working for one release behind
+    a :class:`DeprecationWarning`.
+    """
+
+    _PARAMS = (
+        "num_digits",
+        "num_samples",
+        "model",
+        "aggregation",
+        "max_context_tokens",
+        "seed",
+    )
+    _TEST_PARAMS = ({"num_samples": 1, "model": "uniform-sim"},)
+
+    @positional_shim("config")
+    def __init__(
+        self,
+        *,
+        num_digits: int | None = None,
+        num_samples: int | None = None,
+        model: str | None = None,
+        aggregation: str | None = None,
+        max_context_tokens: int | None = None,
+        seed: int | None = None,
+        config: LLMTimeConfig | None = None,
+    ) -> None:
+        fields = {
+            "num_digits": num_digits,
+            "num_samples": num_samples,
+            "model": model,
+            "aggregation": aggregation,
+            "max_context_tokens": max_context_tokens,
+            "seed": seed,
+        }
+        explicit = {k: v for k, v in fields.items() if v is not None}
+        if config is not None:
+            if explicit:
+                raise ConfigError(
+                    "LLMTime() got both config= and flat keyword fields "
+                    f"{sorted(explicit)}; pass one or the other"
+                )
+            warnings.warn(
+                "the config= argument of LLMTime() is deprecated under the "
+                "Estimator API; pass the configuration fields as flat "
+                "keywords (LLMTime(num_digits=..., num_samples=..., ...))",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            self.config = config
+        else:
+            self.config = LLMTimeConfig(**explicit)
+        for name in self._PARAMS:
+            setattr(self, name, getattr(self.config, name))
+        self._history: np.ndarray | None = None
         self._vocabulary = digit_vocabulary()
         self._codec = DigitCodec(self.config.num_digits)
         self._digit_ids = self._vocabulary.ids_of("0123456789")
         self._separator_id = self._vocabulary.id_of(SEPARATOR)
+
+    def fit(self, history) -> "LLMTime":
+        """Store the history (zero-shot: there is nothing to train)."""
+        values = np.asarray(history, dtype=float)
+        if values.ndim == 1:
+            values = values[:, None]
+        if values.ndim != 2:
+            raise DataError(f"expected (n, d) history, got shape {values.shape}")
+        self._history = values
+        return self
+
+    def predict(self, horizon: int) -> np.ndarray:
+        """Point forecast ``(horizon, d)`` for the fitted history."""
+        if self._history is None:
+            raise FittingError("LLMTime used before fit()")
+        return self.forecast(self._history, horizon).values
 
     def _constraint(self) -> PeriodicPatternConstraint:
         pattern = [self._digit_ids] * self.config.num_digits + [

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.estimator import BaseEstimator, positional_shim
 from repro.exceptions import FittingError
 from repro.scaling import MinMaxScaler, MultivariateScaler
 
@@ -210,7 +211,7 @@ def _clip_gradients(grads: dict[str, np.ndarray], max_norm: float) -> None:
             g *= scale
 
 
-class LSTMForecaster:
+class LSTMForecaster(BaseEstimator):
     """Windowed multivariate forecaster around :class:`LSTMNetwork`.
 
     Training pairs are sliding windows of ``window`` consecutive timestamps
@@ -219,11 +220,27 @@ class LSTMForecaster:
     back as the newest window row).
 
     Defaults follow the paper's grid search: ``hidden_size=128``,
-    ``dropout=0.2``, ``epochs=30``, Adam with MSE loss.
+    ``dropout=0.2``, ``epochs=30``, Adam with MSE loss.  All parameters
+    are keyword-only under the Estimator API; legacy positional calls
+    warn.
     """
 
+    _TEST_PARAMS = (
+        {"window": 3, "hidden_size": 4, "epochs": 1, "batch_size": 8},
+    )
+
+    @positional_shim(
+        "window",
+        "hidden_size",
+        "dropout",
+        "epochs",
+        "learning_rate",
+        "batch_size",
+        "seed",
+    )
     def __init__(
         self,
+        *,
         window: int = 12,
         hidden_size: int = 128,
         dropout: float = 0.2,

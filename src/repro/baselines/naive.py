@@ -9,9 +9,17 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.exceptions import DataError
+from repro.core.estimator import BaseEstimator, positional_shim
+from repro.exceptions import DataError, FittingError
 
-__all__ = ["naive_forecast", "seasonal_naive_forecast", "drift_forecast"]
+__all__ = [
+    "naive_forecast",
+    "seasonal_naive_forecast",
+    "drift_forecast",
+    "NaiveForecaster",
+    "SeasonalNaiveForecaster",
+    "DriftForecaster",
+]
 
 
 def _validated_history(history: np.ndarray) -> np.ndarray:
@@ -57,3 +65,53 @@ def drift_forecast(history: np.ndarray, horizon: int) -> np.ndarray:
     slope = (arr[-1] - arr[0]) / (arr.shape[0] - 1)
     steps = np.arange(1, horizon + 1)[:, None]
     return arr[-1][None, :] + steps * slope[None, :]
+
+
+class _StoredHistoryEstimator(BaseEstimator):
+    """Shared fit/state plumbing for the stateless reference forecasters."""
+
+    _history: np.ndarray | None = None
+
+    def fit(self, history) -> "_StoredHistoryEstimator":
+        """Validate and store the history; these models have no training."""
+        self._history = _validated_history(history)
+        return self
+
+    def _require_fitted(self) -> np.ndarray:
+        if self._history is None:
+            raise FittingError(f"{type(self).__name__} used before fit()")
+        return self._history
+
+
+class NaiveForecaster(_StoredHistoryEstimator):
+    """Estimator wrapper around :func:`naive_forecast`."""
+
+    def predict(self, horizon: int) -> np.ndarray:
+        """Repeat the last observed value vector for ``horizon`` steps."""
+        return naive_forecast(self._require_fitted(), horizon)
+
+
+class SeasonalNaiveForecaster(_StoredHistoryEstimator):
+    """Estimator wrapper around :func:`seasonal_naive_forecast`."""
+
+    _TEST_PARAMS = ({"period": 2},)
+
+    @positional_shim("period")
+    def __init__(self, *, period: int) -> None:
+        if period < 1:
+            raise DataError(f"period must be >= 1, got {period}")
+        self.period = int(period)
+
+    def predict(self, horizon: int) -> np.ndarray:
+        """Repeat the last full season of each dimension."""
+        return seasonal_naive_forecast(
+            self._require_fitted(), horizon, self.period
+        )
+
+
+class DriftForecaster(_StoredHistoryEstimator):
+    """Estimator wrapper around :func:`drift_forecast`."""
+
+    def predict(self, horizon: int) -> np.ndarray:
+        """Extrapolate the first-to-last straight line per dimension."""
+        return drift_forecast(self._require_fitted(), horizon)

@@ -21,18 +21,24 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.estimator import BaseEstimator, positional_shim
 from repro.exceptions import FittingError
 
 __all__ = ["VAR", "auto_var"]
 
 
-class VAR:
+class VAR(BaseEstimator):
     """Vector autoregression of order ``p`` with an intercept.
 
     Call :meth:`fit` with a ``(n, d)`` history, then :meth:`forecast`.
+    ``order`` is keyword-only under the Estimator API; legacy positional
+    calls warn.
     """
 
-    def __init__(self, order: int = 1) -> None:
+    _TEST_PARAMS = ({"order": 1},)
+
+    @positional_shim("order")
+    def __init__(self, *, order: int = 1) -> None:
         if order < 1:
             raise FittingError(f"order must be >= 1, got {order}")
         self.order = order
@@ -138,7 +144,7 @@ def auto_var(x: np.ndarray, max_order: int = 5) -> VAR:
     best_aic = np.inf
     for p in range(1, max_order + 1):
         try:
-            model = VAR(p).fit(values)
+            model = VAR(order=p).fit(values)
         except FittingError:
             break
         if model.aic < best_aic:

@@ -28,7 +28,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import warnings
 
 import numpy as np
 
@@ -39,6 +38,7 @@ from repro.core import (
     MultiCastConfig,
     MultiCastForecaster,
     SaxConfig,
+    canonicalize_sampling_options,
 )
 from repro.data import (
     Dataset,
@@ -126,18 +126,20 @@ def _add_samples_argument(parser: argparse.ArgumentParser) -> None:
 
 
 def _resolve_samples(args, default: int = 5) -> int:
-    """The sample count from ``--num-samples``/``--samples`` (warned alias)."""
+    """The sample count from ``--num-samples``/``--samples`` (warned alias).
+
+    Alias handling lives in :func:`canonicalize_sampling_options` — the
+    CLI only collects the flags and lets the spec layer warn/reject.
+    """
+    options = {}
+    if args.num_samples is not None:
+        options["num_samples"] = args.num_samples
     if args.samples_legacy is not None:
-        if args.num_samples is not None:
-            raise ReproError("pass only one of --num-samples and --samples")
-        warnings.warn(
-            "--samples is deprecated; use --num-samples (the canonical "
-            "ForecastSpec field name)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return args.samples_legacy
-    return default if args.num_samples is None else args.num_samples
+        options["samples"] = args.samples_legacy
+    resolved = canonicalize_sampling_options(
+        options, context="the repro-multicast CLI"
+    )
+    return resolved.get("num_samples", default)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -357,6 +359,50 @@ def build_parser() -> argparse.ArgumentParser:
     summarize.add_argument("file", help="path to a .jsonl run ledger")
     summarize.add_argument("--json", action="store_true",
                            help="emit the summary as JSON instead of text")
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="grid/random hyperparameter search with ledger-backed resume",
+    )
+    sweep.add_argument("--method", default="multicast-vi",
+                       help="multicast-<scheme> or a baseline estimator name")
+    sweep.add_argument("--dataset", choices=sorted(_DATASETS),
+                       default="gas_rate")
+    sweep.add_argument("--param", action="append", default=[],
+                       metavar="KEY=V1,V2,...",
+                       help="swept knob and its candidate values "
+                            "(repeatable; paper aliases b/w/a accepted)")
+    sweep.add_argument("--fixed", action="append", default=[],
+                       metavar="KEY=VALUE",
+                       help="knob pinned to one value for every trial "
+                            "(repeatable)")
+    sweep.add_argument("--search", choices=("grid", "random"),
+                       default="grid")
+    sweep.add_argument("--trials", type=int, default=None,
+                       help="number of random-search draws "
+                            "(grid search sizes itself)")
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--horizon", type=int, default=4,
+                       help="backtest horizon each trial is scored on")
+    sweep.add_argument("--windows", type=int, default=3,
+                       help="rolling-origin backtest windows per trial")
+    sweep.add_argument("--stride", type=int, default=None,
+                       help="origin step between windows (default: horizon)")
+    sweep.add_argument("--rungs", type=int, default=1,
+                       help="successive-halving rungs (1 = no early stop)")
+    sweep.add_argument("--eta", type=int, default=3,
+                       help="successive-halving keep ratio")
+    sweep.add_argument("--shards", type=int, default=0,
+                       help="decode worker processes for MultiCast trials "
+                            "(0 = in-process; results are bit-identical)")
+    sweep.add_argument("--ledger", default=None,
+                       help="JSONL run ledger: one record per (trial, rung); "
+                            "required for --resume")
+    sweep.add_argument("--resume", action="store_true",
+                       help="skip trials already recorded in --ledger "
+                            "(matched by content digest)")
+    sweep.add_argument("--json-out", default=None,
+                       help="write the full report as JSON to this path")
 
     sub.add_parser("list", help="list datasets, methods, and backend models")
     return parser
@@ -763,6 +809,77 @@ def _command_ledger(args) -> int:
     return 0
 
 
+def _parse_sweep_value(text: str):
+    """A CLI sweep value: bool/None/int/float when it parses, else str."""
+    lowered = text.strip().lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("none", "null"):
+        return None
+    for parse in (int, float):
+        try:
+            return parse(text)
+        except ValueError:
+            continue
+    return text.strip()
+
+
+def _parse_sweep_assignments(entries, *, flag: str, multi: bool) -> dict:
+    """``KEY=V1,V2`` flags into a space/fixed dict for SweepSpec."""
+    parsed: dict = {}
+    for entry in entries:
+        key, separator, value = entry.partition("=")
+        if not separator or not key.strip() or not value.strip():
+            raise ReproError(
+                f"{flag} expects KEY=VALUE{',VALUE...' if multi else ''}, "
+                f"got {entry!r}"
+            )
+        values = [_parse_sweep_value(v) for v in value.split(",")]
+        parsed[key.strip()] = values if multi else values[0]
+    return parsed
+
+
+def _command_sweep(args) -> int:
+    import json
+
+    from repro.sweeps import SweepRunner, SweepSpec
+
+    if args.resume and args.ledger is None:
+        raise ReproError("--resume needs --ledger (the record of done trials)")
+    sweep = SweepSpec(
+        method=args.method,
+        space=_parse_sweep_assignments(args.param, flag="--param", multi=True),
+        search=args.search,
+        num_trials=args.trials,
+        seed=args.seed,
+        horizon=args.horizon,
+        num_windows=args.windows,
+        stride=args.stride,
+        num_rungs=args.rungs,
+        eta=args.eta,
+        fixed=_parse_sweep_assignments(args.fixed, flag="--fixed", multi=False),
+    )
+    series = np.asarray(_DATASETS[args.dataset]().values)
+    runner_kwargs = {"ledger": args.ledger} if args.ledger else {}
+    if args.shards > 0 and args.method.startswith("multicast-"):
+        from repro.sharding import ShardedEngine
+
+        with ShardedEngine(num_shards=args.shards) as engine:
+            report = SweepRunner(engine, **runner_kwargs).run(
+                sweep, series, resume=args.resume
+            )
+    else:
+        report = SweepRunner(**runner_kwargs).run(
+            sweep, series, resume=args.resume
+        )
+    print(report.format())
+    if args.json_out:
+        _ensure_writable(args.json_out, "--json-out")
+        with open(args.json_out, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+    return 0
+
+
 _COMMANDS = {
     "forecast": _command_forecast,
     "evaluate": _command_evaluate,
@@ -774,6 +891,7 @@ _COMMANDS = {
     "serve": _command_serve,
     "loadtest": _command_loadtest,
     "ledger": _command_ledger,
+    "sweep": _command_sweep,
     "list": _command_list,
 }
 

@@ -2,6 +2,12 @@
 
 from repro.core.aggregation import AGGREGATION_METHODS, aggregate_samples
 from repro.core.config import PROMPT_STRATEGIES, MultiCastConfig, SaxConfig
+from repro.core.estimator import (
+    BaseEstimator,
+    Estimator,
+    PerDimension,
+    positional_shim,
+)
 from repro.core.forecaster import (
     MultiCastForecaster,
     SampleRunner,
@@ -19,7 +25,11 @@ from repro.core.multiplex import (
 )
 from repro.core.output import ForecastOutput
 from repro.core.planning import ForecastPlan, plan_forecast
-from repro.core.spec import EXECUTION_MODES, ForecastSpec
+from repro.core.spec import (
+    EXECUTION_MODES,
+    ForecastSpec,
+    canonicalize_sampling_options,
+)
 from repro.core.timing import STAGES, StageClock
 
 __all__ = [
@@ -28,6 +38,11 @@ __all__ = [
     "ForecastSpec",
     "EXECUTION_MODES",
     "PROMPT_STRATEGIES",
+    "canonicalize_sampling_options",
+    "Estimator",
+    "BaseEstimator",
+    "PerDimension",
+    "positional_shim",
     "MultiCastForecaster",
     "SampleRunner",
     "run_sequentially",

@@ -48,11 +48,15 @@ EXECUTION_MODES = ("batched", "pooled", "sequential", "continuous")
 
 #: Legacy spellings of canonical sampling fields, accepted-and-warned for
 #: one release (the kwarg-drift cleanup: ``num_samples`` is canonical).
-_FIELD_ALIASES = {"n_samples": "num_samples"}
+#: This table is the *only* place aliases live — the CLI, the manifest
+#: loader, sweeps and the estimator adapters all route through
+#: :func:`canonicalize_sampling_options` instead of re-implementing it.
+_FIELD_ALIASES = {"n_samples": "num_samples", "samples": "num_samples"}
 
 
 def canonicalize_sampling_options(options: dict, *, context: str) -> dict:
-    """Rewrite deprecated option aliases (``n_samples`` → ``num_samples``).
+    """Rewrite deprecated option aliases (``n_samples``/``samples`` →
+    ``num_samples``).
 
     Emits a :class:`DeprecationWarning` per alias used; raises
     :class:`~repro.exceptions.ConfigError` when an alias and its canonical
@@ -178,7 +182,24 @@ class ForecastSpec:
             raise ConfigError("ForecastSpec.horizon must be set to forecast")
 
     def replace(self, **changes) -> "ForecastSpec":
-        """A copy with ``changes`` applied (fields re-validated)."""
+        """A copy with ``changes`` applied (fields re-validated).
+
+        Deprecated aliases are rewritten exactly as in :meth:`create`;
+        anything else that is not a spec field raises
+        :class:`~repro.exceptions.ConfigError` naming the offenders, so a
+        typo'd knob fails loudly instead of surfacing as a bare
+        ``TypeError`` deep inside ``dataclasses.replace``.
+        """
+        changes = canonicalize_sampling_options(
+            changes, context="ForecastSpec.replace"
+        )
+        valid = {f.name for f in dataclasses.fields(self)}
+        unknown = sorted(set(changes) - valid)
+        if unknown:
+            raise ConfigError(
+                f"ForecastSpec.replace got unknown fields {unknown}; "
+                f"valid fields are {sorted(valid)}"
+            )
         return dataclasses.replace(self, **changes)
 
     def with_series(

@@ -112,6 +112,19 @@ def rolling_origin_evaluation(
             raise ConfigError(
                 "pass pipeline settings inside spec=, not as loose options"
             )
+        bound = [
+            name for name in ("series", "horizon")
+            if getattr(spec, name) is not None
+        ]
+        if bound:
+            raise ConfigError(
+                f"spec= must be a template ForecastSpec — the backtest "
+                f"fills in the per-window series, horizon and seed itself, "
+                f"but this spec already binds {bound}; rebuild it without "
+                f"those fields (or spec.replace("
+                + ", ".join(f"{name}=None" for name in bound)
+                + "))"
+            )
     elif is_multicast and options:
         warnings.warn(
             "passing loose pipeline options to rolling_origin_evaluation is "

@@ -26,7 +26,6 @@ from repro.baselines import (
     GRUForecaster,
     HoltWinters,
     LLMTime,
-    LLMTimeConfig,
     LSTMForecaster,
     Theta,
     auto_arima,
@@ -94,8 +93,10 @@ def _multicast_forecast(scheme):
 
 
 def _llmtime_forecast(history, horizon, seed, **options):
-    config = LLMTimeConfig(seed=seed, **options)
-    return LLMTime(config).forecast(history, horizon)
+    options = canonicalize_sampling_options(
+        options, context="run_method('llmtime')"
+    )
+    return LLMTime(seed=seed, **options).forecast(history, horizon)
 
 
 def _arima_forecast(history, horizon, seed, **options):

@@ -14,8 +14,9 @@ one per series/configuration pair::
       ]
     }
 
-``num_samples`` is the canonical sample-count key (``samples`` stays
-accepted as a short alias); ``execution`` selects ``"pooled"`` (default)
+``num_samples`` is the canonical sample-count key (the legacy ``samples``
+spelling is rewritten by the spec layer's shared alias table, with a
+deprecation warning); ``execution`` selects ``"pooled"`` (default)
 or ``"batched"`` ensemble decoding, with bit-identical outputs.
 ``strategy`` picks a prompt strategy (``"patch"``, ``"decompose"``,
 ``"auto"``, ...) and ``patch_length`` sizes the patch strategy's
@@ -37,19 +38,19 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.config import MultiCastConfig, SaxConfig
-from repro.core.spec import EXECUTION_MODES
+from repro.core.spec import EXECUTION_MODES, canonicalize_sampling_options
 from repro.exceptions import ConfigError
 from repro.serving.request import ForecastRequest
 
 __all__ = ["BatchJob", "load_manifest"]
 
 #: manifest key → MultiCastConfig field for the plain pass-throughs.
-#: ``num_samples`` is the canonical spelling (matching ForecastSpec);
-#: ``samples`` stays accepted as a short alias.
+#: Only canonical spellings appear here: deprecated aliases (``samples``,
+#: ``n_samples``) are rewritten up front by the spec layer's
+#: ``canonicalize_sampling_options``, the single source of alias truth.
 _CONFIG_KEYS = {
     "scheme": "scheme",
     "digits": "num_digits",
-    "samples": "num_samples",
     "num_samples": "num_samples",
     "model": "model",
     "aggregation": "aggregation",
@@ -102,6 +103,10 @@ class BatchJob:
 def _parse_job(index: int, raw: dict) -> BatchJob:
     if not isinstance(raw, dict):
         raise ConfigError(f"job {index} must be an object, got {type(raw).__name__}")
+    # Rewrite deprecated aliases first (warns once per use, rejects
+    # alias + canonical together) so the rest of the parser only ever
+    # sees canonical key names.
+    raw = canonicalize_sampling_options(raw, context=f"manifest job {index}")
     unknown = set(raw) - _JOB_KEYS
     if unknown:
         raise ConfigError(
@@ -114,11 +119,6 @@ def _parse_job(index: int, raw: dict) -> BatchJob:
         )
     if "horizon" not in raw:
         raise ConfigError(f"job {index} is missing the required 'horizon'")
-    if "samples" in raw and "num_samples" in raw:
-        raise ConfigError(
-            f"job {index} has both 'samples' and 'num_samples'; "
-            f"use only 'num_samples'"
-        )
     if raw.get("execution", "pooled") not in EXECUTION_MODES:
         raise ConfigError(
             f"job {index}: execution must be one of {EXECUTION_MODES}, "

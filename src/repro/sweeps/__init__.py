@@ -1,0 +1,36 @@
+"""Distributed hyperparameter sweeps over MultiCast knobs and baselines.
+
+The paper's strongest classical baseline is a grid-searched LSTM; this
+package is that search done at production scale, for *every* method:
+
+* :class:`~repro.sweeps.spec.SweepSpec` — a declarative grid/random
+  search space over :class:`~repro.core.spec.ForecastSpec` knobs
+  (``b``/``w``/``a`` paper aliases included) or baseline estimator
+  parameters, expanded into deterministic seed-derived
+  :class:`~repro.sweeps.spec.Trial` lists;
+* :class:`~repro.sweeps.runner.SweepRunner` — fans trials out through a
+  :class:`~repro.serving.engine.ForecastEngine` or
+  :class:`~repro.sharding.engine.ShardedEngine`, writes one ledger
+  record per (trial, rung), supports crash-tolerant ``resume`` (completed
+  trials are skipped by ``trial_digest``) and successive-halving early
+  stopping on intermediate backtest windows;
+* :class:`~repro.sweeps.report.SweepReport` — best-config selection plus
+  per-knob marginals.
+
+Same spec + seed ⇒ identical trial list, identical scores, and an
+identical best config whether trials run in-process or across shards.
+"""
+
+from repro.sweeps.report import SweepReport, TrialResult
+from repro.sweeps.runner import SweepRunner
+from repro.sweeps.spec import KNOB_ALIASES, SweepSpec, Trial, expand_trials
+
+__all__ = [
+    "SweepSpec",
+    "Trial",
+    "expand_trials",
+    "KNOB_ALIASES",
+    "SweepRunner",
+    "SweepReport",
+    "TrialResult",
+]

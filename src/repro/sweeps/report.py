@@ -1,0 +1,112 @@
+"""Sweep results: per-trial records, best-config selection, marginals.
+
+The runner produces a :class:`SweepReport` — a plain, JSON-serialisable
+summary: one :class:`TrialResult` per expanded trial (scores per rung,
+outcome, whether each evaluation ran or was resumed from the ledger),
+the winning configuration, and per-knob marginal mean scores computed on
+the rung-0 scores (the one rung every trial participates in, so the
+marginals are not survivorship-biased by early stopping).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+__all__ = ["TrialResult", "SweepReport"]
+
+
+@dataclasses.dataclass
+class TrialResult:
+    """Everything the sweep learned about one trial.
+
+    ``scores`` maps rung index → mean backtest RMSE at that rung;
+    ``outcome`` is ``"ok"``, ``"error"`` (the trial raised and is out of
+    the running) or ``"pruned"`` (eliminated by successive halving);
+    ``executed_rungs``/``resumed_rungs`` count evaluations run fresh vs
+    reused from the ledger.
+    """
+
+    index: int
+    params: dict
+    seed: int
+    trial_digest: str
+    scores: dict = dataclasses.field(default_factory=dict)
+    outcome: str = "ok"
+    error: str | None = None
+    executed_rungs: int = 0
+    resumed_rungs: int = 0
+
+    @property
+    def final_score(self) -> float | None:
+        """The score at the deepest rung this trial reached."""
+        if not self.scores:
+            return None
+        return self.scores[max(self.scores)]
+
+
+@dataclasses.dataclass
+class SweepReport:
+    """The outcome of one sweep run.
+
+    ``best_index``/``best_params``/``best_score`` select the surviving
+    trial with the lowest final-rung score (ties broken by trial index,
+    so selection is deterministic).  ``marginals`` maps each swept knob
+    to ``{value-repr: mean rung-0 score}``.
+    """
+
+    sweep_id: str
+    method: str
+    trials: list
+    best_index: int | None
+    best_params: dict | None
+    best_score: float | None
+    trials_run: int
+    trials_resumed: int
+    trials_failed: int
+    marginals: dict
+
+    @property
+    def num_trials(self) -> int:
+        """Total expanded trials."""
+        return len(self.trials)
+
+    def to_dict(self) -> dict:
+        """A JSON-serialisable dump of the whole report."""
+        return {
+            "sweep_id": self.sweep_id,
+            "method": self.method,
+            "num_trials": self.num_trials,
+            "best_index": self.best_index,
+            "best_params": self.best_params,
+            "best_score": self.best_score,
+            "trials_run": self.trials_run,
+            "trials_resumed": self.trials_resumed,
+            "trials_failed": self.trials_failed,
+            "marginals": self.marginals,
+            "trials": [dataclasses.asdict(trial) for trial in self.trials],
+        }
+
+    def format(self) -> str:
+        """A human-readable summary table."""
+        lines = [
+            f"sweep {self.sweep_id} over {self.method}: "
+            f"{self.num_trials} trials "
+            f"({self.trials_run} run, {self.trials_resumed} resumed, "
+            f"{self.trials_failed} failed)"
+        ]
+        if self.best_params is None:
+            lines.append("  no trial produced a usable score")
+        else:
+            lines.append(
+                f"  best: trial #{self.best_index} "
+                f"score={self.best_score:.6g} params={self.best_params}"
+            )
+        for knob, by_value in self.marginals.items():
+            cells = ", ".join(
+                f"{value}={score:.4g}"
+                for value, score in by_value.items()
+                if not math.isnan(score)
+            )
+            lines.append(f"  marginal {knob}: {cells}")
+        return "\n".join(lines)

@@ -1,0 +1,418 @@
+"""The sweep runner: trial fan-out, ledger records, resume, halving.
+
+:class:`SweepRunner` executes an expanded sweep against one series.
+MultiCast trials become :class:`~repro.core.spec.ForecastSpec` requests
+fanned out through the supplied engine's ``forecast_batch`` (a
+:class:`~repro.serving.engine.ForecastEngine`, a
+:class:`~repro.sharding.engine.ShardedEngine`, or anything duck-typed
+alike; ``engine=None`` runs in-process) — so a sweep scales across
+processes exactly like serving traffic does, and scores are
+bit-identical regardless of shard count.  Baseline trials build their
+estimator via :func:`repro.baselines.make_estimator` and fit locally.
+
+Every (trial, rung) evaluation appends one ``kind="sweep_trial"`` ledger
+record *before* the ``on_trial`` callback fires, so a crash at any point
+loses at most the evaluation in flight; re-running with ``resume=True``
+reloads completed evaluations by ``(trial_digest, rung)`` and re-executes
+none of them.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.baselines import estimator_param_names, make_estimator
+from repro.core import MultiCastForecaster
+from repro.core.spec import ForecastSpec
+from repro.exceptions import ConfigError, DataError, ReproError
+from repro.observability import NULL_TRACER, RunLedger, read_ledger
+from repro.sweeps.report import SweepReport, TrialResult
+from repro.sweeps.spec import SweepSpec, Trial, _fold_sax, expand_trials
+
+__all__ = ["SweepRunner"]
+
+
+class SweepRunner:
+    """Executes sweeps; see the module docstring for the protocol.
+
+    Parameters
+    ----------
+    engine:
+        Optional serving engine; multicast trials are dispatched through
+        its ``forecast_batch``.  ``None`` runs them in-process (same
+        outputs bit for bit).
+    ledger:
+        A :class:`~repro.observability.RunLedger` or path.  Required for
+        ``resume``; one record per (trial, rung) evaluation.
+    tracer:
+        Optional tracer; emits a ``sweep`` root span and one
+        ``sweep:trial`` span per fresh evaluation.
+    """
+
+    def __init__(self, engine=None, *, ledger=None, tracer=None) -> None:
+        self.engine = engine
+        if ledger is None or isinstance(ledger, RunLedger):
+            self.ledger = ledger
+        else:
+            self.ledger = RunLedger(ledger)
+        self.tracer = NULL_TRACER if tracer is None else tracer
+
+    # -- public API ---------------------------------------------------------
+
+    def run(
+        self,
+        sweep: SweepSpec,
+        series,
+        *,
+        resume: bool = False,
+        on_trial=None,
+    ) -> SweepReport:
+        """Run (or resume) a sweep on ``series``; returns the report.
+
+        ``on_trial(trial, rung, score)`` is invoked after each *fresh*
+        evaluation's ledger record is written — a callback that raises
+        aborts the sweep with everything scored so far safely on disk.
+        """
+        values = np.asarray(series, dtype=float)
+        if values.ndim == 1:
+            values = values[:, None]
+        if values.ndim != 2:
+            raise DataError(
+                f"expected (n, d) series, got shape {values.shape}"
+            )
+        origins = self._origins(sweep, values.shape[0])
+        completed = self._completed(sweep.sweep_id) if resume else {}
+        trials = expand_trials(sweep)
+        results = {
+            trial.index: TrialResult(
+                index=trial.index,
+                params=dict(trial.params),
+                seed=trial.seed,
+                trial_digest=trial.trial_digest,
+            )
+            for trial in trials
+        }
+        with self.tracer.span(
+            "sweep",
+            sweep_id=sweep.sweep_id,
+            method=sweep.method,
+            trials=len(trials),
+            rungs=sweep.num_rungs,
+        ):
+            alive = list(trials)
+            for rung in range(sweep.num_rungs):
+                alive = self._run_rung(
+                    sweep, values, origins, rung, alive, results,
+                    completed, on_trial,
+                )
+        return self._report(sweep, results)
+
+    # -- rung execution -----------------------------------------------------
+
+    @staticmethod
+    def _origins(sweep: SweepSpec, n: int) -> list[int]:
+        stride = sweep.horizon if sweep.stride is None else sweep.stride
+        origins = [
+            n - sweep.horizon - k * stride for k in range(sweep.num_windows)
+        ][::-1]
+        if origins[0] < 4:
+            raise DataError(
+                f"series of {n} points too short for "
+                f"{sweep.num_windows} windows of horizon {sweep.horizon} "
+                f"(earliest origin would be {origins[0]})"
+            )
+        return origins
+
+    def _run_rung(
+        self, sweep, values, origins, rung, alive, results, completed,
+        on_trial,
+    ):
+        window_count = sweep.windows_for_rung(rung)
+        rung_origins = origins[-window_count:]
+        offsets = list(
+            range(sweep.num_windows - window_count, sweep.num_windows)
+        )
+        pending: list[Trial] = []
+        for trial in alive:
+            record = completed.get((trial.trial_digest, rung))
+            if record is None:
+                pending.append(trial)
+                continue
+            result = results[trial.index]
+            result.resumed_rungs += 1
+            if record.get("outcome") == "ok":
+                result.scores[rung] = float(record["score"])
+            else:
+                result.outcome = "error"
+                result.error = record.get("error")
+        if pending:
+
+            def finish(trial: Trial, score, error) -> None:
+                """Commit one fresh evaluation: result, ledger, callback.
+
+                The ledger append happens *before* the callback, so a
+                crash in (or after) the callback never loses the score.
+                """
+                result = results[trial.index]
+                result.executed_rungs += 1
+                if error is None:
+                    result.scores[rung] = score
+                else:
+                    result.outcome = "error"
+                    result.error = error
+                self._record(sweep, trial, rung, window_count, score, error)
+                if on_trial is not None:
+                    on_trial(trial, rung, score)
+
+            self._evaluate(
+                sweep, pending, values, rung_origins, offsets, finish
+            )
+        survivors = [
+            trial for trial in alive
+            if results[trial.index].outcome == "ok"
+            and rung in results[trial.index].scores
+        ]
+        if rung == sweep.num_rungs - 1:
+            return survivors
+        keep = max(1, math.ceil(len(survivors) / sweep.eta))
+        ranked = sorted(
+            survivors,
+            key=lambda t: (results[t.index].scores[rung], t.index),
+        )
+        kept = ranked[:keep]
+        kept_indices = {trial.index for trial in kept}
+        for trial in survivors:
+            if trial.index not in kept_indices:
+                results[trial.index].outcome = "pruned"
+        return sorted(kept, key=lambda t: t.index)
+
+    def _evaluate(self, sweep, pending, values, origins, offsets, finish):
+        """Score every pending trial on the rung's windows.
+
+        Calls ``finish(trial, score_or_None, error_or_None)`` per trial,
+        in trial order, as soon as that trial's score is ready — the hook
+        writes the ledger record, so completed trials survive a crash
+        even while later trials are still in flight.
+        """
+        if sweep.method.startswith("multicast-"):
+            self._evaluate_multicast(
+                sweep, pending, values, origins, offsets, finish
+            )
+        else:
+            self._evaluate_baseline(
+                sweep, pending, values, origins, offsets, finish
+            )
+
+    def _evaluate_multicast(
+        self, sweep, pending, values, origins, offsets, finish
+    ):
+        scheme = sweep.method.split("-", 1)[1]
+        jobs: list[tuple[Trial, list]] = []
+        for trial in pending:
+            try:
+                template = ForecastSpec(
+                    scheme=scheme, **_fold_sax(trial.params)
+                )
+                specs = [
+                    template.replace(
+                        series=values[:origin],
+                        horizon=sweep.horizon,
+                        seed=trial.seed + offset,
+                    )
+                    for origin, offset in zip(origins, offsets)
+                ]
+            except ReproError as error:
+                finish(trial, None, str(error))
+                continue
+            if self.engine is not None:
+                # Fan every spec out immediately; results are collected
+                # per trial below, in deterministic trial order.
+                work = [self.engine.submit(spec) for spec in specs]
+            else:
+                work = [_LocalResponse(spec) for spec in specs]
+            jobs.append((trial, work))
+        for trial, work in jobs:
+            with self.tracer.span(
+                "sweep:trial",
+                sweep_id=sweep.sweep_id,
+                trial_digest=trial.trial_digest,
+                trial_index=trial.index,
+                windows=len(work),
+            ):
+                try:
+                    errors = [
+                        _window_rmse(
+                            values, origin, sweep.horizon,
+                            _resolve(item).values,
+                        )
+                        for origin, item in zip(origins, work)
+                    ]
+                    finish(trial, _finite_mean(errors), None)
+                except ReproError as error:
+                    finish(trial, None, str(error))
+
+    def _evaluate_baseline(
+        self, sweep, pending, values, origins, offsets, finish
+    ):
+        supports_seed = "seed" in estimator_param_names(sweep.method)
+        for trial in pending:
+            with self.tracer.span(
+                "sweep:trial",
+                sweep_id=sweep.sweep_id,
+                trial_digest=trial.trial_digest,
+                trial_index=trial.index,
+                windows=len(origins),
+            ):
+                try:
+                    errors = []
+                    for origin, offset in zip(origins, offsets):
+                        params = dict(trial.params)
+                        if supports_seed and "seed" not in params:
+                            params["seed"] = trial.seed + offset
+                        estimator = make_estimator(sweep.method, **params)
+                        estimator.fit(values[:origin])
+                        forecast = estimator.predict(sweep.horizon)
+                        errors.append(
+                            _window_rmse(
+                                values, origin, sweep.horizon, forecast
+                            )
+                        )
+                    finish(trial, _finite_mean(errors), None)
+                except ReproError as error:
+                    finish(trial, None, str(error))
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def _record(self, sweep, trial, rung, windows, score, error) -> None:
+        if self.ledger is None:
+            return
+        self.ledger.append(
+            {
+                "kind": "sweep_trial",
+                "sweep_id": sweep.sweep_id,
+                "trial_digest": trial.trial_digest,
+                "trial_index": trial.index,
+                "rung": rung,
+                "windows": windows,
+                "method": sweep.method,
+                "params": _jsonable(trial.params),
+                "seed": trial.seed,
+                "score": score,
+                "outcome": "ok" if error is None else "error",
+                "error": error,
+            }
+        )
+
+    def _completed(self, sweep_id: str) -> dict:
+        if self.ledger is None:
+            raise ConfigError(
+                "resume=True needs a ledger (the sweep's completed-trial "
+                "journal); pass ledger= to SweepRunner"
+            )
+        try:
+            records = read_ledger(self.ledger.path)
+        except ConfigError:
+            return {}
+        completed = {}
+        for record in records:
+            if (
+                record.get("kind") == "sweep_trial"
+                and record.get("sweep_id") == sweep_id
+            ):
+                completed[(record["trial_digest"], record["rung"])] = record
+        return completed
+
+    def _report(self, sweep: SweepSpec, results: dict) -> SweepReport:
+        trials = [results[index] for index in sorted(results)]
+        final_rung = sweep.num_rungs - 1
+        candidates = [
+            trial for trial in trials
+            if trial.outcome == "ok" and final_rung in trial.scores
+        ]
+        best = min(
+            candidates,
+            key=lambda t: (t.scores[final_rung], t.index),
+            default=None,
+        )
+        marginals: dict = {}
+        for knob in sorted(sweep.space):
+            by_value: dict = {}
+            for trial in trials:
+                if 0 not in trial.scores:
+                    continue
+                key = repr(trial.params.get(knob))
+                by_value.setdefault(key, []).append(trial.scores[0])
+            marginals[knob] = {
+                value: float(np.mean(scores))
+                for value, scores in by_value.items()
+            }
+        return SweepReport(
+            sweep_id=sweep.sweep_id,
+            method=sweep.method,
+            trials=trials,
+            best_index=None if best is None else best.index,
+            best_params=None if best is None else dict(best.params),
+            best_score=(
+                None if best is None else float(best.scores[final_rung])
+            ),
+            trials_run=sum(1 for t in trials if t.executed_rungs > 0),
+            trials_resumed=sum(
+                1 for t in trials
+                if t.executed_rungs == 0 and t.resumed_rungs > 0
+            ),
+            trials_failed=sum(1 for t in trials if t.outcome == "error"),
+            marginals=marginals,
+        )
+
+
+class _LocalResponse:
+    """In-process stand-in for an engine response (``engine=None``)."""
+
+    def __init__(self, spec: ForecastSpec) -> None:
+        self._spec = spec
+
+    @property
+    def values(self) -> np.ndarray:
+        """Run the spec through the core forecaster on first access."""
+        return MultiCastForecaster().forecast(self._spec).values
+
+
+def _resolve(item):
+    """A submitted Future's response, or a local stand-in unchanged."""
+    if isinstance(item, _LocalResponse):
+        return item
+    return item.result()
+
+
+def _window_rmse(values, origin, horizon, forecast) -> float:
+    actual = values[origin : origin + horizon]
+    predicted = np.asarray(forecast, dtype=float)
+    if predicted.shape != actual.shape:
+        raise DataError(
+            f"forecast shape {predicted.shape} does not match the "
+            f"held-out window {actual.shape}"
+        )
+    return float(np.sqrt(np.mean((actual - predicted) ** 2)))
+
+
+def _finite_mean(errors) -> float:
+    mean = float(np.mean(errors))
+    if not np.isfinite(mean):
+        raise DataError("backtest produced a non-finite score")
+    return mean
+
+
+def _jsonable(params: dict) -> dict:
+    out = {}
+    for key, value in params.items():
+        if isinstance(value, tuple):
+            out[key] = list(value)
+        elif isinstance(value, (np.integer,)):
+            out[key] = int(value)
+        elif isinstance(value, (np.floating,)):
+            out[key] = float(value)
+        else:
+            out[key] = value
+    return out

@@ -1,0 +1,156 @@
+"""Tests for the sktime-style adapter layer (no sktime required)."""
+
+import sys
+
+import numpy as np
+import pytest
+
+from repro.adapters import ForecastingHorizon, MultiCastForecaster, coerce_horizon
+from repro.core import ForecastSpec
+from repro.core import MultiCastForecaster as CoreForecaster
+from repro.exceptions import ConfigError, DataError, FittingError
+
+RNG = np.random.default_rng(11)
+SERIES = np.cumsum(RNG.normal(size=(36, 2)), axis=0) + 20.0
+
+
+class TestForecastingHorizon:
+    def test_int_horizon_is_relative_steps(self):
+        fh = ForecastingHorizon(3)
+        assert fh.is_relative
+        assert fh.values == (1, 2, 3)
+        assert len(fh) == 3
+
+    def test_iterable_horizon_is_sorted(self):
+        fh = ForecastingHorizon([4, 2])
+        assert fh.values == (2, 4)
+
+    def test_duplicate_steps_rejected(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            ForecastingHorizon([4, 2, 4])
+
+    def test_empty_horizon_rejected(self):
+        with pytest.raises(ConfigError):
+            ForecastingHorizon([])
+
+    def test_absolute_to_relative(self):
+        fh = ForecastingHorizon([12, 14], is_relative=False)
+        assert fh.to_relative(10).values == (2, 4)
+
+    def test_absolute_before_cutoff_rejected(self):
+        fh = ForecastingHorizon([8, 12], is_relative=False)
+        with pytest.raises(ConfigError, match="offending relative steps"):
+            fh.to_relative(10)
+
+    def test_coerce_accepts_duck_typed_sktime_horizon(self):
+        class FakeSktimeFH:
+            is_relative = False
+
+            def to_relative(self, cutoff):
+                class Relative:
+                    is_relative = True
+
+                    def to_relative(self, cutoff):
+                        return self
+
+                    def __iter__(self):
+                        return iter([1, 3])
+
+                return Relative()
+
+        steps = coerce_horizon(FakeSktimeFH(), cutoff=10)
+        assert steps.tolist() == [1, 3]
+
+    def test_coerce_rejects_junk(self):
+        with pytest.raises(ConfigError):
+            coerce_horizon(object(), cutoff=5)
+
+
+class TestMultiCastForecasterAdapter:
+    def test_does_not_import_sktime(self):
+        assert "sktime" not in sys.modules
+
+    def test_fit_predict_matches_core_bit_for_bit(self):
+        adapter = MultiCastForecaster(
+            model="uniform-sim", num_samples=2, seed=5
+        )
+        adapter.fit(SERIES)
+        predicted = adapter.predict(4)
+        spec = ForecastSpec(
+            series=SERIES, horizon=4, model="uniform-sim",
+            num_samples=2, seed=5,
+        )
+        direct = CoreForecaster().forecast(spec).values
+        assert np.array_equal(predicted, direct)
+
+    def test_predict_matches_direct_engine_forecast(self):
+        from repro.serving import ForecastEngine
+
+        with ForecastEngine() as engine:
+            adapter = MultiCastForecaster(
+                model="uniform-sim", num_samples=2, seed=3, engine=engine
+            )
+            adapter.fit(SERIES)
+            predicted = adapter.predict(3)
+            direct = engine.forecast(adapter.spec_for(3)).values
+        assert np.array_equal(predicted, np.asarray(direct))
+
+    def test_subset_horizon_indexes_full_forecast(self):
+        adapter = MultiCastForecaster(model="uniform-sim", num_samples=1)
+        adapter.fit(SERIES)
+        full = adapter.predict(5)
+        subset = adapter.predict(ForecastingHorizon([2, 5]))
+        assert np.array_equal(subset, full[[1, 4]])
+
+    def test_absolute_horizon_uses_cutoff(self):
+        adapter = MultiCastForecaster(model="uniform-sim", num_samples=1)
+        adapter.fit(SERIES)
+        assert adapter.cutoff == SERIES.shape[0]
+        absolute = ForecastingHorizon(
+            [SERIES.shape[0] + 2], is_relative=False
+        )
+        assert np.array_equal(
+            adapter.predict(absolute), adapter.predict(4)[[1]]
+        )
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(FittingError):
+            MultiCastForecaster(model="uniform-sim").predict(2)
+
+    def test_fit_rejects_empty_history(self):
+        with pytest.raises(DataError):
+            MultiCastForecaster(model="uniform-sim").fit(
+                np.empty((0, 2))
+            )
+
+    def test_bad_knob_fails_at_construction(self):
+        with pytest.raises(Exception):
+            MultiCastForecaster(scheme="nope")
+
+    def test_get_params_round_trip_and_clone(self):
+        adapter = MultiCastForecaster(
+            model="uniform-sim", num_samples=3, scheme="di", seed=9
+        )
+        params = adapter.get_params()
+        rebuilt = MultiCastForecaster(**params)
+        assert rebuilt.get_params() == params
+        twin = adapter.clone()
+        assert twin.get_params() == params
+        with pytest.raises(FittingError):
+            twin.predict(2)
+
+    def test_set_params_revalidates(self):
+        adapter = MultiCastForecaster(model="uniform-sim")
+        adapter.set_params(num_samples=4)
+        assert adapter.get_params()["num_samples"] == 4
+        with pytest.raises(ConfigError):
+            adapter.set_params(not_a_knob=1)
+
+    def test_get_test_params_construct(self):
+        for params in MultiCastForecaster.get_test_params():
+            MultiCastForecaster(**params)
+
+    def test_univariate_input_is_lifted(self):
+        adapter = MultiCastForecaster(model="uniform-sim", num_samples=1)
+        adapter.fit(SERIES[:, 0])
+        assert adapter.predict(2).shape == (2, 1)

@@ -66,36 +66,36 @@ class TestDifferencing:
 class TestArEstimation:
     def test_recovers_ar1_coefficient(self):
         x = _simulate_arma(3000, phi=(0.7,), seed=1)
-        model = ARIMA((1, 0, 0)).fit(x)
+        model = ARIMA(order=(1, 0, 0)).fit(x)
         assert model.params["phi"][0] == pytest.approx(0.7, abs=0.05)
 
     def test_recovers_ar2_coefficients(self):
         x = _simulate_arma(5000, phi=(1.2, -0.5), seed=2)
-        model = ARIMA((2, 0, 0)).fit(x)
+        model = ARIMA(order=(2, 0, 0)).fit(x)
         assert model.params["phi"] == pytest.approx([1.2, -0.5], abs=0.06)
 
     def test_recovers_intercept(self):
         x = _simulate_arma(4000, phi=(0.5,), c=2.0, seed=3)
-        model = ARIMA((1, 0, 0)).fit(x)
+        model = ARIMA(order=(1, 0, 0)).fit(x)
         # Implied mean = c / (1 - phi) should be near 4.
         implied_mean = model.params["c"] / (1 - model.params["phi"][0])
         assert implied_mean == pytest.approx(4.0, abs=0.4)
 
     def test_sigma2_estimated(self):
         x = _simulate_arma(5000, phi=(0.6,), sigma=2.0, seed=4)
-        model = ARIMA((1, 0, 0)).fit(x)
+        model = ARIMA(order=(1, 0, 0)).fit(x)
         assert model.params["sigma2"] == pytest.approx(4.0, rel=0.15)
 
 
 class TestArmaEstimation:
     def test_recovers_ma1_coefficient(self):
         x = _simulate_arma(5000, theta=(0.6,), seed=5)
-        model = ARIMA((0, 0, 1)).fit(x)
+        model = ARIMA(order=(0, 0, 1)).fit(x)
         assert model.params["theta"][0] == pytest.approx(0.6, abs=0.08)
 
     def test_recovers_arma11(self):
         x = _simulate_arma(6000, phi=(0.5,), theta=(0.4,), seed=6)
-        model = ARIMA((1, 0, 1)).fit(x)
+        model = ARIMA(order=(1, 0, 1)).fit(x)
         assert model.params["phi"][0] == pytest.approx(0.5, abs=0.1)
         assert model.params["theta"][0] == pytest.approx(0.4, abs=0.12)
 
@@ -113,7 +113,7 @@ class TestArmaEstimation:
 class TestForecasting:
     def test_ar1_forecast_decays_to_mean(self):
         x = _simulate_arma(2000, phi=(0.8,), seed=8)
-        model = ARIMA((1, 0, 0)).fit(x)
+        model = ARIMA(order=(1, 0, 0)).fit(x)
         forecast = model.forecast(100)
         # Long-horizon AR(1) forecasts converge to the process mean (~0).
         assert abs(forecast[-1]) < abs(forecast[0]) + 0.5
@@ -122,7 +122,7 @@ class TestForecasting:
     def test_random_walk_with_drift(self):
         rng = np.random.default_rng(9)
         x = np.cumsum(0.5 + rng.normal(0, 0.1, size=400))
-        model = ARIMA((0, 1, 0)).fit(x)
+        model = ARIMA(order=(0, 1, 0)).fit(x)
         forecast = model.forecast(10)
         increments = np.diff(np.concatenate([[x[-1]], forecast]))
         assert np.allclose(increments, 0.5, atol=0.05)
@@ -130,17 +130,17 @@ class TestForecasting:
     def test_beats_naive_on_strong_ar_process(self):
         x = _simulate_arma(1200, phi=(0.95,), seed=10)
         train, test = x[:1100], x[1100:1120]
-        model = ARIMA((1, 0, 0)).fit(train)
+        model = ARIMA(order=(1, 0, 0)).fit(train)
         arima_rmse = rmse(test, model.forecast(20))
         naive_rmse = rmse(test, np.full(20, train.mean()))
         assert arima_rmse < naive_rmse
 
     def test_forecast_before_fit_raises(self):
         with pytest.raises(FittingError):
-            ARIMA((1, 0, 0)).forecast(5)
+            ARIMA(order=(1, 0, 0)).forecast(5)
 
     def test_bad_horizon_rejected(self):
-        model = ARIMA((1, 0, 0)).fit(_simulate_arma(100, phi=(0.5,)))
+        model = ARIMA(order=(1, 0, 0)).fit(_simulate_arma(100, phi=(0.5,)))
         with pytest.raises(FittingError):
             model.forecast(0)
 
@@ -148,23 +148,23 @@ class TestForecasting:
 class TestValidation:
     def test_arima_000_rejected(self):
         with pytest.raises(FittingError):
-            ARIMA((0, 0, 0))
+            ARIMA(order=(0, 0, 0))
 
     def test_negative_order_rejected(self):
         with pytest.raises(FittingError):
-            ARIMA((-1, 0, 0))
+            ARIMA(order=(-1, 0, 0))
 
     def test_2d_series_rejected(self):
         with pytest.raises(FittingError):
-            ARIMA((1, 0, 0)).fit(np.zeros((10, 2)))
+            ARIMA(order=(1, 0, 0)).fit(np.zeros((10, 2)))
 
     def test_nan_series_rejected(self):
         with pytest.raises(FittingError):
-            ARIMA((1, 0, 0)).fit(np.array([1.0, np.nan] * 30))
+            ARIMA(order=(1, 0, 0)).fit(np.array([1.0, np.nan] * 30))
 
     def test_too_short_series_rejected(self):
         with pytest.raises(FittingError):
-            ARIMA((3, 0, 2)).fit(np.arange(8.0))
+            ARIMA(order=(3, 0, 2)).fit(np.arange(8.0))
 
 
 class TestAutoArima:
@@ -182,7 +182,7 @@ class TestAutoArima:
     def test_aic_of_selected_model_is_minimal_among_candidates(self):
         x = _simulate_arma(300, phi=(0.6,), seed=13)
         best = auto_arima(x, max_p=2, max_q=1)
-        competitor = ARIMA((2, 0, 1)).fit(x)
+        competitor = ARIMA(order=(2, 0, 1)).fit(x)
         assert best.aic <= competitor.aic + 1e-9
 
     def test_short_series_rejected(self):
@@ -198,7 +198,7 @@ class TestAutoArima:
 def test_ar1_recovery_property(phi, seed):
     """OLS AR(1) estimation is consistent across the stationary range."""
     x = _simulate_arma(3000, phi=(phi,), seed=seed)
-    model = ARIMA((1, 0, 0)).fit(x)
+    model = ARIMA(order=(1, 0, 0)).fit(x)
     assert model.params["phi"][0] == pytest.approx(phi, abs=0.08)
 
 

@@ -34,6 +34,8 @@ PACKAGES = [
     "repro.gateway",
     "repro.loadtest",
     "repro.sharding",
+    "repro.sweeps",
+    "repro.adapters",
 ]
 
 

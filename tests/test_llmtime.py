@@ -33,7 +33,7 @@ class TestConfig:
 
 class TestUnivariate:
     def test_output_shapes_and_accounting(self):
-        model = LLMTime(LLMTimeConfig(num_samples=3, seed=0))
+        model = LLMTime(num_samples=3, seed=0)
         output = model.forecast_univariate(_sine(), horizon=10)
         assert output.values.shape == (10, 1)
         assert output.samples.shape == (3, 10, 1)
@@ -46,7 +46,7 @@ class TestUnivariate:
     def test_forecast_tracks_a_periodic_series(self):
         series = _sine(160)
         train, test = series[:144], series[144:]
-        output = LLMTime(LLMTimeConfig(num_samples=5, seed=1)).forecast_univariate(
+        output = LLMTime(num_samples=5, seed=1).forecast_univariate(
             train, horizon=16
         )
         # The in-context model should do far better than predicting the mean.
@@ -54,7 +54,7 @@ class TestUnivariate:
 
     def test_forecast_stays_in_scaled_range(self):
         series = 50.0 + 5.0 * _sine(100)
-        output = LLMTime(LLMTimeConfig(num_samples=2, seed=2)).forecast_univariate(
+        output = LLMTime(num_samples=2, seed=2).forecast_univariate(
             series, horizon=8
         )
         # FixedDigitScaler bounds any decodable output by the headroom span.
@@ -63,14 +63,14 @@ class TestUnivariate:
 
     def test_reproducible_for_fixed_seed(self):
         series = _sine(80)
-        a = LLMTime(LLMTimeConfig(seed=7)).forecast_univariate(series, 5)
-        b = LLMTime(LLMTimeConfig(seed=7)).forecast_univariate(series, 5)
+        a = LLMTime(seed=7).forecast_univariate(series, 5)
+        b = LLMTime(seed=7).forecast_univariate(series, 5)
         assert np.allclose(a.values, b.values)
 
     def test_different_seeds_usually_differ(self):
         series = _sine(80) + 0.3 * np.random.default_rng(0).normal(size=80)
-        a = LLMTime(LLMTimeConfig(seed=1, num_samples=2)).forecast_univariate(series, 8)
-        b = LLMTime(LLMTimeConfig(seed=2, num_samples=2)).forecast_univariate(series, 8)
+        a = LLMTime(seed=1, num_samples=2).forecast_univariate(series, 8)
+        b = LLMTime(seed=2, num_samples=2).forecast_univariate(series, 8)
         assert not np.allclose(a.values, b.values)
 
     def test_2d_history_rejected(self):
@@ -89,29 +89,31 @@ class TestUnivariate:
 class TestMultivariate:
     def test_dimensions_forecast_independently_and_stacked(self):
         history = np.stack([_sine(100), 10.0 + _sine(100, period=8.0)], axis=1)
-        output = LLMTime(LLMTimeConfig(num_samples=2, seed=3)).forecast(history, 6)
+        output = LLMTime(num_samples=2, seed=3).forecast(history, 6)
         assert output.values.shape == (6, 2)
         assert output.samples.shape == (2, 6, 2)
         assert output.metadata["per_dimension"] is True
 
     def test_times_and_tokens_sum_over_dimensions(self):
         history = np.stack([_sine(100), _sine(100)], axis=1)
-        config = LLMTimeConfig(num_samples=2, seed=4)
-        multi = LLMTime(config).forecast(history, 5)
-        uni = LLMTime(config).forecast_univariate(history[:, 0], 5, seed=4)
+        multi = LLMTime(num_samples=2, seed=4).forecast(history, 5)
+        uni = LLMTime(num_samples=2, seed=4).forecast_univariate(
+            history[:, 0], 5, seed=4
+        )
         assert multi.prompt_tokens == pytest.approx(2 * uni.prompt_tokens)
         assert multi.simulated_seconds == pytest.approx(2 * uni.simulated_seconds)
 
     def test_univariate_input_promoted(self):
-        output = LLMTime(LLMTimeConfig(num_samples=2)).forecast(_sine(60), 4)
+        output = LLMTime(num_samples=2).forecast(_sine(60), 4)
         assert output.values.shape == (4, 1)
 
 
 class TestContextTruncation:
     def test_long_history_is_truncated_to_budget(self):
         series = _sine(3000)
-        config = LLMTimeConfig(num_samples=1, max_context_tokens=200, seed=5)
-        output = LLMTime(config).forecast_univariate(series, 4)
+        output = LLMTime(
+            num_samples=1, max_context_tokens=200, seed=5
+        ).forecast_univariate(series, 4)
         assert output.prompt_tokens <= 200
 
     def test_truncation_respects_group_boundary(self):

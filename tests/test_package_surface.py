@@ -63,7 +63,7 @@ class TestTopLevelApi:
     def test_version_is_exposed(self):
         import repro
 
-        assert repro.__version__ == "1.2.0"
+        assert repro.__version__ == "1.3.0"
 
     def test_all_names_resolve(self):
         import repro
@@ -77,6 +77,15 @@ class TestTopLevelApi:
         assert sorted(repro.__all__) == sorted(
             [
                 "ForecastSpec",
+                "Estimator",
+                "BaseEstimator",
+                "MultiCastEstimator",
+                "ForecastingHorizon",
+                "make_estimator",
+                "available_estimators",
+                "SweepSpec",
+                "SweepRunner",
+                "SweepReport",
                 "MultiCastConfig",
                 "MultiCastForecaster",
                 "SaxConfig",
@@ -179,6 +188,6 @@ class TestCliTableAndFigureVariants:
     def test_cli_legacy_samples_flag_warns(self, capsys):
         from repro.cli import main
 
-        with pytest.warns(DeprecationWarning, match="num-samples"):
+        with pytest.warns(DeprecationWarning, match="num_samples"):
             assert main(["figure", "6", "--samples", "2"]) == 0
         assert "sax-w3" in capsys.readouterr().out

@@ -25,22 +25,22 @@ class TestVarEstimation:
 
     def test_recovers_var1_coefficients(self):
         y = _simulate_var1(self.A, n=5000, seed=1)
-        model = VAR(1).fit(y)
+        model = VAR(order=1).fit(y)
         assert np.allclose(model.params["A"][0], self.A, atol=0.05)
 
     def test_recovers_intercept(self):
         y = _simulate_var1(self.A, n=5000, seed=2, c=np.array([1.0, -0.5]))
-        model = VAR(1).fit(y)
+        model = VAR(order=1).fit(y)
         assert np.allclose(model.params["c"], [1.0, -0.5], atol=0.15)
 
     def test_residual_covariance_near_identity(self):
         y = _simulate_var1(self.A, n=8000, seed=3)
-        model = VAR(1).fit(y)
+        model = VAR(order=1).fit(y)
         assert np.allclose(model.params["sigma"], np.eye(2), atol=0.1)
 
     def test_higher_order_fits(self):
         y = _simulate_var1(self.A, n=1000, seed=4)
-        model = VAR(3).fit(y)
+        model = VAR(order=3).fit(y)
         assert model.params["A"].shape == (3, 2, 2)
 
     def test_univariate_input_promoted(self):
@@ -48,24 +48,24 @@ class TestVarEstimation:
         x = np.zeros(500)
         for t in range(1, 500):
             x[t] = 0.7 * x[t - 1] + rng.normal()
-        model = VAR(1).fit(x)
+        model = VAR(order=1).fit(x)
         assert model.params["A"][0][0, 0] == pytest.approx(0.7, abs=0.08)
 
     def test_validation(self):
         with pytest.raises(FittingError):
-            VAR(0)
+            VAR(order=0)
         with pytest.raises(FittingError):
-            VAR(1).fit(np.full((30, 2), np.nan))
+            VAR(order=1).fit(np.full((30, 2), np.nan))
         with pytest.raises(FittingError):
-            VAR(5).fit(np.zeros((12, 3)))
+            VAR(order=5).fit(np.zeros((12, 3)))
         with pytest.raises(FittingError):
-            VAR(1).forecast(3)
+            VAR(order=1).forecast(3)
 
 
 class TestVarForecasting:
     def test_forecast_shape_and_stability(self):
         y = _simulate_var1(np.array([[0.5, 0.2], [-0.1, 0.6]]), n=800, seed=6)
-        forecast = VAR(1).fit(y).forecast(50)
+        forecast = VAR(order=1).fit(y).forecast(50)
         assert forecast.shape == (50, 2)
         # Stable VAR forecasts decay toward the process mean (~0).
         assert np.abs(forecast[-1]).max() < np.abs(forecast[0]).max() + 0.5
@@ -91,15 +91,15 @@ class TestVarForecasting:
         var_errors, ar_errors = [], []
         for origin in range(1200, 1400 - horizon, 20):
             train, test = data[:origin], data[origin : origin + horizon]
-            var_forecast = VAR(3).fit(train).forecast(horizon)
-            ar_forecast = ARIMA((3, 0, 0)).fit(train[:, 1]).forecast(horizon)
+            var_forecast = VAR(order=3).fit(train).forecast(horizon)
+            ar_forecast = ARIMA(order=(3, 0, 0)).fit(train[:, 1]).forecast(horizon)
             var_errors.append(rmse(test[:, 1], var_forecast[:, 1]))
             ar_errors.append(rmse(test[:, 1], ar_forecast))
         assert np.mean(var_errors) < 0.85 * np.mean(ar_errors)
 
     def test_bad_horizon_rejected(self):
         y = _simulate_var1(np.array([[0.5, 0.0], [0.0, 0.5]]), n=200)
-        model = VAR(1).fit(y)
+        model = VAR(order=1).fit(y)
         with pytest.raises(FittingError):
             model.forecast(0)
 
@@ -114,7 +114,7 @@ class TestAutoVar:
         y = _simulate_var1(np.array([[0.6, 0.1], [0.0, 0.5]]), n=500, seed=9)
         best = auto_var(y, max_order=3)
         for p in (1, 2, 3):
-            assert best.aic <= VAR(p).fit(y).aic + 1e-9
+            assert best.aic <= VAR(order=p).fit(y).aic + 1e-9
 
     def test_registered_in_harness(self):
         result = evaluate_method("var", electricity())

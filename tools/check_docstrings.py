@@ -36,6 +36,8 @@ DEFAULT_TARGETS = (
     "src/repro/loadtest",
     "src/repro/sharding",
     "src/repro/strategies",
+    "src/repro/sweeps",
+    "src/repro/adapters",
 )
 
 #: Where to look for packages that exist but are *not* gated, so the gap
